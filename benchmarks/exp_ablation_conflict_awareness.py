@@ -1,0 +1,91 @@
+"""A2 (ablation) — what conflict awareness buys.
+
+The paper's read rule computes the linearization point k-hat from the
+*conflict relation*: a read skips past pending batches whose operations
+cannot change its result.  This ablation disables that refinement —
+treating every pending RMW as conflicting, the behaviour of a system
+like PQL — and measures what the precise rule buys on a skewed workload
+(most writes hit keys the reads do not touch).
+
+The ablation works without code changes because the conflict predicate
+belongs to the object spec: we wrap the KV spec so ``conflicts`` always
+returns True.
+"""
+
+from __future__ import annotations
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.objects.spec import Operation
+
+from _common import Table, experiment_main
+
+
+class AllConflictsKV(KVStoreSpec):
+    """The ablated object: every read conflicts with every RMW."""
+
+    name = "kvstore-all-conflicts"
+
+    def conflicts(self, read_op: Operation, rmw_op: Operation) -> bool:
+        return not self.is_read(rmw_op)
+
+
+def _measure(spec, rounds: int, seed: int) -> dict:
+    cluster = ChtCluster(spec, ChtConfig(n=5), seed=seed)
+    cluster.start()
+    cluster.run_until_leader()
+    cluster.execute(0, put("hot", 0), timeout=8000.0)
+    cluster.execute(0, put("cold", 0), timeout=8000.0)
+    cluster.run(200.0)
+    marker = len(cluster.stats.records)
+    futures = []
+    for i in range(rounds):
+        futures.append(cluster.submit(0, put("hot", i)))
+        for pid in (1, 2, 3, 4):
+            futures.append(cluster.submit(pid, get("cold")))
+        cluster.run(10.0)
+    cluster.run_until(lambda: all(f.done for f in futures), timeout=20_000.0)
+    reads = [r for r in cluster.stats.records[marker:] if r.kind == "read"]
+    blocked = sum(1 for r in reads if r.blocked)
+    mean = sum(r.latency for r in reads) / len(reads)
+    return {"blocked_frac": blocked / len(reads), "mean": mean}
+
+
+def run(scale: float = 1.0, seeds=(1,)) -> dict:
+    rounds = max(int(20 * scale), 5)
+    seed = seeds[0]
+    precise = _measure(KVStoreSpec(), rounds, seed)
+    ablated = _measure(AllConflictsKV(), rounds, seed)
+
+    table = Table(
+        ["conflict relation", "cold-key reads delayed %",
+         "mean cold-key read latency (ms)"],
+        title="A2  cold-key reads during a hot-key write stream "
+              "(n=5, delta=10)",
+    )
+    table.add_row("precise (per key)", 100 * precise["blocked_frac"],
+                  precise["mean"])
+    table.add_row("ablated (all ops conflict)",
+                  100 * ablated["blocked_frac"], ablated["mean"])
+
+    claims = {
+        "with the precise relation, non-conflicting reads never wait":
+            precise["blocked_frac"] == 0.0,
+        "without it, the hot-key write stream delays unrelated reads":
+            ablated["blocked_frac"] > 0.3,
+        "conflict awareness removes the added latency entirely":
+            precise["mean"] == 0.0 and ablated["mean"] > 0.0,
+    }
+    return {
+        "title": "A2 - ablation: the conflict-aware k-hat rule",
+        "note": "Design-choice ablation: replacing the paper's conflict "
+                "relation with 'everything conflicts' reproduces the "
+                "PQL-style behaviour that Section 5 criticizes.",
+        "tables": [table],
+        "claims": claims,
+    }
+
+
+if __name__ == "__main__":
+    experiment_main(run)

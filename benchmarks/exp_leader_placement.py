@@ -1,0 +1,118 @@
+"""E15 — Leader placement via the Omega policy (paper Section 5, VR).
+
+Claim: unlike VR's static round-robin schedule, "in our algorithm the
+leader is determined by the underlying Omega leader service, and that
+choice can be based on dynamic criteria such as the leader being
+well-connected to other processes, or being a process where the majority
+of RMW operations originate (to expedite their processing)".
+
+Method: a geo cluster whose write traffic originates in one region.
+Compare RMW latency with the default smallest-id leader (which sits far
+from the writers) against a :class:`PreferredOmega` that places the
+leader in the writers' region.  Reads stay local (and 0-cost) in both
+configurations — placement is purely an RMW-latency lever.
+"""
+
+from __future__ import annotations
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.leader.omega import PreferredOmega
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.sim.latency import GeoDelay
+from repro.sim.trace import summarize
+
+from _common import Table, experiment_main
+
+# Region 0 is far from everyone; regions 3 and 4 are close neighbours
+# where all write traffic originates.
+MATRIX = [
+    [1.0, 70.0, 70.0, 80.0, 80.0],
+    [70.0, 1.0, 30.0, 40.0, 40.0],
+    [70.0, 30.0, 1.0, 40.0, 40.0],
+    [80.0, 40.0, 40.0, 1.0, 8.0],
+    [80.0, 40.0, 40.0, 8.0, 1.0],
+]
+DELTA = 100.0
+WRITERS = (3, 4)
+
+
+def _measure(preferred: int | None, writes: int, seed: int) -> dict:
+    config = ChtConfig(n=5, delta=DELTA, epsilon=4.0,
+                       lease_period=1000.0, lease_renewal=250.0,
+                       heartbeat_period=200.0)
+    factory = None
+    if preferred is not None:
+        factory = lambda replica: PreferredOmega(  # noqa: E731
+            replica, config.heartbeat_period, config.heartbeat_timeout,
+            preferred=preferred,
+        )
+    cluster = ChtCluster(
+        KVStoreSpec(), config, seed=seed,
+        post_gst_delay=GeoDelay({i: i for i in range(5)}, MATRIX,
+                                jitter=4.0),
+        omega_factory=factory,
+    )
+    cluster.start()
+    leader = cluster.run_until_leader(timeout=60_000.0)
+    cluster.execute(WRITERS[0], put("x", 0), timeout=60_000.0)
+    cluster.run(2000.0)
+    marker = len(cluster.stats.records)
+    for i in range(writes):
+        cluster.execute(WRITERS[i % 2], put("x", i), timeout=60_000.0)
+    lat = summarize([
+        r.latency for r in cluster.stats.records[marker:]
+        if r.kind == "rmw"
+    ])
+    # Reads remain local everywhere regardless of placement: the submit
+    # call sends no messages (it may briefly wait out the final write's
+    # in-flight commit, which is the conflict rule working as intended).
+    sent_before = cluster.net.total_sent()
+    read_future = cluster.submit(1, get("x"))
+    sent_during_submit = cluster.net.total_sent() - sent_before
+    cluster.run_until(lambda: read_future.done, timeout=60_000.0)
+    return {
+        "leader": leader.pid,
+        "rmw_mean": lat.mean,
+        "read_local": sent_during_submit == 0
+        and read_future.value == writes - 1,
+    }
+
+
+def run(scale: float = 1.0, seeds=(1,)) -> dict:
+    writes = max(int(10 * scale), 4)
+    seed = seeds[0]
+    default = _measure(None, writes, seed)
+    placed = _measure(WRITERS[0], writes, seed)
+
+    table = Table(
+        ["omega policy", "leader region", "mean RMW latency (ms)",
+         "reads still local"],
+        title="E15  writer-local leader placement on a geo cluster "
+              "(writers in regions 3 and 4)",
+    )
+    table.add_row("smallest-id (default)", default["leader"],
+                  default["rmw_mean"], default["read_local"])
+    table.add_row(f"prefer region {WRITERS[0]}", placed["leader"],
+                  placed["rmw_mean"], placed["read_local"])
+
+    claims = {
+        "the preferred policy actually places the leader":
+            placed["leader"] == WRITERS[0] and default["leader"] == 0,
+        "writer-local leadership cuts RMW latency by >25%":
+            placed["rmw_mean"] < 0.75 * default["rmw_mean"],
+        "reads are unaffected by placement (local either way)":
+            default["read_local"] and placed["read_local"],
+    }
+    return {
+        "title": "E15 - Omega-driven leader placement",
+        "note": "Paper claim: the Omega choice can favour the process "
+                "where the RMW operations originate, a flexibility "
+                "static-schedule systems lack.",
+        "tables": [table],
+        "claims": claims,
+    }
+
+
+if __name__ == "__main__":
+    experiment_main(run)

@@ -1,0 +1,117 @@
+"""E11 — The Theorem 4.1 lower bound, executed (paper Section 4).
+
+Claims: (1) in the adversarially constructed run (system S: clocks
+epsilon/2 ahead, delays exactly delta/2, concurrent reads every gamma,
+one W), at most one process completes all its reads in under
+alpha = min(epsilon, delta/2) - 2*gamma — i.e. n-1 processes block;
+(2) the proof's shift really does produce a legal run exhibiting a
+linearizability violation whenever two processes are fast; (3) CHT's
+observed blocking is within its 3*delta bound, so when delta = Theta(eps)
+the algorithm is within a constant factor of optimal.
+
+Method: run the construction against CHT over a sweep of (epsilon,
+delta); apply the shift machinery to fabricated two-fast-process data to
+exhibit the contradiction.
+"""
+
+from __future__ import annotations
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.lowerbound import (
+    ReadInterval,
+    SystemS,
+    certificate_legal,
+    fast_processes,
+    run_construction,
+    shift_certificate,
+)
+from repro.objects.register import RegisterSpec, read, write
+from repro.sim.latency import FixedDelay
+
+from _common import Table, experiment_main
+
+
+def _construct(system: SystemS, seed: int):
+    config = ChtConfig(n=system.n, delta=system.delta,
+                       epsilon=system.epsilon)
+    cluster = ChtCluster(
+        RegisterSpec(initial=0), config, seed=seed,
+        post_gst_delay=FixedDelay(system.delta / 2),
+        clock_offsets=[system.epsilon / 2] * system.n,
+    )
+    cluster.start()
+    intervals = run_construction(
+        cluster, write(1), read(), 0, 1, system, writer=2
+    )
+    return cluster, intervals
+
+
+def run(scale: float = 1.0, seeds=(11,)) -> dict:
+    seed = seeds[0]
+    sweeps = [(4.0, 10.0), (2.0, 10.0), (8.0, 10.0), (4.0, 20.0)]
+    table = Table(
+        ["epsilon", "delta", "alpha", "fast processes", "slow processes",
+         "max read duration", "3*delta bound"],
+        title="E11  the shifting-executions construction run against CHT "
+              "(n=5, gamma=0.5)",
+    )
+    at_most_one_fast = True
+    within_bound = True
+    for epsilon, delta in sweeps:
+        system = SystemS(n=5, epsilon=epsilon, delta=delta, gamma=0.5)
+        _, intervals = _construct(system, seed)
+        fast = fast_processes(intervals, system.alpha)
+        worst = max(iv.duration for iv in intervals)
+        at_most_one_fast &= len(fast) <= 1
+        within_bound &= worst <= 3 * delta
+        table.add_row(epsilon, delta, system.alpha, len(fast),
+                      5 - len(fast), worst, 3 * delta)
+
+    # Part 2: the proof's contradiction on fabricated fast-fast data.
+    system = SystemS(n=5, epsilon=4.0, delta=10.0, gamma=0.5)
+    fabricated = [
+        ReadInterval(0, 10.0, 10.5, 0),
+        ReadInterval(1, 9.0, 9.5, 0),
+        ReadInterval(1, 10.2, 10.7, 1),
+    ]
+    cert = shift_certificate(fabricated, 0, 1, system, 0, 1)
+    cert_table = Table(
+        ["quantity", "value"],
+        title="E11b  shift certificate for a hypothetical run with two "
+              "fast processes",
+    )
+    cert_table.add_row("shift amount (alpha + 2*gamma)", cert.shift)
+    cert_table.add_row("p's clock skew after shift", cert.p_clock_skew_after)
+    cert_table.add_row("max delay to p after shift", cert.max_delay_to_p)
+    cert_table.add_row("min delay from p after shift", cert.min_delay_from_p)
+    cert_table.add_row("Rp0 start (shifted)", cert.rp0_start_shifted)
+    cert_table.add_row("Rq1 end", cert.rq1_end)
+    cert_table.add_row("shifted run legal in system S",
+                       certificate_legal(cert, system))
+    cert_table.add_row("old-value read after new-value read (violation)",
+                       cert.violates)
+
+    claims = {
+        "at most one process (the leader) is fast in every sweep":
+            at_most_one_fast,
+        "CHT blocking stays within 3*delta (constant factor of the "
+        "bound when delta = Theta(epsilon))": within_bound,
+        "the shift produces a legal run of system S":
+            certificate_legal(cert, system),
+        "two fast processes yield a linearizability violation":
+            cert.violates,
+    }
+    return {
+        "title": "E11 - necessity of blocking (Theorem 4.1)",
+        "note": "Paper claim: any algorithm has a run where n-1 "
+                "processes' reads take >= alpha = min(eps, delta/2) - "
+                "2*gamma; the proof shifts one fast process to derive a "
+                "contradiction.",
+        "tables": [table, cert_table],
+        "claims": claims,
+    }
+
+
+if __name__ == "__main__":
+    experiment_main(run)

@@ -1,0 +1,113 @@
+"""E2 — Non-blocking reads after stabilization (paper Sections 1 and 3).
+
+Claims: after the system stabilizes, (i) a read blocks only when the
+reading process knows of a pending RMW that *conflicts* with it, (ii) the
+leader's reads never block, and (iii) with no conflicting traffic no read
+blocks at all.
+
+Method: post-GST steady state; three workloads — no writes, writes to a
+disjoint key, writes to the read key — measuring the fraction of blocking
+reads per process role.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runner import build_cluster, warmup
+from repro.objects.kvstore import KVStoreSpec, get, put
+
+from _common import Table, experiment_main
+
+
+def _run_phase(cluster, leader, read_key, write_key, reads, seed_offset):
+    futures = []
+    start = cluster.sim.now
+    for i in range(reads):
+        at = start + i * 10.0
+        if write_key is not None and i % 3 == 0:
+            cluster.sim.schedule_at(
+                at,
+                lambda i=i: futures.append(
+                    cluster.submit(leader.pid, put(write_key, i))
+                ),
+            )
+        for pid in range(5):
+            cluster.sim.schedule_at(
+                at + 1.0,
+                lambda pid=pid: futures.append(
+                    cluster.submit(pid, get(read_key))
+                ),
+            )
+    cluster.run(reads * 10.0 + 200.0)
+    cluster.run_until(lambda: all(f.done for f in futures), timeout=8000.0)
+    assert all(f.done for f in futures)
+
+
+def _measure(phase: str, reads: int, seed: int) -> dict:
+    cluster = build_cluster("cht", KVStoreSpec(), seed=seed)
+    warmup(cluster, 600.0)
+    leader = cluster.leader()
+    cluster.execute(0, put("read-key", 0), timeout=8000.0)
+    cluster.execute(0, put("other-key", 0), timeout=8000.0)
+    cluster.run(100.0)
+    marker = len(cluster.stats.records)
+    write_key = {"quiet": None, "disjoint": "other-key",
+                 "conflicting": "read-key"}[phase]
+    _run_phase(cluster, leader, "read-key", write_key, reads, seed)
+    records = [r for r in cluster.stats.records[marker:] if r.kind == "read"]
+    leader_reads = [r for r in records if r.pid == leader.pid]
+    follower_reads = [r for r in records if r.pid != leader.pid]
+
+    def frac(rows):
+        return sum(1 for r in rows if r.blocked) / max(len(rows), 1)
+
+    return {
+        "leader_blocked": frac(leader_reads),
+        "follower_blocked": frac(follower_reads),
+        "max_block": max((r.blocked_local for r in records), default=0.0),
+    }
+
+
+def run(scale: float = 1.0, seeds=(1, 2, 3)) -> dict:
+    reads = max(int(30 * scale), 5)
+    table = Table(
+        ["workload", "leader blocked %", "follower blocked %",
+         "max block (ms)"],
+        title="E2  fraction of blocking reads after GST (n=5, delta=10)",
+    )
+    measured = {}
+    for phase in ("quiet", "disjoint", "conflicting"):
+        rows = [_measure(phase, reads, seed) for seed in seeds]
+        avg = {
+            key: sum(r[key] for r in rows) / len(rows)
+            for key in rows[0]
+        }
+        measured[phase] = avg
+        table.add_row(
+            phase,
+            100 * avg["leader_blocked"],
+            100 * avg["follower_blocked"],
+            avg["max_block"],
+        )
+
+    claims = {
+        "no reads block with no RMW traffic":
+            measured["quiet"]["follower_blocked"] == 0.0
+            and measured["quiet"]["leader_blocked"] == 0.0,
+        "writes to a disjoint key do not block reads":
+            measured["disjoint"]["follower_blocked"] == 0.0,
+        "conflicting writes do block some follower reads":
+            measured["conflicting"]["follower_blocked"] > 0.0,
+        "leader reads never block, even under conflicts":
+            measured["conflicting"]["leader_blocked"] == 0.0,
+    }
+    return {
+        "title": "E2 - non-blocking reads",
+        "note": "Paper claim: after stabilization a read blocks only on a "
+                "conflicting pending RMW; leader reads never block.",
+        "tables": [table],
+        "claims": claims,
+    }
+
+
+if __name__ == "__main__":
+    experiment_main(run)

@@ -1,0 +1,93 @@
+"""E1 — Read locality (paper Section 1 and Section 3, "Locality of reads").
+
+Claim: in CHT the total number of messages is *independent of the number
+of reads* ("the number of messages sent during the execution of the
+algorithm does not depend on the number of reads performed").  In
+Multi-Paxos every read goes through the log, and in Raft every read
+round-trips a leader heartbeat quorum, so their message counts grow
+linearly with read volume.
+
+Method: fixed window, fixed RMW load, sweep the number of reads; count
+total messages per system over the window.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runner import build_cluster, warmup
+from repro.objects.kvstore import KVStoreSpec, get, put
+
+from _common import Table, experiment_main
+
+WINDOW = 2000.0
+
+
+def _measure(system: str, reads: int, seed: int) -> int:
+    cluster = build_cluster(system, KVStoreSpec(), seed=seed)
+    warmup(cluster, 600.0)
+    cluster.execute(0, put("x", 0), timeout=8000.0)
+    cluster.net.reset_counters()
+    start = cluster.sim.now
+    futures = []
+    # A light fixed write load plus the swept read volume.
+    for i in range(10):
+        cluster.sim.schedule_at(
+            start + i * (WINDOW / 10),
+            lambda i=i: futures.append(cluster.submit(0, put("x", i))),
+        )
+    for r in range(reads):
+        at = start + (r + 0.5) * (WINDOW / reads)
+        pid = 1 + (r % 4)
+        cluster.sim.schedule_at(
+            at, lambda pid=pid: futures.append(cluster.submit(pid, get("x"))),
+        )
+    cluster.run(WINDOW)
+    cluster.run_until(
+        lambda: all(f.done for f in futures), timeout=8000.0
+    )
+    assert all(f.done for f in futures), f"{system}: ops incomplete"
+    return cluster.net.total_sent()
+
+
+def run(scale: float = 1.0, seeds=(1, 2, 3)) -> dict:
+    read_points = [int(100 * scale), int(400 * scale), int(1600 * scale)]
+    systems = ["cht", "multipaxos", "raft"]
+    table = Table(
+        ["reads", *systems],
+        title="E1  total messages in a fixed window vs number of reads "
+              "(n=5, fixed RMW load)",
+    )
+    results: dict[str, list[float]] = {s: [] for s in systems}
+    for reads in read_points:
+        row = [reads]
+        for system in systems:
+            counts = [_measure(system, reads, seed) for seed in seeds]
+            avg = sum(counts) / len(counts)
+            results[system].append(avg)
+            row.append(round(avg))
+        table.add_row(*row)
+
+    span = read_points[-1] / read_points[0]
+    cht_growth = results["cht"][-1] / results["cht"][0]
+    paxos_growth = results["multipaxos"][-1] / results["multipaxos"][0]
+    raft_growth = results["raft"][-1] / results["raft"][0]
+    per_read_cht = (results["cht"][-1] - results["cht"][0]) / (
+        read_points[-1] - read_points[0]
+    )
+    claims = {
+        "CHT messages independent of read volume (<5% growth over a "
+        f"{span:.0f}x read sweep)": cht_growth < 1.05,
+        "CHT marginal cost per read is ~0 messages": abs(per_read_cht) < 0.01,
+        "Multi-Paxos messages grow with reads (>3x)": paxos_growth > 3.0,
+        "Raft messages grow with reads (>3x)": raft_growth > 3.0,
+    }
+    return {
+        "title": "E1 - read locality",
+        "note": "Paper claim: reads are local; message count does not "
+                "depend on the number of reads.",
+        "tables": [table],
+        "claims": claims,
+    }
+
+
+if __name__ == "__main__":
+    experiment_main(run)

@@ -1,0 +1,133 @@
+"""Micro-benchmarks for the library's hot paths (pytest-benchmark).
+
+These guard the *implementation's* performance: the simulator event loop,
+the CHT read fast path, batch application, lease bookkeeping, the
+linearizability checker, and the KV state's copy-on-write transition.
+"""
+
+import pytest
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.objects.register import RegisterSpec, read, write
+from repro.sim.core import Simulator
+from repro.verify.history import History, HistoryEntry
+from repro.verify.linearizability import check_linearizable
+
+
+def test_simulator_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator(seed=1)
+        counter = {"n": 0}
+
+        def tick():
+            counter["n"] += 1
+            if counter["n"] < 10_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return counter["n"]
+
+    assert benchmark(run_events) == 10_000
+
+
+@pytest.fixture(scope="module")
+def warm_cluster():
+    cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=1)
+    cluster.start()
+    cluster.run_until_leader()
+    cluster.execute(0, put("x", 1))
+    cluster.run(200.0)
+    return cluster
+
+
+def test_cht_local_read_fast_path(benchmark, warm_cluster):
+    replica = warm_cluster.replicas[2]
+
+    def local_read():
+        future = replica.submit_read(get("x"))
+        assert future.done
+        return future.value
+
+    assert benchmark(local_read) == 1
+
+
+def test_cht_write_commit_roundtrip(benchmark):
+    cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=1)
+    cluster.start()
+    cluster.run_until_leader()
+    counter = {"i": 0}
+
+    def one_write():
+        counter["i"] += 1
+        cluster.execute(0, put("k", counter["i"]), timeout=8000.0)
+
+    benchmark.pedantic(one_write, rounds=20, iterations=1)
+
+
+def test_kv_state_transition(benchmark):
+    spec = KVStoreSpec()
+    state = spec.initial_state()
+    for i in range(100):
+        state, _ = spec.apply(state, put(f"k{i}", i))
+
+    def transition():
+        new_state, _ = spec.apply(state, put("k50", 0))
+        _, value = spec.apply(new_state, get("k50"))
+        return value
+
+    assert benchmark(transition) == 0
+
+
+def test_linearizability_checker_sequential_history(benchmark):
+    spec = RegisterSpec(initial=0)
+    entries = []
+    state = 0
+    for i in range(60):
+        op = write(i) if i % 3 == 0 else read()
+        state, response = spec.apply(state, op)
+        entries.append(HistoryEntry(op, response, float(2 * i),
+                                    float(2 * i + 1)))
+    history = History(entries)
+
+    def check():
+        return bool(check_linearizable(spec, history))
+
+    assert benchmark(check)
+
+
+def test_linearizability_checker_concurrent_history(benchmark):
+    spec = RegisterSpec(initial=0)
+    entries = []
+    # Five overlapping writer/reader pairs per window.
+    for window in range(10):
+        base = window * 10.0
+        entries.append(HistoryEntry(write(window), None, base, base + 5.0))
+        entries.append(
+            HistoryEntry(read(), window, base + 1.0, base + 6.0)
+        )
+    history = History(entries)
+
+    def check():
+        return bool(check_linearizable(spec, history))
+
+    assert benchmark(check)
+
+
+def test_lease_bookkeeping(benchmark):
+    from repro.leader.enhanced import LeaderLease, _SupportStore
+
+    leases = [
+        LeaderLease(counter=i % 3, start=float(i), end=float(i + 30))
+        for i in range(200)
+    ]
+
+    def book():
+        store = _SupportStore()
+        for lease in leases:
+            store.add(lease)
+        return store.covers_both(50.0, 150.0)
+
+    assert benchmark(book)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""A read-heavy configuration cache — the paper's motivating workload.
+
+"In practice, read operations often vastly outnumber read-modify-write
+operations.  It is in such instances that replication can be leveraged
+for performance, in addition to fault tolerance."
+
+Five replicas serve a configuration map that every process consults
+constantly (99% reads) and an operator occasionally updates.  The same
+schedule also runs against Raft, whose reads must round-trip a leader
+heartbeat quorum, to show what the read-lease mechanism buys.
+
+Run:  python examples/read_heavy_cache.py
+"""
+
+from repro.analysis.runner import build_cluster, warmup
+from repro.analysis.tables import Table
+from repro.analysis.workloads import ReadWriteMix, drive
+from repro.objects.kvstore import KVStoreSpec
+from repro.sim.trace import summarize
+
+
+def run_system(system: str) -> dict:
+    cluster = build_cluster(system, KVStoreSpec(), n=5, delta=10.0, seed=7)
+    warmup(cluster, 1000.0)
+    mix = ReadWriteMix(
+        read_fraction=0.99,
+        rate=1.0,              # one operation per ms, cluster-wide
+        duration=3000.0,
+        keys=("timeout", "quota", "flag-a", "flag-b"),
+        writer_pids=[0],       # the operator sits at process 0
+        seed=7,
+        start=cluster.sim.now,
+    )
+    cluster.net.reset_counters()
+    drive(cluster, mix.generate(), extra_time=10_000.0)
+    reads = summarize(cluster.stats.latencies("read"))
+    writes = summarize(cluster.stats.latencies("rmw"))
+    return {
+        "reads": reads,
+        "writes": writes,
+        "messages": cluster.net.total_sent(),
+    }
+
+
+def main() -> None:
+    table = Table(
+        ["system", "reads", "read mean (ms)", "read p99 (ms)",
+         "write mean (ms)", "total messages"],
+        title="99%-read configuration cache, 3 simulated seconds, n=5",
+    )
+    results = {}
+    for system in ("cht", "raft"):
+        result = run_system(system)
+        results[system] = result
+        table.add_row(
+            system,
+            result["reads"].count,
+            result["reads"].mean,
+            result["reads"].p99,
+            result["writes"].mean,
+            result["messages"],
+        )
+    print(table.render())
+    ratio = results["raft"]["messages"] / results["cht"]["messages"]
+    print(f"\nRaft moved {ratio:.1f}x the messages for the same workload —"
+          "\nevery Raft read pays a leader round-trip plus a heartbeat "
+          "quorum,\nwhile CHT reads never leave the local replica.")
+
+
+if __name__ == "__main__":
+    main()

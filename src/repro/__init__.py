@@ -1,0 +1,28 @@
+"""repro — reproduction of Chandra, Hadzilacos & Toueg,
+"An Algorithm for Replicated Objects with Efficient Reads" (PODC 2016).
+
+The package provides:
+
+* :mod:`repro.core` — the paper's algorithm (CHT): leader-based batch
+  consensus for RMW operations plus the read-lease mechanism giving local,
+  eventually non-blocking reads.
+* :mod:`repro.leader` — Omega failure detectors and the enhanced leader
+  service of Section 2 (``AmLeader``).
+* :mod:`repro.objects` — replicated object types (register, KV store,
+  counter, lock, queue, bank accounts).
+* :mod:`repro.sim` — the partially synchronous discrete-event substrate.
+* :mod:`repro.baselines` — Multi-Paxos, Raft, Viewstamped Replication,
+  Megastore, Spanner, and Paxos Quorum Leases models for the Section 5
+  comparisons.
+* :mod:`repro.verify` — linearizability checker and invariant monitors.
+* :mod:`repro.lowerbound` — the shifting-executions machinery of
+  Theorem 4.1.
+* :mod:`repro.analysis` — workloads, metric aggregation, and the
+  experiment runner behind every table in EXPERIMENTS.md.
+"""
+
+from .core import ChtCluster, ChtConfig, ChtReplica
+
+__version__ = "1.0.0"
+
+__all__ = ["ChtCluster", "ChtConfig", "ChtReplica", "__version__"]

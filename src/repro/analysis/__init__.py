@@ -1,0 +1,23 @@
+"""Workloads, metrics, tables, and the experiment runner."""
+
+from .metrics import Aggregate, aggregate, mean, median, over_seeds
+from .runner import SYSTEMS, build_cluster, warmup
+from .tables import Table, banner, format_value
+from .workloads import ReadWriteMix, ScheduledOp, drive
+
+__all__ = [
+    "Aggregate",
+    "aggregate",
+    "mean",
+    "median",
+    "over_seeds",
+    "SYSTEMS",
+    "build_cluster",
+    "warmup",
+    "Table",
+    "banner",
+    "format_value",
+    "ReadWriteMix",
+    "ScheduledOp",
+    "drive",
+]

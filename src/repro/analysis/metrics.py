@@ -1,0 +1,65 @@
+"""Cross-run metric aggregation.
+
+Experiments run each configuration over several seeds; the helpers here
+collapse per-seed measurements into the medians and means the result
+tables report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from ..sim.trace import percentile
+
+__all__ = ["Aggregate", "aggregate", "median", "mean", "over_seeds"]
+
+
+def mean(values: Iterable[float]) -> float:
+    data = list(values)
+    if not data:
+        raise ValueError("mean of empty sequence")
+    return sum(data) / len(data)
+
+
+def median(values: Iterable[float]) -> float:
+    return percentile(list(values), 50)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Summary of one metric across seeds."""
+
+    count: int
+    mean: float
+    median: float
+    min: float
+    max: float
+    stdev: float
+
+    def __str__(self) -> str:
+        return f"{self.median:.3f} (mean {self.mean:.3f} +/- {self.stdev:.3f})"
+
+
+def aggregate(values: Iterable[float]) -> Aggregate:
+    data = list(values)
+    if not data:
+        raise ValueError("aggregate of empty sequence")
+    avg = mean(data)
+    var = sum((v - avg) ** 2 for v in data) / len(data)
+    return Aggregate(
+        count=len(data),
+        mean=avg,
+        median=median(data),
+        min=min(data),
+        max=max(data),
+        stdev=math.sqrt(var),
+    )
+
+
+def over_seeds(
+    run: Callable[[int], float], seeds: Sequence[int]
+) -> Aggregate:
+    """Evaluate ``run(seed)`` for every seed and aggregate the results."""
+    return aggregate(run(seed) for seed in seeds)

@@ -1,0 +1,78 @@
+"""ASCII tables and series used by every experiment script.
+
+The experiments print their results as plain monospace tables (the
+repository's equivalent of the paper's tables and figures — the paper
+itself publishes none, see DESIGN.md).  Keeping one renderer here makes
+EXPERIMENTS.md and the scripts' output consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "format_value", "banner"]
+
+
+def format_value(value: Any) -> str:
+    """Render one cell: floats get 3 significant decimals, rest str()."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+class Table:
+    """A simple monospace table."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, *cells: Any) -> "Table":
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append([format_value(c) for c in cells])
+        return self
+
+    def add_rows(self, rows: Iterable[Sequence[Any]]) -> "Table":
+        for row in rows:
+            self.add_row(*row)
+        return self
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.headers[i]), *(len(r[i]) for r in self.rows))
+            if self.rows else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+
+        def line(cells: Sequence[str]) -> str:
+            return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+        parts = []
+        if self.title:
+            parts.append(self.title)
+        parts.append(line(self.headers))
+        parts.append(line(["-" * w for w in widths]))
+        parts.extend(line(r) for r in self.rows)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def banner(text: str) -> str:
+    """A section banner for experiment output."""
+    bar = "=" * max(60, len(text) + 4)
+    return f"{bar}\n  {text}\n{bar}"

@@ -1,0 +1,135 @@
+"""Workload generation.
+
+Workloads are open-loop schedules of operations injected into a cluster at
+fixed or randomized times.  Every generator is deterministic in its seed,
+and the same schedule can be replayed against any cluster implementation
+(CHT or baselines) because all clusters share the ``submit`` interface.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from ..objects import kvstore
+from ..objects.spec import Operation
+from ..sim.tasks import Future
+
+__all__ = ["ScheduledOp", "ReadWriteMix", "drive"]
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """One operation to inject: at ``time``, at process ``pid``."""
+
+    time: float
+    pid: int
+    op: Operation
+
+
+@dataclass
+class ReadWriteMix:
+    """A randomized read/RMW mix over a key-value store.
+
+    Parameters
+    ----------
+    read_fraction:
+        Probability that an operation is a read.
+    rate:
+        Operations per time unit (aggregate over all processes).
+    duration:
+        Length of the schedule.
+    n:
+        Number of processes to spread submissions over.
+    keys:
+        Key universe; writes and reads pick keys from it.
+    hot_fraction / hot_weight:
+        A fraction of keys is "hot" and receives ``hot_weight`` times the
+        traffic of a cold key — this controls the conflict probability
+        between reads and concurrent writes.
+    start:
+        Time of the first operation (lets runs skip leader bootstrap).
+    writer_pids / reader_pids:
+        Optional restriction of which processes issue writes and reads.
+    """
+
+    read_fraction: float = 0.9
+    rate: float = 1.0
+    duration: float = 1000.0
+    n: int = 5
+    keys: Sequence[str] = ("k0", "k1", "k2", "k3")
+    hot_fraction: float = 0.25
+    hot_weight: float = 4.0
+    start: float = 0.0
+    writer_pids: Optional[Sequence[int]] = None
+    reader_pids: Optional[Sequence[int]] = None
+    seed: int = 0
+
+    def generate(self) -> list[ScheduledOp]:
+        rng = random.Random(self.seed)
+        hot_count = max(1, int(len(self.keys) * self.hot_fraction))
+        weights = [
+            self.hot_weight if i < hot_count else 1.0
+            for i in range(len(self.keys))
+        ]
+        ops: list[ScheduledOp] = []
+        count = int(self.rate * self.duration)
+        writers = list(self.writer_pids or range(self.n))
+        readers = list(self.reader_pids or range(self.n))
+        value = 0
+        for i in range(count):
+            time = self.start + (i + rng.random()) / self.rate
+            key = rng.choices(self.keys, weights=weights)[0]
+            if rng.random() < self.read_fraction:
+                ops.append(
+                    ScheduledOp(time, rng.choice(readers), kvstore.get(key))
+                )
+            else:
+                value += 1
+                ops.append(
+                    ScheduledOp(time, rng.choice(writers),
+                                kvstore.put(key, value))
+                )
+        ops.sort(key=lambda s: s.time)
+        return ops
+
+
+def drive(
+    cluster: Any,
+    schedule: Sequence[ScheduledOp],
+    extra_time: float = 2000.0,
+    require_all: bool = True,
+) -> list[Future]:
+    """Inject ``schedule`` into ``cluster`` and run until completion.
+
+    Returns the operation futures in schedule order.  ``extra_time`` bounds
+    how long past the last injection the run may continue.
+    """
+    futures: list[Future] = []
+    completed = {"count": 0}
+
+    def inject(item: ScheduledOp) -> None:
+        future = cluster.submit(item.pid, item.op)
+        futures.append(future)
+        future.on_resolve(
+            lambda _value: completed.__setitem__(
+                "count", completed["count"] + 1
+            )
+        )
+
+    for item in schedule:
+        cluster.sim.schedule_at(item.time, lambda item=item: inject(item))
+
+    last = schedule[-1].time if schedule else cluster.sim.now
+    total = len(schedule)
+    cluster.sim.run(
+        until=last + extra_time,
+        stop_when=lambda: completed["count"] == total,
+    )
+    if require_all and completed["count"] != total:
+        raise TimeoutError(
+            f"{total - completed['count']} of {total} operations did not "
+            "complete"
+        )
+    return futures

@@ -1,0 +1,43 @@
+"""Baseline replication systems for the paper's Section 5 comparisons.
+
+Each baseline models its system's replication and read path on the same
+simulation substrate as the CHT algorithm:
+
+* :class:`PaxosCluster` — Multi-Paxos SMR; reads go through the log (the
+  "red code stripped away" control).
+* :class:`RaftCluster` — Raft; reads round-trip a heartbeat quorum at the
+  leader (never local, always blocking).
+* :class:`VRCluster` — Viewstamped Replication; static round-robin views.
+* :class:`MegastoreCluster` — acknowledge-all writes with Chubby-based
+  invalidation; writes block forever if the writer loses Chubby.
+* :class:`PQLCluster` — Paxos Quorum Leases; Theta(n^2) four-message lease
+  renewals, revoke-on-every-write reads.
+* :class:`SpannerCluster` — TrueTime timestamps, commit-wait writes, and
+  the three follower read options.
+"""
+
+from .common import BaseCluster, BaseReplica
+from .megastore import ChubbyService, MegastoreCluster, MegastoreReplica
+from .multipaxos import PaxosCluster, PaxosReplica
+from .pql import PQLCluster, PQLReplica
+from .raft import RaftCluster, RaftReplica
+from .spanner import SpannerCluster, SpannerReplica
+from .vr import VRCluster, VRReplica
+
+__all__ = [
+    "BaseCluster",
+    "BaseReplica",
+    "ChubbyService",
+    "MegastoreCluster",
+    "MegastoreReplica",
+    "PaxosCluster",
+    "PaxosReplica",
+    "PQLCluster",
+    "PQLReplica",
+    "RaftCluster",
+    "RaftReplica",
+    "SpannerCluster",
+    "SpannerReplica",
+    "VRCluster",
+    "VRReplica",
+]

@@ -1,0 +1,202 @@
+"""Shared scaffolding for the baseline replication systems.
+
+Every baseline models the *replication and read path* of its system — the
+paper's Section 5 compares exactly those aspects — on the same simulation
+substrate as the CHT algorithm, so message counts, latencies, and blocking
+are directly comparable.
+
+The common pieces: a log-entry type, a replica base class with an apply
+loop and client plumbing (submission retry, futures, stats), and a cluster
+façade mirroring :class:`repro.core.client.ChtCluster`'s interface so that
+experiments can drive any system uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Iterable, Optional, Sequence, Type
+
+from ..objects.spec import ObjectSpec, Operation, OpInstance
+from ..sim.clocks import ClockModel
+from ..sim.core import Simulator
+from ..sim.latency import DelayModel
+from ..sim.network import Network
+from ..sim.process import Process
+from ..sim.tasks import Future, Until
+from ..sim.trace import RunStats
+from ..verify.history import History
+
+__all__ = ["BaseReplica", "BaseCluster", "ClientOp"]
+
+
+@dataclass(frozen=True)
+class ClientOp:
+    """A client-submitted operation forwarded to a coordinator."""
+
+    instance: OpInstance
+    kind: str  # "read" or "rmw"
+
+    category = "client"
+
+
+class BaseReplica(Process):
+    """Base class for baseline replicas: client plumbing + state machine."""
+
+    def __init__(
+        self,
+        pid: int,
+        sim: Simulator,
+        net: Network,
+        clocks: ClockModel,
+        spec: ObjectSpec,
+        n: int,
+        stats: RunStats,
+        retry_period: float,
+    ) -> None:
+        super().__init__(pid, sim, net, clocks)
+        self.spec = spec
+        self.n = n
+        self.majority = n // 2 + 1
+        self.stats = stats
+        self.retry_period = retry_period
+        self.state: Any = spec.initial_state()
+        self.applied_upto = 0  # log entries applied (1-based log positions)
+        self.op_futures: dict[tuple[int, int], Future] = {}
+        self._op_seq = 0
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def next_op_id(self) -> tuple[int, int]:
+        self._op_seq += 1
+        return (self.pid, self._op_seq)
+
+    def submit(self, op: Operation) -> Future:
+        """Submit ``op``; reads and RMWs are dispatched per the spec."""
+        if self.crashed:
+            raise RuntimeError(f"process {self.pid} is crashed")
+        kind = "read" if self.spec.is_read(op) else "rmw"
+        op_id = self.next_op_id()
+        instance = OpInstance(op_id, op)
+        future = Future()
+        self.op_futures[op_id] = future
+        self.stats.invoke(op_id, self.pid, kind, op, self.sim.now)
+        future.on_resolve(
+            lambda value: self.stats.respond(op_id, value, self.sim.now)
+        )
+        self.start_operation(instance, kind, future)
+        return future
+
+    def start_operation(
+        self, instance: OpInstance, kind: str, future: Future
+    ) -> None:
+        """Begin executing a client operation.  Subclasses override."""
+        raise NotImplementedError
+
+    def resolve_op(self, op_id: tuple[int, int], value: Any) -> None:
+        future = self.op_futures.get(op_id)
+        if future is not None and not future.done:
+            future.resolve(value)
+
+    # ------------------------------------------------------------------
+    # Shared wait helper (same semantics as the CHT replica's)
+    # ------------------------------------------------------------------
+    def wait_for(
+        self, predicate: Callable[[], bool], timeout: Optional[float] = None
+    ) -> Generator:
+        if timeout is None:
+            yield Until(predicate)
+            return
+        deadline = self.local_time + max(timeout, 0.0)
+        self.set_timer(max(timeout, 0.0), lambda: None)
+        yield Until(lambda: predicate() or self.local_time >= deadline)
+
+    def on_crash(self) -> None:
+        self.op_futures = {}
+
+
+class BaseCluster:
+    """Cluster façade shared by every baseline.
+
+    Mirrors :class:`ChtCluster`'s driving interface (``start``, ``run``,
+    ``run_until``, ``submit``, ``execute``, ``history``) so experiment
+    code is system-agnostic.
+    """
+
+    replica_class: Type[BaseReplica]
+
+    def __init__(
+        self,
+        spec: ObjectSpec,
+        n: int = 5,
+        delta: float = 10.0,
+        epsilon: float = 2.0,
+        seed: int = 0,
+        gst: float = 0.0,
+        post_gst_delay: Optional[DelayModel] = None,
+        pre_gst_delay: Optional[DelayModel] = None,
+        pre_gst_drop_prob: float = 0.0,
+        **replica_kwargs: Any,
+    ) -> None:
+        self.spec = spec
+        self.n = n
+        self.delta = delta
+        self.epsilon = epsilon
+        self.sim = Simulator(seed=seed)
+        self.clocks = ClockModel(n, epsilon, rng=self.sim.fork_rng("clocks"))
+        self.net = Network(
+            self.sim,
+            delta=delta,
+            gst=gst,
+            post_gst_delay=post_gst_delay,
+            pre_gst_delay=pre_gst_delay,
+            pre_gst_drop_prob=pre_gst_drop_prob,
+        )
+        self.stats = RunStats()
+        self.replicas: list[BaseReplica] = [
+            self.build_replica(pid, **replica_kwargs) for pid in range(n)
+        ]
+
+    def build_replica(self, pid: int, **kwargs: Any) -> BaseReplica:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def start(self) -> "BaseCluster":
+        for replica in self.replicas:
+            replica.start()  # type: ignore[attr-defined]
+        return self
+
+    def run(self, duration: float) -> None:
+        self.sim.run_for(duration)
+
+    def run_until(
+        self, predicate: Callable[[], bool], timeout: float = 10_000.0
+    ) -> bool:
+        self.sim.run(until=self.sim.now + timeout, stop_when=predicate)
+        return predicate()
+
+    def submit(self, pid: int, op: Operation) -> Future:
+        return self.replicas[pid].submit(op)
+
+    def execute(self, pid: int, op: Operation, timeout: float = 10_000.0) -> Any:
+        future = self.submit(pid, op)
+        if not self.run_until(lambda: future.done, timeout):
+            raise TimeoutError(f"operation {op!r} did not complete")
+        return future.value
+
+    def execute_all(
+        self, ops: Iterable[tuple[int, Operation]], timeout: float = 30_000.0
+    ) -> list[Any]:
+        futures = [self.submit(pid, op) for pid, op in ops]
+        if not self.run_until(lambda: all(f.done for f in futures), timeout):
+            raise TimeoutError("operations did not all complete")
+        return [f.value for f in futures]
+
+    def history(self, kinds: Sequence[str] = ("read", "rmw")) -> History:
+        return History.from_stats(self.stats, kinds=kinds)
+
+    def crash(self, pid: int) -> None:
+        self.replicas[pid].crash()
+
+    def recover(self, pid: int) -> None:
+        self.replicas[pid].recover()

@@ -1,0 +1,48 @@
+"""The paper's algorithm: linearizable replicated objects with local,
+eventually non-blocking reads.
+
+Public entry points:
+
+* :class:`ChtCluster` — build and drive a simulated deployment.
+* :class:`ChtConfig` — algorithm parameters (n, delta, epsilon,
+  LeasePeriod, ...).
+* :class:`ChtReplica` — a single process, for fine-grained control.
+"""
+
+from .client import ChtCluster
+from .config import ChtConfig
+from .messages import (
+    BatchReply,
+    BatchRequest,
+    Commit,
+    EstReply,
+    EstReq,
+    Estimate,
+    LeaseGrant,
+    LeaseRequest,
+    Prepare,
+    PrepareAck,
+    SubmitOp,
+)
+from .replica import ChtReplica, CommitRecord
+from .state import ReadLease, Tenure
+
+__all__ = [
+    "ChtCluster",
+    "ChtConfig",
+    "ChtReplica",
+    "CommitRecord",
+    "ReadLease",
+    "Tenure",
+    "BatchReply",
+    "BatchRequest",
+    "Commit",
+    "EstReply",
+    "EstReq",
+    "Estimate",
+    "LeaseGrant",
+    "LeaseRequest",
+    "Prepare",
+    "PrepareAck",
+    "SubmitOp",
+]

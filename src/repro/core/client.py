@@ -1,0 +1,178 @@
+"""Cluster façade: build, run, and drive a CHT replica group.
+
+:class:`ChtCluster` owns the simulator, network, clocks, replicas, and
+monitors for one run, and offers a synchronous-feeling API for tests,
+examples, and experiments::
+
+    cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=1)
+    cluster.start()
+    cluster.execute(0, put("x", 1))      # runs the simulation until done
+    assert cluster.execute(3, get("x")) == 1
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from ..objects.spec import ObjectSpec, Operation
+from ..sim.clocks import ClockModel
+from ..sim.core import Simulator
+from ..sim.latency import DelayModel
+from ..sim.network import Network
+from ..sim.tasks import Future
+from ..sim.trace import RunStats
+from ..leader.omega import OmegaDetector, OracleOmega
+from ..verify.history import History
+from ..verify.invariants import BatchMonitor, LeaderIntervalMonitor
+from .config import ChtConfig
+from .replica import ChtReplica
+
+__all__ = ["ChtCluster"]
+
+
+class ChtCluster:
+    """A complete simulated deployment of the paper's algorithm."""
+
+    def __init__(
+        self,
+        spec: ObjectSpec,
+        config: Optional[ChtConfig] = None,
+        seed: int = 0,
+        gst: float = 0.0,
+        post_gst_delay: Optional[DelayModel] = None,
+        pre_gst_delay: Optional[DelayModel] = None,
+        pre_gst_drop_prob: float = 0.0,
+        clock_offsets: Optional[Sequence[float]] = None,
+        oracle_leader: Optional[Callable[[], int]] = None,
+        omega_factory: Optional[Callable[["ChtReplica"], Any]] = None,
+        monitors: bool = True,
+    ) -> None:
+        self.spec = spec
+        self.config = config or ChtConfig()
+        self.sim = Simulator(seed=seed)
+        self.clocks = ClockModel(
+            self.config.n,
+            self.config.epsilon,
+            rng=self.sim.fork_rng("clocks"),
+            offsets=clock_offsets,
+        )
+        self.net = Network(
+            self.sim,
+            delta=self.config.delta,
+            gst=gst,
+            post_gst_delay=post_gst_delay,
+            pre_gst_delay=pre_gst_delay,
+            pre_gst_drop_prob=pre_gst_drop_prob,
+        )
+        self.stats = RunStats()
+        self.leader_monitor = LeaderIntervalMonitor() if monitors else None
+        self.batch_monitor = BatchMonitor() if monitors else None
+        self._oracle_leader = oracle_leader
+        self._omega_factory = omega_factory
+        self.replicas: list[ChtReplica] = [
+            self._build_replica(pid) for pid in range(self.config.n)
+        ]
+
+    def _build_replica(self, pid: int) -> ChtReplica:
+        replica = ChtReplica(
+            pid,
+            self.sim,
+            self.net,
+            self.clocks,
+            self.spec,
+            self.config,
+            stats=self.stats,
+            leader_monitor=self.leader_monitor,
+            batch_monitor=self.batch_monitor,
+        )
+        if self._omega_factory is not None:
+            replica.leader_service.omega = self._omega_factory(replica)
+        elif self._oracle_leader is not None:
+            # Swap the default heartbeat detector for a scripted oracle;
+            # done before start(), so no heartbeat timers ever arm.
+            choose = self._oracle_leader
+            replica.leader_service.omega = OracleOmega(
+                replica, lambda _pid: choose()
+            )
+        return replica
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ChtCluster":
+        for replica in self.replicas:
+            replica.start()
+        return self
+
+    def run(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` time units."""
+        self.sim.run_for(duration)
+
+    def run_until(
+        self, predicate: Callable[[], bool], timeout: float = 10_000.0
+    ) -> bool:
+        """Run until ``predicate()`` holds; False if the timeout expires."""
+        deadline = self.sim.now + timeout
+        self.sim.run(until=deadline, stop_when=predicate)
+        return predicate()
+
+    def run_until_leader(self, timeout: float = 10_000.0) -> ChtReplica:
+        """Run until some replica is an initialized leader; return it."""
+        ok = self.run_until(lambda: self.leader() is not None, timeout)
+        if not ok:
+            raise TimeoutError("no leader emerged within the timeout")
+        leader = self.leader()
+        assert leader is not None
+        return leader
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def submit(self, pid: int, op: Operation) -> Future:
+        """Submit ``op`` at process ``pid`` (read or RMW, dispatched by
+        the object spec's classification)."""
+        replica = self.replicas[pid]
+        if self.spec.is_read(op):
+            return replica.submit_read(op)
+        return replica.submit_rmw(op)
+
+    def execute(self, pid: int, op: Operation, timeout: float = 10_000.0) -> Any:
+        """Submit ``op`` at ``pid`` and run the simulation to completion."""
+        future = self.submit(pid, op)
+        if not self.run_until(lambda: future.done, timeout):
+            raise TimeoutError(f"operation {op!r} did not complete")
+        return future.value
+
+    def execute_all(
+        self, ops: Iterable[tuple[int, Operation]], timeout: float = 30_000.0
+    ) -> list[Any]:
+        """Submit many operations concurrently, run until all complete."""
+        futures = [self.submit(pid, op) for pid, op in ops]
+        done = self.run_until(
+            lambda: all(f.done for f in futures), timeout
+        )
+        if not done:
+            raise TimeoutError("operations did not all complete")
+        return [f.value for f in futures]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def leader(self) -> Optional[ChtReplica]:
+        """The currently initialized leader, if any."""
+        for replica in self.replicas:
+            if not replica.crashed and replica.is_leader():
+                return replica
+        return None
+
+    def history(self, kinds: Sequence[str] = ("read", "rmw")) -> History:
+        return History.from_stats(self.stats, kinds=kinds)
+
+    def crash(self, pid: int) -> None:
+        self.replicas[pid].crash()
+
+    def recover(self, pid: int) -> None:
+        self.replicas[pid].recover()
+
+    def alive(self) -> list[ChtReplica]:
+        return [r for r in self.replicas if not r.crashed]

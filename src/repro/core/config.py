@@ -1,0 +1,110 @@
+"""Configuration of the replication algorithm.
+
+All durations are in local-time units (by repository convention,
+milliseconds).  The defaults follow DESIGN.md Section 8 and are expressed
+relative to ``delta`` (the post-GST message-delay bound) and ``epsilon``
+(the clock-synchronization bound), because those are the quantities the
+paper's guarantees are stated in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ChtConfig"]
+
+
+@dataclass
+class ChtConfig:
+    """Parameters of one CHT cluster.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.  The algorithm tolerates any minority of
+        crashes.
+    delta:
+        The known post-stabilization bound on message delay (paper delta).
+    epsilon:
+        The known bound on clock skew between any two processes.
+    lease_period:
+        Validity of a read lease from its issue timestamp (the paper's
+        ``LeasePeriod``).  Longer leases make reads more available but make
+        a crashed leaseholder delay a commit longer (once).
+    lease_renewal:
+        How often the leader refreshes leases.  Must be well below
+        ``lease_period`` so holders' leases never lapse in steady state.
+    heartbeat_period / heartbeat_timeout:
+        The Omega heartbeat detector's parameters.
+    support_period / support_duration:
+        The enhanced leader service's lease refresh cadence and grant span.
+    retry_period:
+        Retransmission interval for EstReq/Prepare/SubmitOp/BatchRequest
+        loops ("to tolerate message loss, p sends ... periodically").
+    leader_loop_period:
+        Pause between leader main-loop iterations when there is no work.
+    batch_window:
+        How long the leader accumulates submitted operations before
+        proposing the next batch (0 proposes as soon as any work exists).
+    compaction_interval / compaction_retain:
+        Log compaction: once more than ``compaction_interval`` batches
+        have been applied since the last snapshot, the replica snapshots
+        its state and prunes batches older than the most recent
+        ``compaction_retain``.  Laggards behind the pruning point catch
+        up via snapshot transfer instead of batch replay.  Set
+        ``compaction_interval=0`` to disable.
+    """
+
+    n: int = 5
+    delta: float = 10.0
+    epsilon: float = 2.0
+    lease_period: float = 100.0
+    lease_renewal: float = 25.0
+    heartbeat_period: float = 20.0
+    heartbeat_timeout: float = field(default=0.0)
+    support_period: float = 20.0
+    support_duration: float = field(default=0.0)
+    retry_period: float = field(default=0.0)
+    leader_loop_period: float = 1.0
+    batch_window: float = 0.0
+    compaction_interval: int = 100
+    compaction_retain: int = 32
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError("n must be at least 1")
+        if self.delta <= 0:
+            raise ValueError("delta must be positive")
+        if self.epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if not self.heartbeat_timeout:
+            self.heartbeat_timeout = 2 * self.heartbeat_period + 2 * self.delta
+        if not self.support_duration:
+            # Support intervals are compared across clocks that may differ
+            # by epsilon, so the grant must outlive the refresh cadence by
+            # at least that much or coverage develops gaps.
+            self.support_duration = (
+                3 * self.support_period + 2 * self.delta + self.epsilon
+            )
+        if not self.retry_period:
+            self.retry_period = 2 * self.delta
+        if self.lease_renewal >= self.lease_period:
+            raise ValueError("lease_renewal must be below lease_period")
+        if self.support_duration <= self.support_period:
+            raise ValueError("support_duration must exceed support_period")
+        if self.lease_period <= self.epsilon + self.lease_renewal:
+            raise ValueError(
+                "lease_period must exceed epsilon + lease_renewal, or "
+                "fast-clocked holders see every lease as already expired"
+            )
+        if self.compaction_interval < 0 or self.compaction_retain < 0:
+            raise ValueError("compaction parameters must be non-negative")
+        if self.compaction_interval and self.compaction_retain < 1:
+            raise ValueError(
+                "compaction_retain must keep at least one batch"
+            )
+
+    @property
+    def majority(self) -> int:
+        """Size of a strict majority of the ``n`` processes."""
+        return self.n // 2 + 1

@@ -1,0 +1,188 @@
+"""Message types of the replication algorithm.
+
+Messages carry a ``category`` class attribute used by the network's
+accounting.  The split mirrors the paper's two-colour presentation:
+
+* ``consensus`` — the *black code*: the consensus-like mechanism ordering
+  RMW operations (EstReq/EstReply, Prepare/PrepareAck, Commit, plus batch
+  state transfer).
+* ``lease`` — the *red code*: the read-lease mechanism (LeaseGrant,
+  LeaseRequest).  The paper's locality property says the number of these
+  (and all other) messages is independent of the number of reads.
+* ``client`` — operation submission from a process to the leader.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..objects.spec import Operation, OpInstance
+
+__all__ = [
+    "SubmitOp",
+    "EstReq",
+    "EstReply",
+    "Prepare",
+    "PrepareAck",
+    "Commit",
+    "LeaseGrant",
+    "LeaseRequest",
+    "BatchRequest",
+    "BatchReply",
+    "Snapshot",
+    "Estimate",
+]
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A process's estimate: the freshest batch it has been notified of.
+
+    ``ts`` is the local time at which the notifying process became leader
+    and ``k`` is the batch's sequence number; the pair ``(ts, k)`` orders
+    estimates by freshness (lexicographically — the paper's rule).
+    """
+
+    ops: frozenset  # frozenset[OpInstance]
+    ts: float
+    k: int
+
+    @property
+    def freshness(self) -> Tuple[float, int]:
+        return (self.ts, self.k)
+
+
+@dataclass(frozen=True)
+class SubmitOp:
+    """A process submits a RMW operation to the (believed) leader."""
+
+    instance: OpInstance
+
+    category = "client"
+
+
+@dataclass(frozen=True)
+class EstReq:
+    """New leader (leadership time ``t``) requests current estimates."""
+
+    t: float
+
+    category = "consensus"
+
+
+@dataclass(frozen=True)
+class EstReply:
+    """Reply to :class:`EstReq`.
+
+    Carries the replier's estimate and — per invariant I2 — the committed
+    batch preceding the estimate, so the requester can assign it to its
+    ``Batch[k-1]`` (paper lines 90/101).
+    """
+
+    t: float  # echoes the request's leadership time
+    estimate: Optional[Estimate]
+    prev_batch_index: int  # k-1 (0 when the estimate is None or k == 1)
+    prev_batch: Optional[frozenset]
+
+    category = "consensus"
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Leader notifies processes of batch ``j`` (first protocol phase).
+
+    Carries the previous committed batch ``prev_batch = Batch[j-1]`` so
+    that any process adopting the estimate also knows batch ``j-1``,
+    maintaining invariant I2.
+    """
+
+    ops: frozenset
+    t: float  # leadership time of the sender
+    j: int
+    prev_batch: Optional[frozenset]
+
+    category = "consensus"
+
+
+@dataclass(frozen=True)
+class PrepareAck:
+    """Acknowledgement that the sender adopted estimate ``(ops, t, j)``."""
+
+    t: float
+    j: int
+
+    category = "consensus"
+
+
+@dataclass(frozen=True)
+class Commit:
+    """Leader announces that batch ``j`` is committed."""
+
+    ops: frozenset
+    j: int
+
+    category = "consensus"
+
+
+@dataclass(frozen=True)
+class LeaseGrant:
+    """A read lease (red code).
+
+    ``k`` is the latest committed batch, ``ts`` the leader's local time at
+    issue.  The lease is the promise that no batch > k will be committed
+    (by any leader) before local time ``ts + LeasePeriod`` on the holder's
+    clock, unless the holder was notified of it.  ``leaseholders`` is the
+    leader's current leaseholder set: only members update their lease,
+    others respond with :class:`LeaseRequest` to be reintegrated.
+    """
+
+    k: int
+    ts: float
+    leaseholders: frozenset  # frozenset[int]
+
+    category = "lease"
+
+
+@dataclass(frozen=True)
+class LeaseRequest:
+    """Ask the leader to be added back to the leaseholder set."""
+
+    category = "lease"
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """Request committed batches by number (state transfer / catch-up)."""
+
+    wanted: frozenset  # frozenset[int]
+
+    category = "consensus"
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """A compacted prefix of the batch log.
+
+    ``upto`` is the last batch folded into ``state``; ``last_applied``
+    maps each submitter pid to ``(seq, response)`` of its most recent
+    operation included, so an installer can resolve that operation's
+    future with its true response (older jumped-over operations resolve
+    with the COMPACTED sentinel — their responses were compacted away).
+    """
+
+    upto: int
+    state: object
+    last_applied: tuple  # tuple[(pid, seq, response), ...]
+
+
+@dataclass(frozen=True)
+class BatchReply:
+    """Committed batches the replier knows, as a tuple of (j, ops) pairs,
+    plus a snapshot when some requested batches lie below the replier's
+    compaction point."""
+
+    batches: tuple  # tuple[tuple[int, frozenset], ...]
+    snapshot: Optional[Snapshot] = None
+
+    category = "consensus"

@@ -1,0 +1,826 @@
+"""The replication algorithm (paper Section 3).
+
+Each :class:`ChtReplica` implements the paper's three logical threads:
+
+* **Thread 1** — handles the RMW and read operations submitted at this
+  process (``submit_rmw`` / ``submit_read`` spawn per-operation tasks).
+* **Thread 2** — an infinite loop that checks whether this process is the
+  leader at the current local time and, if so, runs :meth:`_leader_work`
+  until leadership is lost.
+* **Thread 3** — the message handlers.
+
+The code follows the paper's two-colour structure: methods belonging to the
+consensus-like mechanism for RMW operations (the *black code*) carry no
+special marker, while everything belonging to the read-lease mechanism (the
+*red code*) is grouped under the "read-lease mechanism" sections and could
+be deleted wholesale leaving a plain linearizable replicated object whose
+reads go through consensus.
+
+Stable versus volatile state: batches, the estimate, and the promise
+timestamp survive crashes (they are the Paxos acceptor state and the log —
+kept on "disk"), while leases, leadership tenure, and client tasks are
+volatile and reset by :meth:`on_crash`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Generator, Iterable, Optional
+
+from ..objects.spec import NOOP, ObjectSpec, Operation, OpInstance
+from ..sim.clocks import ClockModel
+from ..sim.core import Simulator
+from ..sim.network import Network
+from ..sim.process import Process
+from ..sim.tasks import Future, Sleep, Until
+from ..sim.trace import RunStats
+from ..leader.enhanced import EnhancedLeaderService
+from ..leader.omega import HeartbeatOmega, OmegaDetector
+from ..verify.invariants import BatchMonitor, LeaderIntervalMonitor
+from .config import ChtConfig
+from .messages import (
+    BatchReply,
+    BatchRequest,
+    Commit,
+    EstReply,
+    EstReq,
+    Estimate,
+    LeaseGrant,
+    LeaseRequest,
+    Prepare,
+    PrepareAck,
+    Snapshot,
+    SubmitOp,
+)
+from .state import COMPACTED, ReadLease, Tenure
+
+__all__ = ["ChtReplica", "CommitRecord"]
+
+
+class CommitRecord:
+    """Per-commit measurements kept by the committing leader (experiments)."""
+
+    __slots__ = ("j", "size", "started_local", "committed_local", "expiry_wait")
+
+    def __init__(self, j: int, size: int, started_local: float,
+                 committed_local: float, expiry_wait: bool) -> None:
+        self.j = j
+        self.size = size
+        self.started_local = started_local
+        self.committed_local = committed_local
+        self.expiry_wait = expiry_wait
+
+    @property
+    def latency(self) -> float:
+        return self.committed_local - self.started_local
+
+
+class ChtReplica(Process):
+    """One process of the replicated object."""
+
+    def __init__(
+        self,
+        pid: int,
+        sim: Simulator,
+        net: Network,
+        clocks: ClockModel,
+        spec: ObjectSpec,
+        config: ChtConfig,
+        stats: Optional[RunStats] = None,
+        omega: Optional[OmegaDetector] = None,
+        leader_monitor: Optional[LeaderIntervalMonitor] = None,
+        batch_monitor: Optional[BatchMonitor] = None,
+    ) -> None:
+        super().__init__(pid, sim, net, clocks)
+        self.spec = spec
+        self.config = config
+        self.stats = stats if stats is not None else RunStats()
+        self.batch_monitor = batch_monitor
+
+        detector = omega or HeartbeatOmega(
+            self, config.heartbeat_period, config.heartbeat_timeout
+        )
+        self.leader_service = EnhancedLeaderService(
+            self,
+            detector,
+            config.n,
+            config.support_period,
+            config.support_duration,
+            monitor=leader_monitor,
+        )
+
+        # --- stable state (survives crashes) --------------------------
+        self.batches: dict[int, frozenset] = {}
+        self.estimate: Optional[Estimate] = None
+        # The phase-1 promise: the largest leadership time seen in an
+        # EstReq or Prepare; this process rejects Prepares from older
+        # leaders, which is what makes estimate transfer safe.
+        self.max_leader_ts_seen: float = -math.inf
+        self.applied_upto: int = 0
+        self.state: Any = spec.initial_state()
+        self.committed_op_ids: set[tuple[int, int]] = set()
+        # Log compaction: batches <= pruned_upto have been folded into the
+        # state; last_applied[pid] = (seq, response) of pid's most recent
+        # applied operation (carried by snapshots for exactly-once
+        # response recovery).
+        self.pruned_upto: int = 0
+        self.last_applied: dict[int, tuple[int, Any]] = {}
+
+        # --- volatile state -------------------------------------------
+        self.pending_batches: dict[int, frozenset] = {}
+        self.lease: Optional[ReadLease] = None
+        self.tenure: Optional[Tenure] = None
+        self.submit_queue: dict[tuple[int, int], OpInstance] = {}
+        self.op_futures: dict[tuple[int, int], Future] = {}
+        self._acks: dict[tuple[float, int], set[int]] = {}
+        self._est_replies: dict[float, dict[int, EstReply]] = {}
+        self._last_commit: Optional[Commit] = None
+        self._catchup_target: int = 0
+        self._fetching: bool = False
+        self._op_seq = 0
+
+        # Experiment instrumentation.
+        self.commit_log: list[CommitRecord] = []
+        self.tenure_history: list[float] = []  # leadership acquisition times
+
+    # ==================================================================
+    # Lifecycle
+    # ==================================================================
+    def start(self) -> None:
+        """Arm the services and Thread 2."""
+        self.leader_service.start()
+        self.spawn(self._thread2(), name="thread2")
+
+    def on_crash(self) -> None:
+        # Volatile state vanishes with the process; stable state (batches,
+        # estimate, promise, applied prefix) is preserved, modelling
+        # write-ahead persistence.
+        self.pending_batches = {}
+        self.lease = None
+        self.tenure = None
+        self.submit_queue = {}
+        self.op_futures = {}
+        self._acks = {}
+        self._est_replies = {}
+        self._last_commit = None
+        self._catchup_target = 0
+        self._fetching = False
+
+    def on_recover(self) -> None:
+        self.leader_service.on_recover()
+        self.start()
+
+    # ==================================================================
+    # Public operation API (Thread 1)
+    # ==================================================================
+    def submit_rmw(self, op: Operation) -> Future:
+        """Submit a RMW operation; the future resolves with its response."""
+        if self.crashed:
+            raise RuntimeError(f"process {self.pid} is crashed")
+        op_id = self._next_op_id()
+        instance = OpInstance(op_id, op)
+        future = Future()
+        self.op_futures[op_id] = future
+        self.stats.invoke(op_id, self.pid, "rmw", op, self.sim.now)
+        future.on_resolve(
+            lambda value: self.stats.respond(op_id, value, self.sim.now)
+        )
+        self.spawn(self._submit_task(instance, future), name=f"rmw{op_id}")
+        return future
+
+    def submit_read(self, op: Operation) -> Future:
+        """Submit a read; always local (sends no messages)."""
+        if self.crashed:
+            raise RuntimeError(f"process {self.pid} is crashed")
+        if not self.spec.is_read(op):
+            raise ValueError(f"{op!r} is not a read operation")
+        op_id = self._next_op_id()
+        future = Future()
+        self.stats.invoke(op_id, self.pid, "read", op, self.sim.now)
+        self.spawn(self._read_task(op, op_id, future), name=f"read{op_id}")
+        return future
+
+    def _next_op_id(self) -> tuple[int, int]:
+        self._op_seq += 1
+        return (self.pid, self._op_seq)
+
+    # ------------------------------------------------------------------
+    # RMW submission (paper lines 2-6)
+    # ------------------------------------------------------------------
+    def _submit_task(self, instance: OpInstance, future: Future) -> Generator:
+        # Send (o, (p, i)) to the believed leader, periodically, until the
+        # operation has been applied locally and its response resolved.
+        while not future.done:
+            target = self.leader_service.believed_leader()
+            if target == self.pid:
+                self._enqueue_submission(instance)
+            else:
+                self.send(target, SubmitOp(instance))
+            yield from self._wait(
+                lambda: future.done, timeout=self.config.retry_period
+            )
+
+    def _enqueue_submission(self, instance: OpInstance) -> None:
+        """Leader side: accept a submitted operation into the next batch."""
+        if self.tenure is None:
+            return  # not the leader; the submitter keeps retrying
+        op_id = instance.op_id
+        if op_id in self.committed_op_ids or op_id in self.submit_queue:
+            return  # duplicate (invariant I1: never commit an op twice)
+        self.submit_queue[op_id] = instance
+
+    # ------------------------------------------------------------------
+    # Read path (red code; paper lines 7-19)
+    # ------------------------------------------------------------------
+    def _read_task(self, op: Operation, op_id: tuple[int, int],
+                   future: Future) -> Generator:
+        invoked_local = self.local_time
+        blocked = False
+
+        # Wait until this process can anchor the read: either it is the
+        # (initialized) leader — which needs no lease — or it holds a valid
+        # read lease (paper lines 10-13).
+        if not self._read_basis_available():
+            blocked = True
+            yield Until(self._read_basis_available)
+
+        # Determine the batch after which to linearize the read (line 15).
+        k_hat = self._compute_k_hat(op)
+
+        # Wait until all batches up to k_hat are known and applied
+        # (line 16).  No message is ever sent on this path — locality —
+        # lost Commits are repaired by the leader's lazy rebroadcast and
+        # the lease-triggered catch-up, whose rates are read-independent.
+        if self.applied_upto < k_hat:
+            blocked = True
+            yield Until(lambda: self.applied_upto >= k_hat)
+
+        _, value = self.spec.apply_any(self.state, op)
+        if blocked:
+            self.stats.mark_blocked(op_id, self.local_time - invoked_local)
+        self.stats.respond(op_id, value, self.sim.now)
+        future.resolve(value)
+
+    def _read_basis_available(self) -> bool:
+        return self._leader_lease_valid() or self._lease_valid()
+
+    def _leader_lease_valid(self) -> bool:
+        """The leader's implicit lease: it commits every batch itself, so
+        once initialized it can read its own latest committed state without
+        holding an explicit lease (paper: "the permanently elected leader
+        ... can always read without blocking")."""
+        tenure = self.tenure
+        return (
+            tenure is not None
+            and tenure.ready
+            and self.leader_service.am_leader(tenure.t, self.local_time)
+        )
+
+    def _lease_valid(self) -> bool:
+        lease = self.lease
+        return lease is not None and lease.valid_at(
+            self.local_time, self.config.lease_period
+        )
+
+    def _compute_k_hat(self, op: Operation) -> int:
+        """The linearization point k-hat of a read (paper line 15).
+
+        With a valid lease (k, ts): if no batch j > k pending at this
+        process conflicts with the read, k-hat = k; otherwise k-hat is the
+        largest pending batch with a conflicting operation.
+
+        We additionally raise k-hat to the locally applied prefix, which
+        avoids materializing historical states; reading a *fresher*
+        committed state is also linearizable (see DESIGN.md Section 9).
+        """
+        if self._leader_lease_valid():
+            assert self.tenure is not None
+            return max(self.tenure.k, self.applied_upto)
+        assert self.lease is not None
+        k = self.lease.k
+        k_hat = k
+        for j, ops in self.pending_batches.items():
+            if j <= k_hat or j in self.batches:
+                continue
+            if any(self.spec.conflicts(op, inst.op) for inst in ops
+                   if inst.op.name != NOOP.name):
+                k_hat = j
+        return max(k_hat, self.applied_upto)
+
+    # ==================================================================
+    # Thread 2: leadership loop (paper lines 20-23)
+    # ==================================================================
+    def _thread2(self) -> Generator:
+        while True:
+            t = self.local_time
+            if self.leader_service.am_leader(t, t):
+                yield from self._leader_work(t)
+            yield Sleep(self.config.leader_loop_period)
+
+    # ------------------------------------------------------------------
+    # LeaderWork (paper lines 24-51)
+    # ------------------------------------------------------------------
+    def _leader_work(self, t: float) -> Generator:
+        cfg = self.config
+        self.tenure = Tenure(t=t, leaseholders=self._all_others())
+        self.tenure_history.append(t)
+        try:
+            # --- initialization (lines 26-36) -------------------------
+            replies = yield from self._collect_estimates(t)
+            if replies is None:
+                return
+            best = self._freshest_estimate(replies)
+            if best is None:
+                ops_star: frozenset = frozenset()
+                k_star = 1
+            else:
+                ops_star, k_star = best.ops, best.k
+            ok = yield from self._find_missing_batches(t, k_star - 1)
+            if not ok:
+                return
+            self._apply_ready()  # ExecuteUpToBatch(k_star - 1)
+            ok = yield from self._do_ops(ops_star, t, k_star)
+            if not ok:
+                return
+            self.tenure.ready = True
+            # A NoOp keeps reads live even with no further RMW traffic.
+            self._enqueue_submission(OpInstance(self._next_op_id(), NOOP))
+
+            # --- steady state (lines 39-51) ----------------------------
+            yield from self._leader_loop(t)
+        finally:
+            self._acks.clear()
+            self._est_replies.pop(t, None)
+            self.tenure = None
+
+    def _collect_estimates(
+        self, t: float
+    ) -> Generator[Any, Any, Optional[dict[int, EstReply]]]:
+        """Gather estimates from a majority (lines 26-30), or None if
+        leadership is lost while trying."""
+        cfg = self.config
+        self._est_replies[t] = {}
+
+        def enough() -> bool:
+            return len(self._est_replies[t]) + 1 >= cfg.majority
+
+        while not enough():
+            if not self.leader_service.am_leader(t, self.local_time):
+                self._est_replies.pop(t, None)
+                return None
+            self.broadcast(EstReq(t))
+            yield from self._wait(enough, timeout=cfg.retry_period)
+        return self._est_replies.pop(t)
+
+    def _freshest_estimate(
+        self, replies: dict[int, EstReply]
+    ) -> Optional[Estimate]:
+        """Select the freshest estimate among the replies and our own
+        (line 31), storing the committed predecessor batches carried by
+        the replies (line 90)."""
+        candidates = []
+        for reply in replies.values():
+            if reply.prev_batch is not None:
+                self._store_batch(reply.prev_batch_index, reply.prev_batch)
+            if reply.estimate is not None:
+                candidates.append(reply.estimate)
+        if self.estimate is not None:
+            candidates.append(self.estimate)
+        if not candidates:
+            return None
+        return max(candidates, key=lambda e: e.freshness)
+
+    def _find_missing_batches(self, t: float, upto: int) -> Generator:
+        """Fetch batches 1..upto this process is missing (line 33).  Each
+        is known by a majority (I3), hence by some correct process."""
+        cfg = self.config
+
+        def missing() -> list[int]:
+            # Batches at or below the applied prefix are already folded
+            # into the state (possibly via a snapshot).
+            start = max(1, self.applied_upto + 1)
+            return [j for j in range(start, upto + 1)
+                    if j not in self.batches]
+
+        while missing():
+            if not self.leader_service.am_leader(t, self.local_time):
+                return False
+            self.broadcast(BatchRequest(frozenset(missing())))
+            yield from self._wait(
+                lambda: not missing(), timeout=cfg.retry_period
+            )
+        return True
+
+    def _leader_loop(self, t: float) -> Generator:
+        """The leader's continuing tasks (lines 39-51): renew read leases,
+        commit batches of submitted RMW operations, lazily re-send the
+        last committed batch."""
+        cfg = self.config
+        next_renewal = self.local_time  # issue leases immediately
+        next_lazy = self.local_time + cfg.retry_period
+        while True:
+            now = self.local_time
+            if not self.leader_service.am_leader(t, now):  # lines 41, 50
+                return
+            if now >= next_renewal:  # lines 42-44
+                self._issue_leases()
+                next_renewal = now + cfg.lease_renewal
+            if now >= next_lazy:  # line 51 (safeguard against loss)
+                if self._last_commit is not None:
+                    self.broadcast(self._last_commit)
+                next_lazy = now + cfg.retry_period
+            batch = self._drain_queue()
+            if batch:  # lines 47-49
+                assert self.tenure is not None
+                ok = yield from self._do_ops(batch, t, self.tenure.k + 1)
+                if not ok:
+                    return
+                continue
+            deadline = min(next_renewal, next_lazy)
+            timeout = max(deadline - self.local_time, cfg.leader_loop_period)
+            yield from self._wait(
+                lambda: bool(self.submit_queue), timeout=timeout
+            )
+
+    def _drain_queue(self) -> Optional[frozenset]:
+        if not self.submit_queue:
+            return None
+        queued, self.submit_queue = self.submit_queue, {}
+        fresh = [
+            inst for op_id, inst in queued.items()
+            if op_id not in self.committed_op_ids
+        ]
+        if self.config.batch_window:
+            # Re-queue and let the batch window accumulate more operations;
+            # the window is enforced by the caller's wait cadence.
+            pass
+        return frozenset(fresh) if fresh else None
+
+    def _all_others(self) -> set[int]:
+        return {p for p in range(self.config.n) if p != self.pid}
+
+    # ------------------------------------------------------------------
+    # DoOps: commit one batch (paper lines 52-70)
+    # ------------------------------------------------------------------
+    def _do_ops(self, ops: frozenset, t: float, j: int) -> Generator:
+        """Try to commit ``ops`` as batch ``j``; True on success, False if
+        this process lost the leadership on the way."""
+        cfg = self.config
+        tenure = self.tenure
+        assert tenure is not None
+
+        # Line 52: abdicate if we have promised a later leader.
+        if self.max_leader_ts_seen > t:
+            return False
+        self.max_leader_ts_seen = t
+
+        # Line 53: adopt the batch as our own estimate.
+        self.estimate = Estimate(ops, t, j)
+        self.pending_batches[j] = ops
+        prev = self.batches.get(j - 1)
+        assert prev is not None or j == 1 or self.applied_upto >= j - 1, (
+            f"leader missing batch {j - 1}"
+        )
+
+        key = (t, j)
+        self._acks[key] = {self.pid}
+        acks = self._acks[key]
+        prepare_start = self.local_time
+
+        # Lines 54-58: Prepare until a majority (including us) acknowledges.
+        def majority_acked() -> bool:
+            return len(acks) >= cfg.majority
+
+        while not majority_acked():
+            if not self.leader_service.am_leader(t, self.local_time):
+                return False
+            self.broadcast(Prepare(ops, t, j, prev))
+            yield from self._wait(majority_acked, timeout=cfg.retry_period)
+
+        # Lines 59-62: the leaseholder mechanism.  Wait for every current
+        # leaseholder to acknowledge, or for 2*delta since the Prepares
+        # started; a leaseholder that missed the round-trip window forces
+        # us to wait out every lease ever issued, and is then dropped.
+        # The paper's footnote allows 2*delta + beta, with beta the Prepare
+        # processing time; the beta slack also keeps acks that land exactly
+        # at the deadline from being miscounted as missing.
+        holders = frozenset(tenure.leaseholders)
+        beta = 0.01 * cfg.delta
+        two_delta_deadline = prepare_start + 2 * cfg.delta + beta
+
+        def holders_acked() -> bool:
+            return holders <= acks
+
+        if not holders_acked():
+            yield from self._wait(
+                holders_acked,
+                timeout=max(two_delta_deadline - self.local_time, beta),
+            )
+        expiry_wait = False
+        if not holders_acked():
+            expiry_wait = True
+            tenure.lease_expiry_waits += 1
+            last_ts = tenure.last_lease_ts if tenure.last_lease_ts is not None else t
+            expiry = max(t, last_ts) + cfg.lease_period + cfg.epsilon
+            if self.local_time <= expiry:
+                yield from self._wait(
+                    lambda: self.local_time > expiry,
+                    timeout=expiry - self.local_time + cfg.leader_loop_period,
+                )
+        tenure.leaseholders = set(acks) - {self.pid}
+
+        # Lines 63-64: verify uninterrupted leadership before committing.
+        if not self.leader_service.am_leader(t, self.local_time):
+            return False
+
+        # Lines 65-70: commit.
+        self._store_batch(j, ops)
+        self._apply_ready()
+        tenure.k = j
+        self._last_commit = Commit(ops, j)
+        self.broadcast(self._last_commit)
+        self.commit_log.append(
+            CommitRecord(
+                j=j,
+                size=len(ops),
+                started_local=prepare_start,
+                committed_local=self.local_time,
+                expiry_wait=expiry_wait,
+            )
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Read-lease issuance (red code; paper lines 42-46)
+    # ------------------------------------------------------------------
+    def _issue_leases(self) -> None:
+        tenure = self.tenure
+        assert tenure is not None
+        ts = self.local_time
+        tenure.last_lease_ts = ts
+        grant = LeaseGrant(tenure.k, ts, frozenset(tenure.leaseholders))
+        self.broadcast(grant)
+
+    # ==================================================================
+    # Thread 3: message handlers
+    # ==================================================================
+    def on_message(self, src: int, msg: Any) -> None:
+        if self.leader_service.handle(src, msg):
+            return
+        handler = self._HANDLERS.get(type(msg).__name__)
+        if handler is None:
+            raise TypeError(f"unhandled message {msg!r}")
+        handler(self, src, msg)
+
+    def _on_submit(self, src: int, msg: SubmitOp) -> None:
+        self._enqueue_submission(msg.instance)
+
+    def _on_est_req(self, src: int, msg: EstReq) -> None:
+        # Promise: once we answer a leader with time t we must never accept
+        # Prepares from older leaders, or estimate transfer breaks.
+        if msg.t < self.max_leader_ts_seen:
+            return
+        self.max_leader_ts_seen = msg.t
+        est = self.estimate
+        if est is not None and est.k >= 2:
+            prev_index = est.k - 1
+            prev = self.batches.get(prev_index)
+        else:
+            prev_index, prev = 0, None
+        self.send(src, EstReply(msg.t, est, prev_index, prev))
+
+    def _on_est_reply(self, src: int, msg: EstReply) -> None:
+        if msg.prev_batch is not None:
+            self._store_batch(msg.prev_batch_index, msg.prev_batch)
+        bucket = self._est_replies.get(msg.t)
+        if bucket is not None:
+            bucket[src] = msg
+
+    def _on_prepare(self, src: int, msg: Prepare) -> None:
+        if msg.prev_batch is not None:
+            self._store_batch(msg.j - 1, msg.prev_batch)
+        if msg.t < self.max_leader_ts_seen:
+            return  # stale leader; our promise forbids adopting this
+        self.max_leader_ts_seen = msg.t
+        estimate = Estimate(msg.ops, msg.t, msg.j)
+        if self.estimate is None or estimate.freshness >= self.estimate.freshness:
+            self.estimate = estimate
+            self.pending_batches[msg.j] = msg.ops
+        self.send(src, PrepareAck(msg.t, msg.j))
+
+    def _on_prepare_ack(self, src: int, msg: PrepareAck) -> None:
+        acks = self._acks.get((msg.t, msg.j))
+        if acks is not None:
+            acks.add(src)
+
+    def _on_commit(self, src: int, msg: Commit) -> None:
+        self._store_batch(msg.j, msg.ops)
+        self._apply_ready()
+        if self.applied_upto < msg.j:
+            self._ensure_catchup(msg.j)
+
+    def _on_lease_grant(self, src: int, msg: LeaseGrant) -> None:
+        # Red code (paper lines 102-106): only current leaseholders may
+        # refresh their lease; everyone else asks to be reintegrated.
+        if self.pid in msg.leaseholders:
+            if self.lease is None or msg.ts > self.lease.ts:
+                self.lease = ReadLease(msg.k, msg.ts)
+        else:
+            self.send(src, LeaseRequest())
+        if msg.k > self.applied_upto:
+            self._ensure_catchup(msg.k)
+
+    def _on_lease_request(self, src: int, msg: LeaseRequest) -> None:
+        # Red code (line 46): reintegrate the requester.
+        if self.tenure is not None:
+            self.tenure.leaseholders.add(src)
+
+    def _on_batch_request(self, src: int, msg: BatchRequest) -> None:
+        known = tuple(
+            (j, self.batches[j]) for j in sorted(msg.wanted)
+            if j in self.batches
+        )
+        # Requests below our compaction point are served by snapshot.
+        snapshot = None
+        if any(1 <= j <= self.pruned_upto for j in msg.wanted):
+            snapshot = self._make_snapshot()
+        if known or snapshot is not None:
+            self.send(src, BatchReply(known, snapshot))
+
+    def _on_batch_reply(self, src: int, msg: BatchReply) -> None:
+        if msg.snapshot is not None:
+            self._install_snapshot(msg.snapshot)
+        for j, ops in msg.batches:
+            self._store_batch(j, ops)
+        self._apply_ready()
+
+    _HANDLERS = {
+        "SubmitOp": _on_submit,
+        "EstReq": _on_est_req,
+        "EstReply": _on_est_reply,
+        "Prepare": _on_prepare,
+        "PrepareAck": _on_prepare_ack,
+        "Commit": _on_commit,
+        "LeaseGrant": _on_lease_grant,
+        "LeaseRequest": _on_lease_request,
+        "BatchRequest": _on_batch_request,
+        "BatchReply": _on_batch_reply,
+    }
+
+    # ==================================================================
+    # Batch storage and application
+    # ==================================================================
+    def _store_batch(self, j: int, ops: frozenset) -> None:
+        if j < 1:
+            return
+        existing = self.batches.get(j)
+        if existing is not None:
+            if existing != ops:
+                raise AssertionError(
+                    f"I1 violated locally at {self.pid}: batch {j} "
+                    f"rewritten from {set(existing)} to {set(ops)}"
+                )
+            return
+        self.batches[j] = ops
+        if self.batch_monitor is not None:
+            self.batch_monitor.record_batch(self.pid, j, ops, self.sim.now)
+        for instance in ops:
+            self.committed_op_ids.add(instance.op_id)
+        self.pending_batches.pop(j, None)
+
+    def _apply_ready(self) -> None:
+        """Apply committed batches in sequence to the local replica,
+        resolving the futures of our own operations."""
+        while (self.applied_upto + 1) in self.batches:
+            j = self.applied_upto + 1
+            for instance in sorted(self.batches[j]):
+                self.state, response = self.spec.apply_any(
+                    self.state, instance.op
+                )
+                pid, seq = instance.op_id
+                prev = self.last_applied.get(pid)
+                if prev is None or seq > prev[0]:
+                    self.last_applied[pid] = (seq, response)
+                if pid == self.pid:
+                    future = self.op_futures.get(instance.op_id)
+                    if future is not None and not future.done:
+                        future.resolve(response)
+            self.applied_upto = j
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Prune the batch log once it grows past the compaction window.
+
+        The current state *is* the snapshot of everything applied, so no
+        historical copy is kept; requests for pruned batches are answered
+        with a state snapshot instead (see ``_on_batch_request``).
+        """
+        interval = self.config.compaction_interval
+        if not interval:
+            return
+        target = self.applied_upto - self.config.compaction_retain
+        if target - self.pruned_upto < interval:
+            return
+        for j in range(self.pruned_upto + 1, target + 1):
+            self.batches.pop(j, None)
+        self.pruned_upto = target
+
+    def _make_snapshot(self) -> Snapshot:
+        return Snapshot(
+            upto=self.applied_upto,
+            state=self.state,
+            last_applied=tuple(
+                (pid, seq, response)
+                for pid, (seq, response) in sorted(self.last_applied.items())
+            ),
+        )
+
+    def _install_snapshot(self, snapshot: Snapshot) -> None:
+        """Jump the replica to a snapshot taken ahead of its log.
+
+        Our own operations folded into the snapshot resolve with their
+        recorded response when the snapshot carries it (each submitter's
+        most recent operation), or with the COMPACTED sentinel otherwise:
+        they committed, but their responses were compacted away.
+        """
+        if snapshot.upto <= self.applied_upto:
+            return
+        self.state = snapshot.state
+        self.applied_upto = snapshot.upto
+        self.pruned_upto = max(self.pruned_upto, snapshot.upto)
+        exact: dict[tuple[int, int], Any] = {}
+        for pid, seq, response in snapshot.last_applied:
+            prev = self.last_applied.get(pid)
+            if prev is None or seq > prev[0]:
+                self.last_applied[pid] = (seq, response)
+            exact[(pid, seq)] = response
+        my_last = self.last_applied.get(self.pid)
+        for op_id, future in self.op_futures.items():
+            if future.done or op_id[0] != self.pid:
+                continue
+            if op_id in exact:
+                future.resolve(exact[op_id])
+            elif op_id in self.committed_op_ids or (
+                my_last is not None and op_id[1] <= my_last[0]
+            ):
+                future.resolve(COMPACTED)
+        self._apply_ready()
+
+    # ------------------------------------------------------------------
+    # Catch-up (fetch committed batches we missed)
+    # ------------------------------------------------------------------
+    def _ensure_catchup(self, target: int) -> None:
+        if target <= self._catchup_target and self._fetching:
+            return
+        self._catchup_target = max(self._catchup_target, target)
+        if not self._fetching:
+            self.spawn(self._fetch_task(), name="catchup")
+
+    def _fetch_task(self) -> Generator:
+        self._fetching = True
+        try:
+            while True:
+                missing = [
+                    j for j in range(self.applied_upto + 1,
+                                     self._catchup_target + 1)
+                    if j not in self.batches
+                ]
+                if not missing:
+                    return
+                self.broadcast(BatchRequest(frozenset(missing)))
+                yield from self._wait(
+                    lambda: all(j in self.batches for j in missing),
+                    timeout=self.config.retry_period,
+                )
+        finally:
+            self._fetching = False
+
+    # ==================================================================
+    # Utilities
+    # ==================================================================
+    def _wait(self, predicate, timeout: Optional[float] = None) -> Generator:
+        """Suspend until ``predicate()`` or (when given) a local-time
+        timeout elapses.  The timer guarantees re-evaluation at the
+        deadline even if no other event wakes this process."""
+        if timeout is None:
+            yield Until(predicate)
+            return
+        deadline = self.local_time + max(timeout, 0.0)
+        self.set_timer(max(timeout, 0.0), lambda: None)
+        yield Until(lambda: predicate() or self.local_time >= deadline)
+
+    def is_leader(self) -> bool:
+        """Is this process currently an initialized leader?"""
+        tenure = self.tenure
+        return (
+            tenure is not None
+            and tenure.ready
+            and self.leader_service.am_leader(tenure.t, self.local_time)
+        )
+
+    def __repr__(self) -> str:
+        role = "leader" if self.tenure is not None else "follower"
+        status = "crashed" if self.crashed else role
+        return (
+            f"<ChtReplica {self.pid} {status} applied={self.applied_upto}>"
+        )

@@ -1,0 +1,52 @@
+"""Per-replica protocol state containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..objects.spec import COMPACTED, CompactedResponse
+
+__all__ = ["ReadLease", "Tenure", "COMPACTED", "CompactedResponse"]
+
+
+@dataclass
+class ReadLease:
+    """A read lease held by a process: the paper's pair ``(j, ts)``.
+
+    ``k`` is the sequence number of the latest batch committed when the
+    lease was issued; ``ts`` is the issuing leader's local time.  The lease
+    is valid at local time ``t`` iff ``t < ts + LeasePeriod``.
+    """
+
+    k: int
+    ts: float
+
+    def valid_at(self, local_time: float, lease_period: float) -> bool:
+        return local_time < self.ts + lease_period
+
+
+@dataclass
+class Tenure:
+    """State of one leadership tenure at the leader itself.
+
+    Created when :meth:`LeaderWork` starts and discarded when the process
+    discovers it is no longer the leader.
+
+    ``t`` is the local time at which the process became leader — the
+    leadership timestamp carried by every EstReq/Prepare of this tenure.
+    ``leaseholders`` is the set the paper's leaseholder mechanism
+    maintains: initialized to all other processes, shrunk to the Prepare
+    ackers on every commit, and re-grown on LeaseRequest.
+    ``ready`` turns True once initialization (estimate collection, missing
+    batches, the first DoOps) has completed; only then may the leader serve
+    reads through its implicit lease.
+    """
+
+    t: float
+    leaseholders: set[int]
+    k: int = 0  # latest batch committed by this leader
+    last_lease_ts: Optional[float] = None
+    ready: bool = False
+    lease_expiry_waits: int = 0  # commits delayed by the full lease wait
+    inflight: bool = False  # a DoOps is currently running

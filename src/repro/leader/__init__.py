@@ -1,0 +1,22 @@
+"""Leader election: Omega detectors and the enhanced leader service."""
+
+from .enhanced import EnhancedLeaderService, LeaderLease
+from .omega import (
+    Heartbeat,
+    HeartbeatOmega,
+    OmegaDetector,
+    OracleOmega,
+    PreferredOmega,
+    StickyOmega,
+)
+
+__all__ = [
+    "EnhancedLeaderService",
+    "LeaderLease",
+    "Heartbeat",
+    "HeartbeatOmega",
+    "OmegaDetector",
+    "OracleOmega",
+    "PreferredOmega",
+    "StickyOmega",
+]

@@ -1,0 +1,246 @@
+"""Omega failure detectors.
+
+The paper assumes a procedure ``leader()`` — the Omega failure detector of
+Chandra/Hadzilacos/Toueg — with the property that there is a correct
+process ``l`` and a time after which every call to ``leader()`` returns
+``l``.  Omega permits multiple processes to consider themselves leader
+simultaneously; the enhanced service of :mod:`repro.leader.enhanced`
+strengthens it.
+
+Two implementations are provided:
+
+* :class:`HeartbeatOmega` — the classical heartbeat detector: every process
+  broadcasts heartbeats, and ``leader()`` returns the smallest process id
+  among those recently heard from (including itself).  Before GST it can
+  flap arbitrarily; after GST it converges to the smallest-id correct
+  process.
+* :class:`OracleOmega` — a test-controlled detector whose output is set by
+  the test; used to script exact leadership scenarios.
+
+Detectors are *components* embedded in a host process: they use the host's
+timers and network and are handed the messages addressed to them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.process import Process
+
+__all__ = [
+    "Heartbeat",
+    "OmegaDetector",
+    "HeartbeatOmega",
+    "StickyOmega",
+    "PreferredOmega",
+    "OracleOmega",
+]
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """I-am-alive beacon for the heartbeat detector.
+
+    ``hint`` optionally gossips the sender's current leader choice;
+    policy detectors (e.g. :class:`StickyOmega`) use it so that a
+    rejoining process adopts the incumbent instead of re-fighting the
+    election from its local view.
+    """
+
+    hint: Optional[int] = None
+
+    category = "leader-election"
+
+
+class OmegaDetector(ABC):
+    """Interface of the Omega failure detector."""
+
+    @abstractmethod
+    def start(self) -> None:
+        """Begin operation (arm timers)."""
+
+    @abstractmethod
+    def leader(self) -> int:
+        """Current leader estimate (the paper's ``leader()`` procedure)."""
+
+    def handle(self, src: int, msg: Any) -> bool:
+        """Offer a received message; returns True when consumed."""
+        return False
+
+
+class HeartbeatOmega(OmegaDetector):
+    """Heartbeat-based Omega: smallest recently-alive process id.
+
+    Parameters
+    ----------
+    host:
+        The process this detector runs inside.
+    period:
+        Local-time interval between heartbeat broadcasts.
+    timeout:
+        How long (local time) after the last heartbeat a peer is still
+        considered alive.  Must comfortably exceed ``period + delta`` for
+        post-GST stability; the conventional choice used throughout this
+        repository is ``timeout >= 2 * period + 2 * delta``.
+    """
+
+    def __init__(self, host: "Process", period: float, timeout: float) -> None:
+        if timeout <= period:
+            raise ValueError("timeout must exceed the heartbeat period")
+        self.host = host
+        self.period = period
+        self.timeout = timeout
+        self.last_heard: dict[int, float] = {}
+
+    def start(self) -> None:
+        self.host.broadcast(Heartbeat(self._hint()))
+        self.host.every(
+            self.period,
+            lambda: self.host.broadcast(Heartbeat(self._hint())),
+        )
+
+    def _hint(self) -> Optional[int]:
+        """The leader hint to gossip (None in the base detector)."""
+        return None
+
+    def leader(self) -> int:
+        now = self.host.local_time
+        alive = {self.host.pid}
+        alive.update(
+            pid for pid, heard in self.last_heard.items()
+            if now - heard <= self.timeout
+        )
+        return min(alive)
+
+    def handle(self, src: int, msg: Any) -> bool:
+        if isinstance(msg, Heartbeat):
+            self.last_heard[src] = self.host.local_time
+            self.on_hint(src, msg.hint)
+            return True
+        return False
+
+    def on_hint(self, src: int, hint: Optional[int]) -> None:
+        """Hook for policy detectors; the base ignores gossip."""
+
+
+class StickyOmega(HeartbeatOmega):
+    """Heartbeat Omega with leader stickiness.
+
+    The plain smallest-id rule demotes a working leader whenever a
+    smaller-id process (re)joins, and every demotion costs a full
+    leadership handover.  This detector avoids that: while the alive set
+    is in flux it tracks ``min(alive)`` like the base detector, but once
+    the membership has been stable for ``settle`` time it *freezes* its
+    choice and keeps it for as long as that process stays alive —
+    recoveries of smaller-id processes no longer cause a handover.
+
+    Convergence (the Omega contract) is preserved: after the final
+    membership change, every process tracks the same ``min(alive)``
+    through the settle window and freezes on the same value; a frozen
+    choice is only dropped when it dies, which every process observes
+    within a timeout.
+    """
+
+    def __init__(self, host: "Process", period: float, timeout: float,
+                 settle: Optional[float] = None) -> None:
+        super().__init__(host, period, timeout)
+        self.settle = settle if settle is not None else 2 * timeout
+        self._current: Optional[int] = None
+        self._frozen = False
+        self._last_alive: frozenset[int] = frozenset()
+        self._alive_since = 0.0
+        self._hints: dict[int, Optional[int]] = {}
+
+    def _hint(self) -> Optional[int]:
+        # Evaluate leader() rather than reading the cached choice: the
+        # sticky state machine advances only when polled, and gossiping a
+        # stale pre-crash choice would fight the incumbent.
+        return self.leader()
+
+    def on_hint(self, src: int, hint: Optional[int]) -> None:
+        self._hints[src] = hint
+
+    def leader(self) -> int:
+        now = self.host.local_time
+        alive = frozenset(
+            {self.host.pid}
+            | {pid for pid, heard in self.last_heard.items()
+               if now - heard <= self.timeout}
+        )
+        if alive != self._last_alive:
+            self._last_alive = alive
+            self._alive_since = now
+        # Adopt the incumbent when a majority of peers gossip the same
+        # alive leader — this is how a rejoining process (whose own view
+        # would elect itself) falls in line.
+        peer_hints = [
+            hint for pid, hint in self._hints.items()
+            if pid in alive and hint is not None and hint in alive
+        ]
+        if peer_hints:
+            top = max(set(peer_hints), key=peer_hints.count)
+            if (peer_hints.count(top) > len(alive) / 2
+                    and top != self._current):
+                self._current = top
+                self._frozen = True
+                return self._current
+        if self._frozen:
+            if self._current in alive:
+                return self._current  # stick
+            self._frozen = False  # our leader died: fall back to tracking
+        self._current = min(alive)
+        if now - self._alive_since >= self.settle:
+            self._frozen = True
+        return self._current
+
+
+class PreferredOmega(HeartbeatOmega):
+    """Heartbeat Omega that prefers a designated process while it is alive.
+
+    The paper notes that the Omega choice "can be based on dynamic
+    criteria such as the leader being well-connected to other processes,
+    or being a process where the majority of RMW operations originate (to
+    expedite their processing)".  This detector implements that policy:
+    ``preferred`` (for example, the replica co-located with the write
+    traffic) is the output whenever it is alive; otherwise the
+    smallest-id alive process is.
+    """
+
+    def __init__(self, host: "Process", period: float, timeout: float,
+                 preferred: int) -> None:
+        super().__init__(host, period, timeout)
+        self.preferred = preferred
+
+    def leader(self) -> int:
+        now = self.host.local_time
+        alive = {self.host.pid}
+        alive.update(
+            pid for pid, heard in self.last_heard.items()
+            if now - heard <= self.timeout
+        )
+        if self.preferred in alive:
+            return self.preferred
+        return min(alive)
+
+
+class OracleOmega(OmegaDetector):
+    """A detector whose output the test scripts directly.
+
+    ``choose`` maps the host pid to the current leader; sharing one mutable
+    closure among all processes yields an instantaneous, perfectly
+    consistent Omega, while per-process closures let tests create
+    split-brain periods.
+    """
+
+    def __init__(self, host: "Process", choose: Callable[[int], int]) -> None:
+        self.host = host
+        self.choose = choose
+
+    def start(self) -> None:
+        pass
+
+    def leader(self) -> int:
+        return self.choose(self.host.pid)

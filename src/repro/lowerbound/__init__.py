@@ -1,0 +1,25 @@
+"""The paper's Section 4 lower bound, made executable."""
+
+from .shifting import (
+    ReadInterval,
+    ShiftCertificate,
+    SystemS,
+    certificate_legal,
+    fast_processes,
+    run_construction,
+    shift_certificate,
+    theorem_alpha,
+    theorem_alpha_sequential,
+)
+
+__all__ = [
+    "ReadInterval",
+    "ShiftCertificate",
+    "SystemS",
+    "certificate_legal",
+    "fast_processes",
+    "run_construction",
+    "shift_certificate",
+    "theorem_alpha",
+    "theorem_alpha_sequential",
+]

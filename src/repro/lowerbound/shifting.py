@@ -1,0 +1,256 @@
+"""Theorem 4.1: the necessity of blocking (shifting executions).
+
+The paper proves that **any** linearizable implementation has a run with a
+single RMW ``W`` in which n-1 processes each execute a read taking at least
+
+    alpha = min(epsilon, delta / 2) - 2 * gamma
+
+real time, in the strong system S (clocks exactly epsilon/2 ahead of real
+time, every message taking exactly delta/2, no crashes, reads issued
+concurrently every gamma).  This module makes the proof executable:
+
+* :func:`run_construction` drives the theorem's workload (everyone reads
+  as fast as possible, one process performs W, continue until all see the
+  new value) against any cluster in system S and records read intervals.
+* :func:`fast_processes` finds the processes all of whose reads beat
+  alpha; the theorem says there can be at most one.
+* :func:`shift_certificate` carries out the proof's shift: given two
+  "fast" processes it builds the shifted run r' (process p delayed by
+  alpha + 2*gamma), checks r' is legal in S, and exhibits the
+  linearizability violation (a read of the old value strictly after a
+  read of the new one) — which is the contradiction the proof derives.
+
+Running the construction against the CHT implementation (experiment E11)
+shows its blocking is within a constant factor of this bound when delta is
+within a constant factor of epsilon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+__all__ = [
+    "SystemS",
+    "ReadInterval",
+    "theorem_alpha",
+    "theorem_alpha_sequential",
+    "run_construction",
+    "fast_processes",
+    "shift_certificate",
+    "certificate_legal",
+    "ShiftCertificate",
+]
+
+
+@dataclass(frozen=True)
+class SystemS:
+    """The lower-bound system: exact clocks and exact message delays."""
+
+    n: int = 5
+    epsilon: float = 4.0
+    delta: float = 10.0
+    gamma: float = 0.25
+
+    @property
+    def alpha(self) -> float:
+        return theorem_alpha(self.epsilon, self.delta, self.gamma)
+
+
+def theorem_alpha(epsilon: float, delta: float, gamma: float) -> float:
+    """The bound of Theorem 4.1 (concurrent-operation version)."""
+    return min(epsilon, delta / 2) - 2 * gamma
+
+
+def theorem_alpha_sequential(epsilon: float, delta: float) -> float:
+    """The sequential-client variant mentioned after the proof."""
+    return min(epsilon / 2, delta / 4)
+
+
+@dataclass(frozen=True)
+class ReadInterval:
+    """One read operation's real-time interval and returned value."""
+
+    pid: int
+    start: float
+    end: float
+    value: Any
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def run_construction(
+    cluster: Any,
+    write_op: Any,
+    read_op: Any,
+    old_value: Any,
+    new_value: Any,
+    system: SystemS,
+    writer: int = 0,
+    warmup: float = 600.0,
+    max_time: float = 5000.0,
+) -> list[ReadInterval]:
+    """Drive the theorem's run r against ``cluster``.
+
+    Every process issues ``read_op`` every ``gamma``, concurrently; once
+    every process has completed a read returning ``old_value``, process
+    ``writer`` performs ``write_op``; reads continue until every process
+    completes a read returning ``new_value``.
+
+    The cluster must already be built in system S (clocks epsilon/2 ahead,
+    delays exactly delta/2); this function only drives the workload.
+    """
+    sim = cluster.sim
+    sim.run_for(warmup)
+    intervals: list[ReadInterval] = []
+    seen_old: set[int] = set()
+    seen_new: set[int] = set()
+    stop = {"flag": False}
+    write_done = {"flag": False, "started": False}
+
+    def issue_read(pid: int) -> None:
+        if stop["flag"]:
+            return
+        start = sim.now
+        future = cluster.submit(pid, read_op)
+
+        def on_done(value: Any) -> None:
+            intervals.append(ReadInterval(pid, start, sim.now, value))
+            if value == old_value:
+                seen_old.add(pid)
+            if value == new_value:
+                seen_new.add(pid)
+
+        future.on_resolve(on_done)
+        sim.schedule(system.gamma, lambda: issue_read(pid))
+
+    for pid in range(system.n):
+        issue_read(pid)
+
+    def maybe_write() -> None:
+        if write_done["started"]:
+            return
+        if len(seen_old) == system.n:
+            write_done["started"] = True
+            wf = cluster.submit(writer, write_op)
+            wf.on_resolve(lambda _v: write_done.update(flag=True))
+        else:
+            sim.schedule(system.gamma, maybe_write)
+
+    sim.schedule(system.gamma, maybe_write)
+
+    deadline = sim.now + max_time
+    sim.run(
+        until=deadline,
+        stop_when=lambda: write_done["flag"] and len(seen_new) == system.n,
+    )
+    stop["flag"] = True
+    # Let in-flight reads finish.
+    sim.run_for(4 * system.delta)
+    if len(seen_new) < system.n:
+        raise TimeoutError(
+            "the construction did not complete: "
+            f"{sorted(set(range(system.n)) - seen_new)} never read the "
+            "new value"
+        )
+    return intervals
+
+
+def fast_processes(
+    intervals: Sequence[ReadInterval], alpha: float
+) -> list[int]:
+    """Processes all of whose reads completed in under ``alpha``.
+
+    Theorem 4.1 says at most one such process can exist (for the run the
+    adversary constructs).  An implementation may of course do better on
+    friendlier runs; experiment E11 uses the adversarial construction.
+    """
+    pids = {iv.pid for iv in intervals}
+    slowest = {pid: 0.0 for pid in pids}
+    for iv in intervals:
+        slowest[iv.pid] = max(slowest[iv.pid], iv.duration)
+    return sorted(pid for pid, worst in slowest.items() if worst < alpha)
+
+
+@dataclass(frozen=True)
+class ShiftCertificate:
+    """The proof's contradiction, made concrete.
+
+    If processes ``p`` and ``q`` both completed all reads in under alpha,
+    shifting ``p`` later by ``alpha + 2*gamma`` yields a legal run r' in
+    which ``p``'s last old-value read *starts* after ``q``'s first
+    new-value read *ends* — a linearizability violation, since a read of
+    the old value cannot be linearized after a read of the new value.
+    """
+
+    p: int
+    q: int
+    shift: float
+    rp0_start_shifted: float
+    rq1_end: float
+    p_clock_skew_after: float
+    max_delay_to_p: float
+    min_delay_from_p: float
+
+    @property
+    def violates(self) -> bool:
+        return self.rp0_start_shifted > self.rq1_end
+
+
+def shift_certificate(
+    intervals: Sequence[ReadInterval],
+    p: int,
+    q: int,
+    system: SystemS,
+    old_value: Any,
+    new_value: Any,
+) -> Optional[ShiftCertificate]:
+    """Carry out the proof's shift for two allegedly-fast processes.
+
+    Returns the certificate (whose ``violates`` is True when the
+    contradiction materializes), or None when the preconditions of the
+    proof do not hold for this pair (e.g. one of them has no old-value
+    read after the other's).
+    """
+    p_old = [iv for iv in intervals if iv.pid == p and iv.value == old_value]
+    q_old = [iv for iv in intervals if iv.pid == q and iv.value == old_value]
+    q_new = [iv for iv in intervals if iv.pid == q and iv.value == new_value]
+    if not p_old or not q_old or not q_new:
+        return None
+    rp0 = max(p_old, key=lambda iv: iv.start)
+    rq0 = max(q_old, key=lambda iv: iv.start)
+    # WLOG in the proof Rp0 starts at or later than Rq0; swap otherwise.
+    if rp0.start < rq0.start:
+        return shift_certificate(intervals, q, p, system, old_value,
+                                 new_value)
+    # Rq1: q's first read returning the new value.
+    rq1 = min(q_new, key=lambda iv: iv.start)
+
+    shift = system.alpha + 2 * system.gamma  # == min(epsilon, delta/2)
+    # In r', p's events move later by `shift`; everyone else is unchanged.
+    rp0_start_shifted = rp0.start + shift
+    # Legality of r' per the proof: p's clock, previously epsilon/2 ahead,
+    # is now epsilon/2 - shift ahead (>= -epsilon/2 since
+    # shift <= epsilon); messages to p take delta/2 + shift <= delta;
+    # messages from p take delta/2 - shift >= 0.
+    return ShiftCertificate(
+        p=p,
+        q=q,
+        shift=shift,
+        rp0_start_shifted=rp0_start_shifted,
+        rq1_end=rq1.end,
+        p_clock_skew_after=system.epsilon / 2 - shift,
+        max_delay_to_p=system.delta / 2 + shift,
+        min_delay_from_p=system.delta / 2 - shift,
+    )
+
+
+def certificate_legal(cert: ShiftCertificate, system: SystemS) -> bool:
+    """Check the shifted run r' stays within system S's envelopes."""
+    return (
+        abs(cert.p_clock_skew_after) <= system.epsilon / 2 + 1e-9
+        and cert.max_delay_to_p <= system.delta + 1e-9
+        and cert.min_delay_from_p >= -1e-9
+    )

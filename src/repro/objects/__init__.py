@@ -1,0 +1,28 @@
+"""Replicated object types.
+
+Each module defines one object type as an :class:`~repro.objects.spec.ObjectSpec`
+(the paper's (states, operations, responses, transition-function) tuple)
+plus constructor helpers for its operations.
+"""
+
+from .bank import BankSpec
+from .counter import CounterSpec
+from .kvstore import KVStoreSpec
+from .lock import LockSpec
+from .queue import QueueSpec
+from .register import RegisterSpec
+from .spec import NOOP, ObjectSpec, Operation, OpInstance, definition_conflicts
+
+__all__ = [
+    "BankSpec",
+    "CounterSpec",
+    "KVStoreSpec",
+    "LockSpec",
+    "QueueSpec",
+    "RegisterSpec",
+    "NOOP",
+    "ObjectSpec",
+    "Operation",
+    "OpInstance",
+    "definition_conflicts",
+]

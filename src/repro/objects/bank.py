@@ -1,0 +1,101 @@
+"""Bank accounts: a multi-key object with cross-key RMW operations.
+
+``transfer`` reads and writes two accounts atomically, which exercises the
+conflict relation for RMWs touching multiple parts of the state (a
+``balance`` read conflicts with a transfer iff its account participates).
+``total`` reads the sum of all balances; under linearizability it must be
+conserved by transfers, which makes it a sharp safety probe in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from .kvstore import _MapState
+from .spec import ObjectSpec, Operation
+
+__all__ = ["BankSpec", "balance", "deposit", "withdraw", "transfer", "total"]
+
+
+def balance(account: Any) -> Operation:
+    return Operation("balance", (account,))
+
+
+def deposit(account: Any, amount: int) -> Operation:
+    return Operation("deposit", (account, amount))
+
+
+def withdraw(account: Any, amount: int) -> Operation:
+    """Withdraw if funds suffice; responds with the amount withdrawn."""
+    return Operation("withdraw", (account, amount))
+
+
+def transfer(src: Any, dst: Any, amount: int) -> Operation:
+    """Move funds if ``src`` can cover them; responds True on success."""
+    return Operation("transfer", (src, dst, amount))
+
+
+def total() -> Operation:
+    """Read the sum of all balances."""
+    return Operation("total")
+
+
+class BankSpec(ObjectSpec):
+    """A set of integer-balance accounts."""
+
+    name = "bank"
+
+    def __init__(self, initial: dict[Any, int] | None = None):
+        self._initial = _MapState(dict(initial or {}))
+
+    def initial_state(self) -> _MapState:
+        return self._initial
+
+    def apply(self, state: _MapState, op: Operation) -> Tuple[_MapState, Any]:
+        if op.name == "balance":
+            return state, state.get(op.args[0], 0)
+        if op.name == "total":
+            return state, sum(v for _, v in state.items())
+        if op.name == "deposit":
+            account, amount = op.args
+            return state.set(account, state.get(account, 0) + amount), None
+        if op.name == "withdraw":
+            account, amount = op.args
+            current = state.get(account, 0)
+            if current >= amount:
+                return state.set(account, current - amount), amount
+            return state, 0
+        if op.name == "transfer":
+            src, dst, amount = op.args
+            src_balance = state.get(src, 0)
+            if src_balance < amount or src == dst:
+                return state, False
+            moved = state.set(src, src_balance - amount)
+            moved = moved.set(dst, moved.get(dst, 0) + amount)
+            return moved, True
+        raise ValueError(f"unknown bank operation {op.name!r}")
+
+    def is_read(self, op: Operation) -> bool:
+        return op.name in ("balance", "total")
+
+    def conflicts(self, read_op: Operation, rmw_op: Operation) -> bool:
+        touched = self._written_accounts(rmw_op)
+        if touched is None:
+            return False
+        if read_op.name == "total":
+            # Transfers conserve the total; deposits and withdrawals do not.
+            return rmw_op.name in ("deposit", "withdraw")
+        return read_op.args[0] in touched
+
+    @staticmethod
+    def _written_accounts(rmw_op: Operation) -> frozenset[Any] | None:
+        if rmw_op.name in ("deposit", "withdraw"):
+            return frozenset({rmw_op.args[0]})
+        if rmw_op.name == "transfer":
+            return frozenset({rmw_op.args[0], rmw_op.args[1]})
+        return None
+
+    def enumerate_states(self) -> Iterable[_MapState]:
+        raise NotImplementedError(
+            "bank has an unbounded state space; tests sample states instead"
+        )

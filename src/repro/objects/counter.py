@@ -1,0 +1,58 @@
+"""A shared counter."""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+from .spec import ObjectSpec, Operation
+
+__all__ = ["CounterSpec", "value", "increment", "add"]
+
+
+def value() -> Operation:
+    """Read the counter."""
+    return Operation("value")
+
+
+def increment() -> Operation:
+    """Add one; responds with the new value."""
+    return Operation("add", (1,))
+
+
+def add(amount: int) -> Operation:
+    """Add ``amount``; responds with the new value."""
+    return Operation("add", (amount,))
+
+
+class CounterSpec(ObjectSpec):
+    """An integer counter starting at ``initial``."""
+
+    name = "counter"
+
+    def __init__(self, initial: int = 0, max_enumerated: int = 16):
+        self._initial = initial
+        self._max_enumerated = max_enumerated
+
+    def initial_state(self) -> int:
+        return self._initial
+
+    def apply(self, state: int, op: Operation) -> Tuple[int, int]:
+        if op.name == "value":
+            return state, state
+        if op.name == "add":
+            new_state = state + op.args[0]
+            return new_state, new_state
+        raise ValueError(f"unknown counter operation {op.name!r}")
+
+    def is_read(self, op: Operation) -> bool:
+        if op.name == "value":
+            return True
+        # add(0) never changes the state: a read by the paper's definition.
+        return op.name == "add" and op.args[0] == 0
+
+    def conflicts(self, read_op: Operation, rmw_op: Operation) -> bool:
+        return rmw_op.name == "add" and rmw_op.args[0] != 0
+
+    def enumerate_states(self) -> Iterable[int]:
+        half = self._max_enumerated // 2
+        return range(self._initial - half, self._initial + half + 1)

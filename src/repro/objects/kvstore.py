@@ -1,0 +1,138 @@
+"""A replicated key-value map.
+
+The workhorse object for examples and experiments.  The conflict relation
+is key-granular: ``get(k)`` conflicts only with RMW operations that can
+change key ``k``, which is what makes the paper's conflict-aware read rule
+interesting (reads of quiet keys never block behind writes to hot keys).
+
+States are immutable: every write copies the underlying dict.  This keeps
+the transition function pure (a requirement of :class:`ObjectSpec`) and is
+cheap for the read-dominated workloads the paper targets.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from .spec import ObjectSpec, Operation
+
+__all__ = ["KVStoreSpec", "get", "put", "delete", "scan", "increment"]
+
+
+def get(key: Any) -> Operation:
+    return Operation("get", (key,))
+
+
+def put(key: Any, value: Any) -> Operation:
+    return Operation("put", (key, value))
+
+
+def delete(key: Any) -> Operation:
+    return Operation("delete", (key,))
+
+
+def scan() -> Operation:
+    """Read the whole map (sorted items).  Conflicts with every write."""
+    return Operation("scan")
+
+
+def increment(key: Any, amount: int = 1) -> Operation:
+    """Add ``amount`` to an integer value (missing keys count as 0);
+    responds with the new value, so it is a true RMW."""
+    return Operation("increment", (key, amount))
+
+
+class _MapState:
+    """An immutable snapshot of the map, hashable for checker memoization."""
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: dict[Any, Any]):
+        self._items = items
+        self._hash: int | None = None
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        return self._items.get(key, default)
+
+    def set(self, key: Any, value: Any) -> "_MapState":
+        items = dict(self._items)
+        items[key] = value
+        return _MapState(items)
+
+    def remove(self, key: Any) -> "_MapState":
+        if key not in self._items:
+            return self
+        items = dict(self._items)
+        del items[key]
+        return _MapState(items)
+
+    def items(self) -> tuple[tuple[Any, Any], ...]:
+        return tuple(sorted(self._items.items(), key=lambda kv: repr(kv[0])))
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _MapState) and self._items == other._items
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self.items())
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"MapState({dict(self._items)!r})"
+
+
+class KVStoreSpec(ObjectSpec):
+    """A map from keys to values with key-granular conflicts."""
+
+    name = "kvstore"
+
+    def __init__(self, initial: dict[Any, Any] | None = None):
+        self._initial = _MapState(dict(initial or {}))
+
+    def initial_state(self) -> _MapState:
+        return self._initial
+
+    def apply(self, state: _MapState, op: Operation) -> Tuple[_MapState, Any]:
+        if op.name == "get":
+            return state, state.get(op.args[0])
+        if op.name == "scan":
+            return state, state.items()
+        if op.name == "put":
+            key, value = op.args
+            return state.set(key, value), None
+        if op.name == "delete":
+            return state.remove(op.args[0]), None
+        if op.name == "increment":
+            key, amount = op.args
+            new_value = (state.get(key) or 0) + amount
+            return state.set(key, new_value), new_value
+        raise ValueError(f"unknown kvstore operation {op.name!r}")
+
+    def is_read(self, op: Operation) -> bool:
+        return op.name in ("get", "scan")
+
+    def conflicts(self, read_op: Operation, rmw_op: Operation) -> bool:
+        if rmw_op.name not in ("put", "delete", "increment"):
+            return False
+        if read_op.name == "scan":
+            return True
+        if read_op.name == "get":
+            return read_op.args[0] == rmw_op.args[0]
+        return True
+
+    @staticmethod
+    def written_key(rmw_op: Operation) -> Any:
+        """The single key an RMW writes (used by workload generators)."""
+        return rmw_op.args[0]
+
+    def enumerate_states(self) -> Iterable[_MapState]:
+        raise NotImplementedError(
+            "kvstore has an unbounded state space; tests validate conflicts "
+            "over sampled states instead"
+        )

@@ -1,0 +1,73 @@
+"""A replicated lock — one of the paper's motivating objects.
+
+State is the current owner (``None`` when free).  ``acquire``/``release``
+are RMW operations whose response reports success; ``owner`` is a read.
+Acquire is a try-lock: a caller that finds the lock held gets ``False``
+back and retries at the application level (blocking lock semantics belong
+to the application, not to the replicated object).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Tuple
+
+from .spec import ObjectSpec, Operation
+
+__all__ = ["LockSpec", "acquire", "release", "owner"]
+
+
+def acquire(who: Any) -> Operation:
+    """Try to take the lock for ``who``; responds True on success."""
+    return Operation("acquire", (who,))
+
+
+def release(who: Any) -> Operation:
+    """Release the lock if ``who`` holds it; responds True on success."""
+    return Operation("release", (who,))
+
+
+def owner() -> Operation:
+    """Read the current owner (None when free)."""
+    return Operation("owner")
+
+
+class LockSpec(ObjectSpec):
+    """A single mutual-exclusion lock."""
+
+    name = "lock"
+
+    def __init__(self, holders: Iterable[Any] = ()):
+        # Optional finite holder universe, for exhaustive validation.
+        self._holders = list(holders)
+
+    def initial_state(self) -> Optional[Any]:
+        return None
+
+    def apply(self, state: Optional[Any], op: Operation) -> Tuple[Optional[Any], Any]:
+        if op.name == "owner":
+            return state, state
+        if op.name == "acquire":
+            who = op.args[0]
+            if state is None:
+                return who, True
+            return state, state == who
+        if op.name == "release":
+            who = op.args[0]
+            if state == who:
+                return None, True
+            return state, False
+        raise ValueError(f"unknown lock operation {op.name!r}")
+
+    def is_read(self, op: Operation) -> bool:
+        return op.name == "owner"
+
+    def conflicts(self, read_op: Operation, rmw_op: Operation) -> bool:
+        # Both acquire and release can change the owner a read returns.
+        return rmw_op.name in ("acquire", "release")
+
+    def enumerate_states(self) -> Iterable[Optional[Any]]:
+        if not self._holders:
+            raise NotImplementedError(
+                "pass holders= to enumerate the lock's state space"
+            )
+        return [None, *self._holders]

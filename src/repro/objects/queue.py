@@ -1,0 +1,77 @@
+"""A replicated FIFO queue.
+
+State is an immutable tuple of elements.  ``peek``/``size`` are reads;
+``enqueue``/``dequeue`` are RMW operations.  ``dequeue`` on an empty queue
+responds ``None`` and leaves the state unchanged — it is still classified
+RMW because it changes non-empty states.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Iterable, Tuple
+
+from .spec import ObjectSpec, Operation
+
+__all__ = ["QueueSpec", "enqueue", "dequeue", "peek", "size"]
+
+
+def enqueue(item: Any) -> Operation:
+    return Operation("enqueue", (item,))
+
+
+def dequeue() -> Operation:
+    return Operation("dequeue")
+
+
+def peek() -> Operation:
+    return Operation("peek")
+
+
+def size() -> Operation:
+    return Operation("size")
+
+
+class QueueSpec(ObjectSpec):
+    """A FIFO queue of arbitrary items."""
+
+    name = "queue"
+
+    def __init__(self, items: Iterable[Any] = (), max_enumerated_len: int = 3):
+        # Optional finite item universe for exhaustive validation.
+        self._items = list(items)
+        self._max_enumerated_len = max_enumerated_len
+
+    def initial_state(self) -> Tuple[Any, ...]:
+        return ()
+
+    def apply(self, state: Tuple[Any, ...], op: Operation) -> Tuple[Tuple[Any, ...], Any]:
+        if op.name == "peek":
+            return state, state[0] if state else None
+        if op.name == "size":
+            return state, len(state)
+        if op.name == "enqueue":
+            return state + (op.args[0],), None
+        if op.name == "dequeue":
+            if not state:
+                return state, None
+            return state[1:], state[0]
+        raise ValueError(f"unknown queue operation {op.name!r}")
+
+    def is_read(self, op: Operation) -> bool:
+        return op.name in ("peek", "size")
+
+    def conflicts(self, read_op: Operation, rmw_op: Operation) -> bool:
+        if rmw_op.name not in ("enqueue", "dequeue"):
+            return False
+        # Both reads observe the head/length, which both RMWs can change.
+        return True
+
+    def enumerate_states(self) -> Iterable[Tuple[Any, ...]]:
+        if not self._items:
+            raise NotImplementedError(
+                "pass items= to enumerate the queue's state space"
+            )
+        for length in range(self._max_enumerated_len + 1):
+            for combo in product(self._items, repeat=length):
+                yield combo

@@ -1,0 +1,83 @@
+"""A read/write register with compare-and-swap.
+
+The simplest object used throughout the tests and the lower-bound
+construction of Theorem 4.1, which needs an object with two states ``s0``
+and ``s1``, a RMW ``W`` taking ``s0`` to ``s1``, and a read distinguishing
+them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from .spec import ObjectSpec, Operation
+
+__all__ = ["RegisterSpec", "read", "write", "cas"]
+
+
+def read() -> Operation:
+    return Operation("read")
+
+
+def write(value: Any) -> Operation:
+    return Operation("write", (value,))
+
+
+def cas(expected: Any, new: Any) -> Operation:
+    """Compare-and-swap: set to ``new`` iff current value is ``expected``.
+
+    Responds with the old value (so it is a RMW whose response depends on
+    the prior state)."""
+    return Operation("cas", (expected, new))
+
+
+class RegisterSpec(ObjectSpec):
+    """A single register holding an arbitrary value."""
+
+    name = "register"
+
+    def __init__(self, initial: Any = 0, domain: Iterable[Any] | None = None):
+        self._initial = initial
+        # Optional finite value domain, for exhaustive conflict validation.
+        self._domain = list(domain) if domain is not None else None
+
+    def initial_state(self) -> Any:
+        return self._initial
+
+    def apply(self, state: Any, op: Operation) -> Tuple[Any, Any]:
+        if op.name == "read":
+            return state, state
+        if op.name == "write":
+            return op.args[0], None
+        if op.name == "cas":
+            expected, new = op.args
+            if state == expected:
+                return new, state
+            return state, state
+        raise ValueError(f"unknown register operation {op.name!r}")
+
+    def is_read(self, op: Operation) -> bool:
+        if op.name == "read":
+            return True
+        # A degenerate CAS whose expected and new values coincide never
+        # changes the state, so by the paper's definition it is a read.
+        if op.name == "cas":
+            expected, new = op.args
+            return expected == new
+        return False
+
+    def conflicts(self, read_op: Operation, rmw_op: Operation) -> bool:
+        # Every register RMW can change the value a read returns, except a
+        # CAS that would write back the expected value.
+        if rmw_op.name == "cas":
+            expected, new = rmw_op.args
+            return expected != new
+        return rmw_op.name == "write"
+
+    def enumerate_states(self) -> Iterable[Any]:
+        if self._domain is None:
+            raise NotImplementedError(
+                "register has an unbounded value domain; pass domain= to "
+                "enable enumeration"
+            )
+        return list(self._domain)

@@ -1,0 +1,172 @@
+"""The paper's object abstraction.
+
+An object is defined by a set of states, a set of operations, a set of
+responses, and a transition function ``apply(state, op) -> (state', resp)``
+(the paper's transition function).  An operation is a *read* if it never
+changes the state; otherwise it is a *read-modify-write* (RMW).
+
+A read ``R`` *conflicts* with a RMW ``W`` if there is a state ``s`` from
+which ``R`` returns different values depending on whether it runs before or
+after ``W``::
+
+    exists s, s', v != v':  apply(s, W) = (s', _),
+                            apply(s, R) = (s, v),
+                            apply(s', R) = (s', v')
+
+Every object type ships a fast, per-type conflict predicate; the generic
+definition above is implemented in :func:`definition_conflicts` for
+enumerable state spaces and is used by the tests to validate the fast
+predicates against the paper's definition.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Tuple
+
+__all__ = [
+    "Operation",
+    "OpInstance",
+    "ObjectSpec",
+    "definition_conflicts",
+    "NOOP",
+    "COMPACTED",
+    "CompactedResponse",
+]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """An operation: a name plus a tuple of arguments.
+
+    Frozen and hashable so operations can live in batches (sets) and in
+    checker memo keys.
+    """
+
+    name: str
+    args: Tuple[Any, ...] = ()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+#: The paper's NoOp: committed by a new leader right after initialization to
+#: guarantee read liveness even if no client ever submits another RMW.
+NOOP = Operation("noop")
+
+
+class CompactedResponse:
+    """Sentinel response for a committed operation whose result was
+    discarded by log compaction.
+
+    A replica that catches up through a snapshot learns that its own
+    folded-in operations committed, but (except for its most recent one,
+    whose response snapshots carry) their responses no longer exist.
+    Their futures resolve with this sentinel, and the linearizability
+    checker treats such operations as committed-with-unknown-response.
+    """
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<response compacted>"
+
+
+#: The singleton sentinel.
+COMPACTED = CompactedResponse()
+
+
+@dataclass(frozen=True, order=True)
+class OpInstance:
+    """A uniquely identified RMW operation instance.
+
+    The paper gives each RMW instance the unique id ``(p, i)`` — submitting
+    process and a per-process counter.  Instances order lexicographically by
+    id, which is the pre-determined order in which every process applies the
+    operations inside one batch.
+    """
+
+    op_id: Tuple[int, int]
+    op: Operation
+
+    def __repr__(self) -> str:
+        return f"{self.op}@{self.op_id[0]}.{self.op_id[1]}"
+
+
+class ObjectSpec(ABC):
+    """Definition of a replicated object type."""
+
+    #: Human-readable type name used in tables and traces.
+    name: str = "object"
+
+    @abstractmethod
+    def initial_state(self) -> Any:
+        """The object's initial state."""
+
+    @abstractmethod
+    def apply(self, state: Any, op: Operation) -> Tuple[Any, Any]:
+        """The transition function: returns ``(new_state, response)``.
+
+        Implementations must not mutate ``state``.
+        """
+
+    @abstractmethod
+    def is_read(self, op: Operation) -> bool:
+        """True iff ``op`` never changes the state (the paper's read)."""
+
+    def conflicts(self, read_op: Operation, rmw_op: Operation) -> bool:
+        """Fast conflict predicate; must over- or exactly approximate the
+        paper's definition (returning True when unsure is always safe, it
+        only makes reads block more)."""
+        return True
+
+    # ------------------------------------------------------------------
+    # Optional helpers
+    # ------------------------------------------------------------------
+    def enumerate_states(self) -> Iterable[Hashable]:
+        """Yield the full state space, for finite objects only.
+
+        Used by tests to validate ``is_read``/``conflicts`` against their
+        definitions.  Infinite-state objects raise ``NotImplementedError``.
+        """
+        raise NotImplementedError(f"{self.name} has an unbounded state space")
+
+    def apply_noop(self, state: Any) -> Tuple[Any, Any]:
+        """Apply the leader's NoOp: no state change, no meaningful response."""
+        return state, None
+
+    def apply_any(self, state: Any, op: Operation) -> Tuple[Any, Any]:
+        """Apply ``op`` including the synthetic NoOp."""
+        if op.name == NOOP.name:
+            return self.apply_noop(state)
+        return self.apply(state, op)
+
+
+def definition_conflicts(
+    spec: ObjectSpec,
+    read_op: Operation,
+    rmw_op: Operation,
+    states: Iterable[Any] | None = None,
+) -> bool:
+    """The paper's conflict definition, decided by state enumeration.
+
+    Exact for the given (or enumerated) state set.  Only usable when the
+    interesting state space is finite or a representative sample is
+    supplied.
+    """
+    if states is None:
+        states = spec.enumerate_states()
+    for state in states:
+        after_w, _ = spec.apply_any(state, rmw_op)
+        _, before_value = spec.apply_any(state, read_op)
+        _, after_value = spec.apply_any(after_w, read_op)
+        if before_value != after_value:
+            return True
+    return False

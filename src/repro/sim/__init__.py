@@ -1,0 +1,56 @@
+"""Discrete-event simulation substrate.
+
+Implements the paper's system model: a fixed set of processes exchanging
+messages over a partially synchronous network (arbitrary delays and losses
+before the global stabilization time, delay bounded by delta afterwards),
+with epsilon-synchronized local clocks and crash failures.
+"""
+
+from .clocks import Clock, ClockModel, TrueTimeClock
+from .core import Event, SimulationError, Simulator
+from .failures import (
+    ClockDesync,
+    Crash,
+    FaultSchedule,
+    LossWindow,
+    PartitionWindow,
+    Recover,
+)
+from .latency import DelayModel, FixedDelay, GeoDelay, SpikeDelay, UniformDelay
+from .network import Network, Partition, SentMessage
+from .process import Process
+from .tasks import Future, Sleep, Task, TaskCancelled, Until
+from .trace import OpRecord, RunStats, percentile, summarize
+
+__all__ = [
+    "Clock",
+    "ClockModel",
+    "TrueTimeClock",
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "ClockDesync",
+    "Crash",
+    "FaultSchedule",
+    "LossWindow",
+    "PartitionWindow",
+    "Recover",
+    "DelayModel",
+    "FixedDelay",
+    "GeoDelay",
+    "SpikeDelay",
+    "UniformDelay",
+    "Network",
+    "Partition",
+    "SentMessage",
+    "Process",
+    "Future",
+    "Sleep",
+    "Task",
+    "TaskCancelled",
+    "Until",
+    "OpRecord",
+    "RunStats",
+    "percentile",
+    "summarize",
+]

@@ -1,0 +1,191 @@
+"""Process-local clocks.
+
+The paper assumes each process has a local clock that is monotonically
+increasing and always synchronized within a known constant epsilon of every
+other clock (satisfied when every clock is within epsilon/2 of real time).
+We model a local clock as a piecewise-linear, strictly increasing function of
+simulated real time.  The default configuration gives process ``p`` a fixed
+offset ``skew_p`` with ``|skew_p| <= epsilon / 2``, which satisfies the
+perpetual clock property of the model.
+
+For the robustness experiments (reads with *desynchronized* clocks, paper
+Section 1) a clock can be driven outside the epsilon envelope for a window
+and brought back, which exercises the paper's claim that only reads — never
+the RMW sub-history — are affected.
+
+``TrueTimeClock`` provides the interval API used by the Spanner baseline.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+__all__ = ["Clock", "ClockModel", "TrueTimeClock"]
+
+
+@dataclass
+class _Segment:
+    """A linear clock segment: local(t) = local_start + rate*(t - real_start)."""
+
+    real_start: float
+    local_start: float
+    rate: float
+
+
+class Clock:
+    """A strictly increasing piecewise-linear local clock."""
+
+    def __init__(self, offset: float = 0.0, rate: float = 1.0) -> None:
+        if rate <= 0:
+            raise ValueError("clock rate must be positive")
+        self._segments: list[_Segment] = [_Segment(0.0, offset, rate)]
+        self._starts: list[float] = [0.0]
+
+    # ------------------------------------------------------------------
+    def _segment_at(self, real: float) -> _Segment:
+        idx = bisect.bisect_right(self._starts, real) - 1
+        return self._segments[max(idx, 0)]
+
+    def local(self, real: float) -> float:
+        """Local clock reading at simulated real time ``real``."""
+        seg = self._segment_at(real)
+        return seg.local_start + seg.rate * (real - seg.real_start)
+
+    def real(self, local: float) -> float:
+        """Inverse mapping: earliest real time at which the clock shows
+        ``local``.  Requires ``local`` to be at or after the clock's initial
+        reading."""
+        first = self._segments[0]
+        if local < first.local_start:
+            raise ValueError(
+                f"local time {local} precedes initial clock value "
+                f"{first.local_start}"
+            )
+        for seg, next_start in zip(
+            self._segments, self._starts[1:] + [float("inf")]
+        ):
+            local_end = seg.local_start + seg.rate * (next_start - seg.real_start)
+            if local <= local_end or next_start == float("inf"):
+                real = seg.real_start + (local - seg.local_start) / seg.rate
+                # A forward jump leaves a gap of local values that the clock
+                # never displays; map those to the instant of the jump.
+                return max(real, seg.real_start)
+        raise AssertionError("unreachable")
+
+    # ------------------------------------------------------------------
+    def add_segment(self, real_start: float, rate: float, jump: float = 0.0) -> None:
+        """Change the clock behaviour from ``real_start`` onwards.
+
+        ``rate`` is the new tick rate; ``jump`` is an instantaneous forward
+        jump of the local reading (must be >= 0 to preserve monotonicity).
+        """
+        if rate <= 0:
+            raise ValueError("clock rate must be positive")
+        if jump < 0:
+            raise ValueError("clocks must stay monotonic: jump must be >= 0")
+        if real_start < self._starts[-1]:
+            raise ValueError("segments must be appended in real-time order")
+        local_at = self.local(real_start) + jump
+        self._segments.append(_Segment(real_start, local_at, rate))
+        self._starts.append(real_start)
+
+    def skew(self, real: float) -> float:
+        """Deviation from real time at ``real`` (local - real)."""
+        return self.local(real) - real
+
+
+class ClockModel:
+    """The collection of all process clocks plus the model's epsilon bound.
+
+    The default construction draws offsets uniformly from
+    ``[-epsilon/2, +epsilon/2]`` so that any two clocks are within epsilon of
+    each other, matching the paper's assumption.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        epsilon: float,
+        rng: Optional[random.Random] = None,
+        offsets: Optional[Sequence[float]] = None,
+    ) -> None:
+        if n <= 0:
+            raise ValueError("need at least one process")
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        self.n = n
+        self.epsilon = epsilon
+        if offsets is not None:
+            if len(offsets) != n:
+                raise ValueError("need one offset per process")
+            chosen = list(offsets)
+        else:
+            rng = rng or random.Random(0)
+            half = epsilon / 2
+            chosen = [rng.uniform(-half, half) for _ in range(n)]
+        for off in chosen:
+            if abs(off) > epsilon / 2 + 1e-12:
+                raise ValueError(
+                    f"offset {off} violates |offset| <= epsilon/2 = {epsilon / 2}"
+                )
+        self.clocks = [Clock(offset=off) for off in chosen]
+
+    def __getitem__(self, pid: int) -> Clock:
+        return self.clocks[pid]
+
+    def local(self, pid: int, real: float) -> float:
+        return self.clocks[pid].local(real)
+
+    def real(self, pid: int, local: float) -> float:
+        return self.clocks[pid].real(local)
+
+    def max_pairwise_skew(self, real: float) -> float:
+        readings = [c.local(real) for c in self.clocks]
+        return max(readings) - min(readings)
+
+    def desynchronize(
+        self, pid: int, real_start: float, jump: float, rate: float = 1.0
+    ) -> None:
+        """Push one clock out of the epsilon envelope (robustness tests)."""
+        self.clocks[pid].add_segment(real_start, rate=rate, jump=jump)
+
+    def resynchronize(self, pid: int, real_start: float) -> None:
+        """Bring a desynchronized clock back to (approximately) real time.
+
+        Clocks are monotonic, so a fast clock cannot jump backwards; instead
+        it is slowed to a crawl until it re-enters the envelope, after which
+        it resumes rate 1.  The caller should allow enough simulated time for
+        the catch-up to finish.
+        """
+        clock = self.clocks[pid]
+        ahead = clock.local(real_start) - real_start
+        if ahead <= self.epsilon / 2:
+            clock.add_segment(real_start, rate=1.0)
+            return
+        # Slow the clock to 1% speed until real time catches up with it.
+        catchup_rate = 0.01
+        resync_real = real_start + (ahead - self.epsilon / 4) / (1 - catchup_rate)
+        clock.add_segment(real_start, rate=catchup_rate)
+        clock.add_segment(resync_real, rate=1.0)
+
+
+class TrueTimeClock:
+    """A Spanner-style interval clock built over a local clock.
+
+    ``now()`` returns ``(earliest, latest)`` such that the true real time is
+    guaranteed to lie inside the interval; the interval width is at most
+    ``2 * uncertainty``.
+    """
+
+    def __init__(self, clock: Clock, uncertainty: float) -> None:
+        if uncertainty < 0:
+            raise ValueError("uncertainty must be non-negative")
+        self.clock = clock
+        self.uncertainty = uncertainty
+
+    def now(self, real: float) -> tuple[float, float]:
+        reading = self.clock.local(real)
+        return (reading - self.uncertainty, reading + self.uncertainty)

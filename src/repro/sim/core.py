@@ -1,0 +1,158 @@
+"""Deterministic discrete-event simulation core.
+
+The simulator advances a virtual real-time clock through a heap of scheduled
+events.  Everything in this repository (networks, process clocks, protocol
+timers) is built on top of this loop, which makes every run fully
+deterministic for a given seed and therefore reproducible and debuggable.
+
+Time is a float; by convention throughout the repository one time unit is
+one millisecond of simulated real time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+__all__ = ["Event", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven into an illegal configuration."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)``; the monotonically increasing
+    sequence number makes the ordering of simultaneous events deterministic
+    (FIFO in scheduling order).
+    """
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the simulator skips it when popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic event-driven simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-wide random generator.  All stochastic
+        components (latency models, fault schedules, workloads) must draw
+        from :attr:`rng` or from generators forked off it so a run is a
+        pure function of its seed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.now: float = 0.0
+        self.rng = random.Random(seed)
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        event = Event(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process the next event.  Returns False when no events remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self.now = event.time
+            self._events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once simulation time would exceed this value.  The clock is
+            advanced to ``until`` when the horizon is reached.
+        max_events:
+            Safety valve for runaway simulations.
+        stop_when:
+            Predicate evaluated after every event; the loop exits once it
+            returns True.
+        """
+        processed = 0
+        self._stopped = False
+        while self._heap and not self._stopped:
+            if until is not None and self._heap[0].time > until:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            if not self.step():
+                break
+            processed += 1
+            if stop_when is not None and stop_when():
+                break
+        if until is not None and self.now < until and not self._stopped:
+            if not self._heap or self._heap[0].time > until:
+                self.now = until
+
+    def run_for(self, duration: float, **kwargs: Any) -> None:
+        """Run the loop for ``duration`` additional time units."""
+        self.run(until=self.now + duration, **kwargs)
+
+    def stop(self) -> None:
+        """Request the current :meth:`run` call to exit after this event."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def fork_rng(self, label: str) -> random.Random:
+        """Derive an independent, deterministic RNG stream for a component."""
+        return random.Random(f"{self.rng.random()}:{label}")

@@ -1,0 +1,141 @@
+"""Fault-injection schedules.
+
+A :class:`FaultSchedule` declaratively lists the faults to inject into a run
+(crashes, recoveries, partitions, message-loss windows, clock desync), and
+arms them on a simulator.  Keeping fault plans declarative makes experiment
+scripts short and makes the injected scenario visible in one place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .clocks import ClockModel
+from .core import Simulator
+from .network import Network
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .process import Process
+
+__all__ = [
+    "Crash",
+    "Recover",
+    "PartitionWindow",
+    "LossWindow",
+    "ClockDesync",
+    "FaultSchedule",
+]
+
+
+@dataclass
+class Crash:
+    """Crash process ``pid`` at real time ``at``."""
+
+    pid: int
+    at: float
+
+
+@dataclass
+class Recover:
+    """Recover a crashed process ``pid`` at real time ``at``."""
+
+    pid: int
+    at: float
+
+
+@dataclass
+class PartitionWindow:
+    """Partition ``group_a`` from ``group_b`` during ``[start, end)``."""
+
+    group_a: frozenset[int]
+    group_b: frozenset[int]
+    start: float
+    end: float = float("inf")
+
+
+@dataclass
+class LossWindow:
+    """Drop each message with probability ``prob`` during ``[start, end)``."""
+
+    start: float
+    end: float
+    prob: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prob <= 1:
+            raise ValueError("loss probability must be in [0, 1]")
+
+
+@dataclass
+class ClockDesync:
+    """Push ``pid``'s clock ``jump`` ahead at ``start``; resync at ``end``.
+
+    ``end`` may be None to leave the clock desynchronized permanently.
+    """
+
+    pid: int
+    start: float
+    jump: float
+    end: Optional[float] = None
+
+
+@dataclass
+class FaultSchedule:
+    """A declarative fault plan for one run."""
+
+    crashes: Sequence[Crash] = field(default_factory=list)
+    recoveries: Sequence[Recover] = field(default_factory=list)
+    partitions: Sequence[PartitionWindow] = field(default_factory=list)
+    losses: Sequence[LossWindow] = field(default_factory=list)
+    desyncs: Sequence[ClockDesync] = field(default_factory=list)
+
+    def arm(
+        self,
+        sim: Simulator,
+        net: Network,
+        processes: Sequence["Process"],
+        clocks: Optional[ClockModel] = None,
+    ) -> None:
+        """Schedule every fault in the plan on the given simulation."""
+        by_pid = {p.pid: p for p in processes}
+
+        for crash in self.crashes:
+            sim.schedule_at(crash.at, lambda c=crash: by_pid[c.pid].crash())
+        for rec in self.recoveries:
+            sim.schedule_at(rec.at, lambda r=rec: by_pid[r.pid].recover())
+        for part in self.partitions:
+            net.add_partition(part.group_a, part.group_b, part.start, part.end)
+        if self.losses:
+            self._arm_losses(net)
+        for desync in self.desyncs:
+            if clocks is None:
+                raise ValueError("clock desync requires a ClockModel")
+            self._arm_desync(sim, clocks, desync)
+
+    def _arm_losses(self, net: Network) -> None:
+        windows = list(self.losses)
+        rng = net.sim.fork_rng("loss-windows")
+        previous_rule = net.drop_rule
+
+        def drop(src: int, dst: int, msg: object, now: float) -> bool:
+            if previous_rule is not None and previous_rule(src, dst, msg, now):
+                return True
+            for window in windows:
+                if window.start <= now < window.end and rng.random() < window.prob:
+                    return True
+            return False
+
+        net.drop_rule = drop
+
+    @staticmethod
+    def _arm_desync(sim: Simulator, clocks: ClockModel, desync: ClockDesync) -> None:
+        sim.schedule_at(
+            desync.start,
+            lambda: clocks.desynchronize(desync.pid, desync.start, desync.jump),
+        )
+        if desync.end is not None:
+            sim.schedule_at(
+                desync.end,
+                lambda: clocks.resynchronize(desync.pid, desync.end),
+            )

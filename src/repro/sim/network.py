@@ -1,0 +1,265 @@
+"""The message-passing network.
+
+Implements the paper's partially synchronous communication model:
+
+* Before the global stabilization time (GST) messages may be delayed
+  arbitrarily (per a configurable pre-GST delay model) and may be lost
+  (per a configurable drop probability or adversarial drop rule).
+* From GST onwards every sent message is delivered within ``delta`` local
+  time units (we enforce the bound on the real-time delay; with rate-1
+  clocks the two coincide).
+
+Messages are never corrupted, never duplicated spontaneously, and no
+spurious messages are generated, matching the model.
+
+The network also keeps the accounting the experiments rely on: per-type
+message counters and an optional full trace.  Each message class may define
+a class attribute ``category`` (for example ``"lease"`` for the read-lease
+mechanism's messages — the paper's *red code* — versus ``"consensus"`` for
+the RMW path), which lets experiment E1 demonstrate read locality by
+category.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from .core import SimulationError, Simulator
+from .latency import DelayModel, FixedDelay, UniformDelay
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .process import Process
+
+__all__ = ["Network", "SentMessage", "Partition"]
+
+
+@dataclass
+class SentMessage:
+    """Trace record for one message."""
+
+    src: int
+    dst: int
+    msg: Any
+    sent_at: float
+    deliver_at: Optional[float]  # None when dropped
+
+
+@dataclass
+class Partition:
+    """A symmetric network partition between two groups of processes.
+
+    While active, messages between the groups are dropped.  Messages inside
+    a group are unaffected.
+    """
+
+    group_a: frozenset[int]
+    group_b: frozenset[int]
+    start: float
+    end: float = field(default=float("inf"))
+
+    def blocks(self, src: int, dst: int, now: float) -> bool:
+        if not self.start <= now < self.end:
+            return False
+        return (src in self.group_a and dst in self.group_b) or (
+            src in self.group_b and dst in self.group_a
+        )
+
+
+class Network:
+    """Delivers messages between registered processes.
+
+    Parameters
+    ----------
+    sim:
+        The simulator providing time and scheduling.
+    delta:
+        The post-GST upper bound on message delay (the paper's delta).
+    gst:
+        Global stabilization time.  ``0.0`` gives a synchronous run.
+    post_gst_delay / pre_gst_delay:
+        Delay models for the two phases.  The post-GST model must respect
+        ``delta``; the pre-GST model is unconstrained.
+    pre_gst_drop_prob:
+        Probability that a message sent before GST is lost.
+    fifo:
+        When True (the default), messages between the same ordered pair of
+        processes are delivered in send order, modelling TCP-like links.
+        Set False for an adversarial reordering network.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delta: float,
+        gst: float = 0.0,
+        post_gst_delay: Optional[DelayModel] = None,
+        pre_gst_delay: Optional[DelayModel] = None,
+        pre_gst_drop_prob: float = 0.0,
+        trace: bool = False,
+        fifo: bool = True,
+    ) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        if not 0 <= pre_gst_drop_prob <= 1:
+            raise ValueError("pre_gst_drop_prob must be a probability")
+        self.sim = sim
+        self.delta = delta
+        self.gst = gst
+        if post_gst_delay is None:
+            # A spread of delays below the bound is the realistic default;
+            # experiments that need exact timing pass FixedDelay explicitly.
+            post_gst_delay = UniformDelay(delta / 5, delta)
+        self.post_gst_delay = post_gst_delay
+        if self.post_gst_delay.maximum > delta + 1e-12:
+            raise ValueError(
+                f"post-GST delay model can exceed delta={delta}: "
+                f"{self.post_gst_delay!r}"
+            )
+        self.pre_gst_delay = pre_gst_delay or self.post_gst_delay
+        self.pre_gst_drop_prob = pre_gst_drop_prob
+        self.rng = sim.fork_rng("network")
+        self.processes: dict[int, "Process"] = {}
+        self.partitions: list[Partition] = []
+        self.messages_sent: Counter[str] = Counter()
+        self.messages_delivered: Counter[str] = Counter()
+        self.messages_dropped: Counter[str] = Counter()
+        self.category_sent: Counter[str] = Counter()
+        self.trace_enabled = trace
+        self.trace: list[SentMessage] = []
+        self.drop_rule: Optional[Callable[[int, int, Any, float], bool]] = None
+        self.fifo = fifo
+        self._last_delivery: dict[tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    # Registration / topology control
+    # ------------------------------------------------------------------
+    def register(self, process: "Process") -> None:
+        if process.pid in self.processes:
+            raise SimulationError(f"process {process.pid} already registered")
+        self.processes[process.pid] = process
+
+    def add_partition(
+        self, group_a: frozenset[int], group_b: frozenset[int], start: float,
+        end: float = float("inf"),
+    ) -> Partition:
+        overlap = group_a & group_b
+        if overlap:
+            raise ValueError(f"partition groups overlap: {sorted(overlap)}")
+        part = Partition(group_a, group_b, start, end)
+        self.partitions.append(part)
+        return part
+
+    def isolate(self, pid: int, start: float, end: float = float("inf")) -> Partition:
+        """Partition a single process away from everyone else."""
+        others = frozenset(p for p in self.processes if p != pid)
+        return self.add_partition(frozenset({pid}), others, start, end)
+
+    def heal_all(self) -> None:
+        """End every active partition now."""
+        for part in self.partitions:
+            part.end = min(part.end, self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, msg: Any) -> None:
+        """Send ``msg`` from ``src`` to ``dst``.
+
+        Self-sends are rejected: all the protocols in this repository treat
+        the local process specially rather than messaging themselves, and a
+        self-send is almost always a bug.
+        """
+        if src == dst:
+            raise SimulationError(f"process {src} attempted a self-send")
+        if dst not in self.processes:
+            raise SimulationError(f"unknown destination process {dst}")
+        now = self.sim.now
+        mtype = type(msg).__name__
+        self.messages_sent[mtype] += 1
+        self.category_sent[getattr(msg, "category", "other")] += 1
+
+        dropped = self._should_drop(src, dst, msg, now)
+        if dropped:
+            self.messages_dropped[mtype] += 1
+            if self.trace_enabled:
+                self.trace.append(SentMessage(src, dst, msg, now, None))
+            return
+
+        delay = self._sample_delay(src, dst, now)
+        deliver_at = now + delay
+        if self.fifo:
+            # FIFO links: never deliver before an earlier message on the
+            # same (src, dst) pair.  The clamp preserves the delta bound:
+            # the earlier message already respected it at a smaller send
+            # time.
+            floor = self._last_delivery.get((src, dst), 0.0)
+            deliver_at = max(deliver_at, floor)
+            self._last_delivery[(src, dst)] = deliver_at
+        if self.trace_enabled:
+            self.trace.append(SentMessage(src, dst, msg, now, deliver_at))
+
+        def deliver() -> None:
+            # Partitions that begin after the send can still cut the message
+            # off in flight; check again at delivery time.
+            if self._partition_blocks(src, dst, self.sim.now):
+                self.messages_dropped[mtype] += 1
+                return
+            process = self.processes[dst]
+            if process.crashed:
+                return
+            self.messages_delivered[mtype] += 1
+            process.deliver(src, msg)
+
+        self.sim.schedule_at(deliver_at, deliver)
+
+    def broadcast(self, src: int, msg: Any) -> None:
+        """Send ``msg`` to every process except ``src``."""
+        for pid in sorted(self.processes):
+            if pid != src:
+                self.send(src, pid, msg)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _partition_blocks(self, src: int, dst: int, now: float) -> bool:
+        return any(p.blocks(src, dst, now) for p in self.partitions)
+
+    def _should_drop(self, src: int, dst: int, msg: Any, now: float) -> bool:
+        if self._partition_blocks(src, dst, now):
+            return True
+        if self.drop_rule is not None and self.drop_rule(src, dst, msg, now):
+            return True
+        if now < self.gst and self.rng.random() < self.pre_gst_drop_prob:
+            return True
+        return False
+
+    def _sample_delay(self, src: int, dst: int, now: float) -> float:
+        if now < self.gst:
+            delay = self.pre_gst_delay.sample(src, dst, self.rng)
+            # A message sent just before GST must still respect the bound
+            # *from GST onwards*: the model says the bound holds for delays
+            # measured after stabilization, so a pre-GST message may arrive
+            # no later than GST + delta.
+            return min(delay, (self.gst - now) + self.delta)
+        return self.post_gst_delay.sample(src, dst, self.rng)
+
+    # ------------------------------------------------------------------
+    # Accounting helpers used by experiments
+    # ------------------------------------------------------------------
+    def total_sent(self) -> int:
+        return sum(self.messages_sent.values())
+
+    def sent_by_type(self) -> dict[str, int]:
+        return dict(self.messages_sent)
+
+    def sent_by_category(self) -> dict[str, int]:
+        return dict(self.category_sent)
+
+    def reset_counters(self) -> None:
+        self.messages_sent.clear()
+        self.messages_delivered.clear()
+        self.messages_dropped.clear()
+        self.category_sent.clear()
+        self.trace.clear()

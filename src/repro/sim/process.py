@@ -1,0 +1,239 @@
+"""Process abstraction.
+
+A :class:`Process` is an event-driven participant in the simulation.  It
+receives messages (``on_message``), runs timers, and executes cooperative
+protocol :mod:`tasks <repro.sim.tasks>`.  Processes can crash (losing all
+volatile state and in-flight tasks) and optionally recover; a small
+``stable`` dict models stable storage that survives crashes.
+
+All protocol-visible time is *local* time read from the process clock; the
+base class converts to and from simulated real time when scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from .clocks import ClockModel
+from .core import Event, Simulator
+from .network import Network
+from .tasks import Future, Sleep, Task, Until
+
+__all__ = ["Process"]
+
+# How many scheduler passes a single event may trigger before we assume the
+# task set is livelocked (a predicate flipping another predicate forever).
+_MAX_WAKE_ROUNDS = 1000
+
+
+class Process:
+    """Base class for all simulated processes."""
+
+    def __init__(
+        self,
+        pid: int,
+        sim: Simulator,
+        net: Network,
+        clocks: ClockModel,
+    ) -> None:
+        self.pid = pid
+        self.sim = sim
+        self.net = net
+        self.clocks = clocks
+        self.crashed = False
+        self.stable: dict[str, Any] = {}
+        self.rng = sim.fork_rng(f"process-{pid}")
+        self._tasks: list[Task] = []
+        self._timers: list[Event] = []
+        self._in_scheduler = False
+        net.register(self)
+
+    # ------------------------------------------------------------------
+    # Time
+    # ------------------------------------------------------------------
+    @property
+    def local_time(self) -> float:
+        """The process's local clock reading."""
+        return self.clocks.local(self.pid, self.sim.now)
+
+    def real_for_local(self, local: float) -> float:
+        """Real time at which the local clock will show ``local``."""
+        return self.clocks.real(self.pid, local)
+
+    # ------------------------------------------------------------------
+    # Messaging
+    # ------------------------------------------------------------------
+    def send(self, dst: int, msg: Any) -> None:
+        if not self.crashed:
+            self.net.send(self.pid, dst, msg)
+
+    def broadcast(self, msg: Any) -> None:
+        if not self.crashed:
+            self.net.broadcast(self.pid, msg)
+
+    def deliver(self, src: int, msg: Any) -> None:
+        """Called by the network; dispatches to ``on_message``."""
+        if self.crashed:
+            return
+        self.on_message(src, msg)
+        self._run_scheduler()
+
+    def on_message(self, src: int, msg: Any) -> None:  # pragma: no cover
+        """Handle one received message.  Subclasses override."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Timers (local-time based)
+    # ------------------------------------------------------------------
+    def set_timer(self, local_delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` after ``local_delay`` units of *local* time."""
+        fire_local = self.local_time + local_delay
+        fire_real = max(self.real_for_local(fire_local), self.sim.now)
+
+        def fire() -> None:
+            if self.crashed:
+                return
+            callback()
+            self._run_scheduler()
+
+        event = self.sim.schedule_at(fire_real, fire)
+        self._timers.append(event)
+        if len(self._timers) > 256:
+            self._timers = [
+                t for t in self._timers
+                if not t.cancelled and t.time >= self.sim.now
+            ]
+        return event
+
+    def every(self, local_period: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` every ``local_period`` local-time units, starting
+        one period from now, until the process crashes."""
+
+        def tick() -> None:
+            callback()
+            if not self.crashed:
+                self.set_timer(local_period, tick)
+
+        self.set_timer(local_period, tick)
+
+    # ------------------------------------------------------------------
+    # Tasks
+    # ------------------------------------------------------------------
+    def spawn(self, gen: Generator[Any, Any, Any], name: str = "") -> Task:
+        """Start a protocol task from a generator."""
+        task = Task(gen, name=name)
+        self._tasks.append(task)
+        self._step_task(task, None)
+        if not self._in_scheduler:
+            self._run_scheduler()
+        return task
+
+    def _step_task(self, task: Task, send_value: Any) -> None:
+        """Advance a task until it blocks or finishes."""
+        while not task.finished and not task.cancelled:
+            try:
+                yielded = task.gen.send(send_value)
+            except StopIteration as stop:
+                task.finished = True
+                task.result = stop.value
+                return
+            send_value = None
+            if isinstance(yielded, Sleep):
+                self._arm_sleep(task, yielded.duration)
+                return
+            if isinstance(yielded, Until):
+                if yielded.predicate():
+                    send_value = None
+                    continue
+                task.waiting_on = yielded
+                return
+            if isinstance(yielded, Future):
+                if yielded.done:
+                    send_value = yielded.value
+                    continue
+                self._arm_future(task, yielded)
+                return
+            raise TypeError(
+                f"task {task.name!r} yielded unsupported value {yielded!r}"
+            )
+
+    def _arm_sleep(self, task: Task, duration: float) -> None:
+        def wake() -> None:
+            if not task.cancelled:
+                self._step_task(task, None)
+
+        self.set_timer(duration, wake)
+
+    def _arm_future(self, task: Task, future: Future) -> None:
+        def wake(value: Any) -> None:
+            if not task.cancelled and not self.crashed:
+                self._step_task(task, value)
+                self._run_scheduler()
+
+        future.on_resolve(wake)
+
+    def _run_scheduler(self) -> None:
+        """Re-evaluate blocked predicates until the task set is quiescent.
+
+        One task advancing may satisfy the predicate another task waits on,
+        so we loop until a full pass makes no progress.
+        """
+        if self._in_scheduler:
+            return
+        self._in_scheduler = True
+        try:
+            for _ in range(_MAX_WAKE_ROUNDS):
+                progressed = False
+                for task in list(self._tasks):
+                    if task.finished or task.cancelled:
+                        continue
+                    wait = task.waiting_on
+                    if wait is not None and wait.predicate():
+                        task.waiting_on = None
+                        self._step_task(task, None)
+                        progressed = True
+                if not progressed:
+                    break
+            else:
+                raise RuntimeError(
+                    f"process {self.pid}: task scheduler failed to quiesce"
+                )
+            self._tasks = [
+                t for t in self._tasks if not t.finished and not t.cancelled
+            ]
+        finally:
+            self._in_scheduler = False
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Crash the process: cancel tasks and timers, drop volatile state."""
+        if self.crashed:
+            return
+        self.crashed = True
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        for task in self._tasks:
+            task.cancel()
+        self._tasks.clear()
+        self.on_crash()
+
+    def recover(self) -> None:
+        """Restart after a crash.  ``stable`` storage is preserved."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        self.on_recover()
+        self._run_scheduler()
+
+    def on_crash(self) -> None:
+        """Subclass hook: clear protocol volatile state."""
+
+    def on_recover(self) -> None:
+        """Subclass hook: re-initialize from stable storage."""
+
+    def __repr__(self) -> str:
+        status = "crashed" if self.crashed else "up"
+        return f"<{type(self).__name__} pid={self.pid} {status}>"

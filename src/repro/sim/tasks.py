@@ -1,0 +1,127 @@
+"""Cooperative tasks for protocol code.
+
+The paper presents its algorithm as blocking pseudocode ("wait until it has
+estimates from a majority", "waits until its clock shows local time after
+max(t, ts) + LeasePeriod + epsilon", ...).  To keep the implementation close
+to the paper, protocol code is written as Python generators that *yield*
+wait descriptions; the per-process task runner suspends the generator and
+resumes it when the wait is satisfied.
+
+Three waits are supported:
+
+``Sleep(d)``
+    Resume after ``d`` *local-time* units have elapsed on the process clock.
+
+``Until(predicate)``
+    Resume once ``predicate()`` is true.  Predicates are re-evaluated every
+    time the owning process handles an event (message, timer, or another
+    task advancing), so they must be cheap and side-effect free.
+
+``Future``
+    Resume when the future is resolved, receiving its value.
+
+A generator's ``return`` value becomes the task's result, and tasks may call
+sub-protocols with ``yield from``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+__all__ = ["Sleep", "Until", "Future", "Task", "TaskCancelled"]
+
+
+class TaskCancelled(Exception):
+    """Thrown into a generator when its task is cancelled (e.g. on crash)."""
+
+
+class Sleep:
+    """Suspend the task for ``duration`` local-time units."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float) -> None:
+        if duration < 0:
+            raise ValueError("sleep duration must be non-negative")
+        self.duration = duration
+
+
+class Until:
+    """Suspend the task until ``predicate()`` returns true."""
+
+    __slots__ = ("predicate",)
+
+    def __init__(self, predicate: Callable[[], bool]) -> None:
+        self.predicate = predicate
+
+
+class Future:
+    """A single-assignment value that tasks can wait on.
+
+    Also used as the client-facing handle for submitted operations: the
+    caller gets the future immediately and the protocol resolves it when
+    the operation's response is determined.
+    """
+
+    __slots__ = ("done", "value", "_callbacks")
+
+    def __init__(self) -> None:
+        self.done = False
+        self.value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    def resolve(self, value: Any = None) -> None:
+        if self.done:
+            raise RuntimeError("future already resolved")
+        self.done = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(value)
+
+    def on_resolve(self, callback: Callable[[Any], None]) -> None:
+        if self.done:
+            callback(self.value)
+        else:
+            self._callbacks.append(callback)
+
+
+class Task:
+    """A running protocol generator owned by a process.
+
+    The task is advanced by its owning process's scheduler; user code never
+    steps it directly.  ``result`` holds the generator's return value once
+    ``finished`` is true.
+    """
+
+    def __init__(self, gen: Generator[Any, Any, Any], name: str = "") -> None:
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "task")
+        self.finished = False
+        self.cancelled = False
+        self.result: Any = None
+        # The wait currently blocking this task, if any.
+        self.waiting_on: Optional[Until] = None
+        self._send_value: Any = None
+
+    def cancel(self) -> None:
+        """Cancel the task, unwinding the generator."""
+        if self.finished or self.cancelled:
+            return
+        self.cancelled = True
+        self.waiting_on = None
+        try:
+            self.gen.throw(TaskCancelled())
+        except (TaskCancelled, StopIteration):
+            pass
+        finally:
+            self.gen.close()
+
+    def __repr__(self) -> str:
+        state = (
+            "finished" if self.finished
+            else "cancelled" if self.cancelled
+            else "blocked" if self.waiting_on is not None
+            else "runnable"
+        )
+        return f"<Task {self.name} {state}>"

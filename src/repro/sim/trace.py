@@ -1,0 +1,153 @@
+"""Run statistics and operation-level records.
+
+Every replication algorithm in this repository reports completed operations
+through a :class:`RunStats` instance.  Experiments read latencies, blocking
+times, and message counts from here; the linearizability checker reads the
+invocation/response history.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional
+
+__all__ = ["OpRecord", "RunStats", "percentile", "summarize"]
+
+
+@dataclass
+class OpRecord:
+    """One completed (or still pending) operation."""
+
+    op_id: tuple[int, int]  # (pid, sequence number)
+    pid: int
+    kind: str  # "read" or "rmw"
+    op: Any
+    invoked_at: float  # real time
+    responded_at: Optional[float] = None
+    response: Any = None
+    blocked: bool = False  # did the op ever suspend waiting?
+    blocked_local: float = 0.0  # total local-time spent blocked
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.responded_at is None:
+            return None
+        return self.responded_at - self.invoked_at
+
+    @property
+    def completed(self) -> bool:
+        return self.responded_at is not None
+
+
+class RunStats:
+    """Collects operation records for one simulation run."""
+
+    def __init__(self) -> None:
+        self.records: list[OpRecord] = []
+        self._by_id: dict[tuple[int, int], OpRecord] = {}
+
+    # ------------------------------------------------------------------
+    def invoke(
+        self, op_id: tuple[int, int], pid: int, kind: str, op: Any, now: float
+    ) -> OpRecord:
+        if op_id in self._by_id:
+            raise ValueError(f"duplicate operation id {op_id}")
+        record = OpRecord(op_id=op_id, pid=pid, kind=kind, op=op, invoked_at=now)
+        self.records.append(record)
+        self._by_id[op_id] = record
+        return record
+
+    def respond(self, op_id: tuple[int, int], response: Any, now: float) -> OpRecord:
+        record = self._by_id[op_id]
+        if record.responded_at is not None:
+            raise ValueError(f"operation {op_id} already responded")
+        record.responded_at = now
+        record.response = response
+        return record
+
+    def mark_blocked(self, op_id: tuple[int, int], blocked_local: float) -> None:
+        record = self._by_id[op_id]
+        record.blocked = True
+        record.blocked_local += blocked_local
+
+    def get(self, op_id: tuple[int, int]) -> OpRecord:
+        return self._by_id[op_id]
+
+    # ------------------------------------------------------------------
+    # Queries used by the experiments
+    # ------------------------------------------------------------------
+    def completed(self, kind: Optional[str] = None) -> list[OpRecord]:
+        return [
+            r for r in self.records
+            if r.completed and (kind is None or r.kind == kind)
+        ]
+
+    def pending(self) -> list[OpRecord]:
+        return [r for r in self.records if not r.completed]
+
+    def latencies(self, kind: Optional[str] = None) -> list[float]:
+        return [r.latency for r in self.completed(kind)]  # type: ignore[misc]
+
+    def blocking_times(self, kind: str = "read") -> list[float]:
+        return [r.blocked_local for r in self.completed(kind)]
+
+    def blocked_fraction(self, kind: str = "read", pid: Optional[int] = None) -> float:
+        done = [
+            r for r in self.completed(kind) if pid is None or r.pid == pid
+        ]
+        if not done:
+            return 0.0
+        return sum(1 for r in done if r.blocked) / len(done)
+
+    def max_blocking(self, kind: str = "read") -> float:
+        times = self.blocking_times(kind)
+        return max(times) if times else 0.0
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("percentile of empty sequence")
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1 - frac) + ordered[high] * frac
+
+
+@dataclass
+class Summary:
+    count: int
+    mean: float
+    p50: float
+    p99: float
+    max: float
+
+    def row(self) -> list[str]:
+        return [
+            str(self.count),
+            f"{self.mean:.3f}",
+            f"{self.p50:.3f}",
+            f"{self.p99:.3f}",
+            f"{self.max:.3f}",
+        ]
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Count/mean/median/p99/max summary of a latency series."""
+    data = list(values)
+    if not data:
+        return Summary(count=0, mean=0.0, p50=0.0, p99=0.0, max=0.0)
+    return Summary(
+        count=len(data),
+        mean=sum(data) / len(data),
+        p50=percentile(data, 50),
+        p99=percentile(data, 99),
+        max=max(data),
+    )

@@ -1,0 +1,21 @@
+"""Safety verification: histories, linearizability checking, invariants."""
+
+from .history import History, HistoryEntry
+from .invariants import (
+    BatchMonitor,
+    InvariantViolation,
+    LeaderIntervalMonitor,
+    check_i2_i3,
+)
+from .linearizability import LinearizabilityResult, check_linearizable
+
+__all__ = [
+    "History",
+    "HistoryEntry",
+    "BatchMonitor",
+    "InvariantViolation",
+    "LeaderIntervalMonitor",
+    "check_i2_i3",
+    "LinearizabilityResult",
+    "check_linearizable",
+]

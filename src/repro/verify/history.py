@@ -1,0 +1,107 @@
+"""Operation histories for linearizability checking.
+
+A history is a set of operation intervals: each entry has an invocation
+time, an optional response time (pending operations have none), the
+operation, and the observed response.  Histories are built either directly
+or from a :class:`~repro.sim.trace.RunStats` collected during a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+from ..objects.spec import COMPACTED
+from ..sim.trace import RunStats
+
+__all__ = ["HistoryEntry", "History"]
+
+
+@dataclass(frozen=True)
+class HistoryEntry:
+    """One operation interval in a history."""
+
+    op: Any
+    response: Any
+    invoked_at: float
+    responded_at: Optional[float]  # None => pending at the end of the run
+    pid: int = 0
+    op_id: Optional[tuple[int, int]] = None
+    #: The operation committed but its response was lost to log
+    #: compaction; the checker must linearize it but accept any response.
+    response_unknown: bool = False
+
+    @property
+    def pending(self) -> bool:
+        return self.responded_at is None
+
+    def precedes(self, other: "HistoryEntry") -> bool:
+        """Real-time order: self responded before other was invoked."""
+        return (
+            self.responded_at is not None
+            and self.responded_at < other.invoked_at
+        )
+
+
+class History:
+    """An immutable collection of history entries."""
+
+    def __init__(self, entries: Iterable[HistoryEntry]):
+        self.entries: tuple[HistoryEntry, ...] = tuple(entries)
+        self._validate()
+
+    def _validate(self) -> None:
+        for entry in self.entries:
+            if entry.responded_at is not None and (
+                entry.responded_at < entry.invoked_at
+            ):
+                raise ValueError(
+                    f"response precedes invocation in {entry!r}"
+                )
+
+    @classmethod
+    def from_stats(
+        cls,
+        stats: RunStats,
+        include_pending: bool = True,
+        kinds: Sequence[str] = ("read", "rmw"),
+    ) -> "History":
+        """Build a history from a simulation run's operation records.
+
+        ``kinds`` restricts the history; passing ``("rmw",)`` yields the
+        RMW sub-history used by the clock-desync robustness experiment
+        (the paper: with unsynchronized clocks "the sub-execution
+        consisting of the RMW operations is still linearizable").
+        """
+        entries = []
+        for record in stats.records:
+            if record.kind not in kinds:
+                continue
+            if record.responded_at is None and not include_pending:
+                continue
+            unknown = record.response is COMPACTED
+            entries.append(
+                HistoryEntry(
+                    op=record.op,
+                    response=None if unknown else record.response,
+                    invoked_at=record.invoked_at,
+                    responded_at=record.responded_at,
+                    pid=record.pid,
+                    op_id=record.op_id,
+                    response_unknown=unknown,
+                )
+            )
+        return cls(entries)
+
+    def completed(self) -> "History":
+        return History(e for e in self.entries if not e.pending)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __repr__(self) -> str:
+        pending = sum(1 for e in self.entries if e.pending)
+        return f"<History {len(self.entries)} ops ({pending} pending)>"

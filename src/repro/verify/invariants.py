@@ -1,0 +1,141 @@
+"""Run-time invariant monitors.
+
+The paper states precise safety invariants for both of its components:
+
+* Enhanced leader service, property **EL1**: if two *distinct* processes
+  get ``True`` from ``AmLeader(t1, t2)`` and ``AmLeader(t1', t2')``, the
+  local-time intervals are disjoint.
+* Replication algorithm, invariants **I1–I3** over the ``Batch`` arrays,
+  estimates, and committed prefixes.
+
+These monitors are omniscient: protocol code reports events to them, and
+they raise :class:`InvariantViolation` the moment a claimed invariant is
+broken, turning subtle protocol bugs into immediate, located failures in
+tests and experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+__all__ = ["InvariantViolation", "LeaderIntervalMonitor", "BatchMonitor"]
+
+
+class InvariantViolation(AssertionError):
+    """A paper invariant was observed to fail."""
+
+
+class LeaderIntervalMonitor:
+    """Checks EL1: no two processes are leaders at the same local time."""
+
+    def __init__(self) -> None:
+        # Maximal reported leadership intervals per process; overlapping
+        # reports from the same process are merged.
+        self.intervals: dict[int, list[tuple[float, float]]] = {}
+
+    def record_true(self, pid: int, t1: float, t2: float) -> None:
+        """Record that AmLeader(t1, t2) returned True at ``pid``."""
+        if t1 > t2:
+            raise ValueError(f"bad interval [{t1}, {t2}]")
+        for other, spans in self.intervals.items():
+            if other == pid:
+                continue
+            for (s, e) in spans:
+                if t1 <= e and s <= t2:
+                    raise InvariantViolation(
+                        f"EL1 violated: process {pid} leader over "
+                        f"[{t1}, {t2}] overlaps process {other} over "
+                        f"[{s}, {e}]"
+                    )
+        spans = self.intervals.setdefault(pid, [])
+        merged = (t1, t2)
+        kept = []
+        for (s, e) in spans:
+            if merged[0] <= e and s <= merged[1]:
+                merged = (min(merged[0], s), max(merged[1], e))
+            else:
+                kept.append((s, e))
+        kept.append(merged)
+        self.intervals[pid] = kept
+
+
+class BatchMonitor:
+    """Checks I1 and records global commit points.
+
+    I1: once any process assigns ``Batch[j] = O`` the value is stable and
+    all processes agree on it, and no operation instance belongs to two
+    different batches.
+
+    The monitor also keeps the first (real-time) commit instant per batch,
+    which experiments use to measure commit latency, and exposes cluster
+    snapshots for I2/I3 verification.
+    """
+
+    def __init__(self) -> None:
+        self.batch_values: dict[int, Any] = {}
+        self.commit_times: dict[int, float] = {}
+        self._op_home: dict[Any, int] = {}
+
+    def record_batch(self, pid: int, j: int, ops: frozenset, now: float) -> None:
+        """A process stored ``Batch[j] = ops`` at real time ``now``."""
+        if j in self.batch_values:
+            if self.batch_values[j] != ops:
+                raise InvariantViolation(
+                    f"I1 violated: process {pid} stored batch {j} = "
+                    f"{set(ops)!r}, but batch {j} was previously "
+                    f"{set(self.batch_values[j])!r}"
+                )
+        else:
+            self.batch_values[j] = ops
+            self.commit_times[j] = now
+            for instance in ops:
+                home = self._op_home.get(instance.op_id)
+                if home is not None and home != j:
+                    raise InvariantViolation(
+                        f"I1 violated: operation {instance!r} appears in "
+                        f"batches {home} and {j}"
+                    )
+                self._op_home[instance.op_id] = j
+
+    # ------------------------------------------------------------------
+    def highest_committed(self) -> int:
+        return max(self.batch_values, default=0)
+
+    def commit_time(self, j: int) -> Optional[float]:
+        return self.commit_times.get(j)
+
+
+def check_i2_i3(replicas: Iterable[Any]) -> None:
+    """Verify I2 and I3 over a cluster snapshot.
+
+    I2: if a process's estimate is ``(O, t, j)`` then it knows batch j-1.
+    I3: if a process knows batch j, then every batch i < j is known by a
+    majority of processes.
+
+    ``replicas`` must expose ``batches`` (dict j -> ops), ``estimate``
+    (None or an object with a ``k`` attribute), and ``crashed``.
+    """
+    alive = [r for r in replicas if not r.crashed]
+    n = len(list(alive)) + sum(1 for r in replicas if r.crashed)
+    for replica in alive:
+        est = replica.estimate
+        if est is not None and est.k > 1 and (est.k - 1) not in replica.batches:
+            raise InvariantViolation(
+                f"I2 violated at process {replica.pid}: estimate batch "
+                f"{est.k} but batch {est.k - 1} unknown"
+            )
+    majority = n // 2 + 1
+    for replica in alive:
+        for j in replica.batches:
+            for i in range(1, j):
+                holders = sum(
+                    1 for r in alive if i in r.batches
+                ) + sum(1 for r in replicas if r.crashed)
+                # Crashed processes may have known the batch before dying;
+                # they count toward the majority bound conservatively.
+                if holders < majority:
+                    raise InvariantViolation(
+                        f"I3 violated: process {replica.pid} knows batch "
+                        f"{j} but batch {i} is known by only {holders} "
+                        f"processes (majority is {majority})"
+                    )

@@ -1,0 +1,172 @@
+"""Linearizability checking.
+
+Implements the Wing & Gong search with memoization (caching visited
+``(remaining-operations, state)`` configurations), plus P-compositional
+partitioning for key-granular objects: when every operation of a history
+touches a single key, the history is linearizable iff each per-key
+sub-history is, which turns an exponential search into many small ones.
+
+An operation left pending at the end of a run may have taken effect or not;
+the checker tries both (linearize it at some point, or drop it), per the
+standard completion semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+from ..objects.spec import ObjectSpec
+from .history import History, HistoryEntry
+
+__all__ = ["check_linearizable", "LinearizabilityResult"]
+
+
+class LinearizabilityResult:
+    """Outcome of a check; truthy iff linearizable."""
+
+    def __init__(self, ok: bool, witness: Optional[list[HistoryEntry]] = None,
+                 reason: str = ""):
+        self.ok = ok
+        self.witness = witness  # a valid linearization order, when found
+        self.reason = reason
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __repr__(self) -> str:
+        if self.ok:
+            return "<linearizable>"
+        return f"<NOT linearizable: {self.reason}>"
+
+
+def check_linearizable(
+    spec: ObjectSpec,
+    history: History,
+    partition_by_key: bool = False,
+    max_configurations: int = 2_000_000,
+) -> LinearizabilityResult:
+    """Check a history against an object specification.
+
+    Parameters
+    ----------
+    partition_by_key:
+        Enable P-compositional partitioning.  Only sound when every
+        operation touches a single key (the helper refuses otherwise), and
+        when per-key sub-objects are independent — true for the KV store.
+    max_configurations:
+        Upper bound on memoized configurations before giving up; a bound
+        breach raises rather than returning a wrong verdict.
+    """
+    if partition_by_key:
+        partitions = _partition_by_key(history)
+        if partitions is None:
+            raise ValueError(
+                "history contains multi-key operations; cannot partition"
+            )
+        for key, sub in sorted(partitions.items(), key=lambda kv: repr(kv[0])):
+            result = _check_whole(spec, sub, max_configurations)
+            if not result.ok:
+                result.reason = f"sub-history for key {key!r}: {result.reason}"
+                return result
+        return LinearizabilityResult(True)
+    return _check_whole(spec, history, max_configurations)
+
+
+# ----------------------------------------------------------------------
+# Core search
+# ----------------------------------------------------------------------
+
+
+def _check_whole(
+    spec: ObjectSpec, history: History, max_configurations: int
+) -> LinearizabilityResult:
+    entries = list(history)
+    if not entries:
+        return LinearizabilityResult(True, witness=[])
+
+    n = len(entries)
+    initial_state = spec.initial_state()
+
+    # Precompute the real-time precedence structure.  entry i must be
+    # linearized before entry j whenever i.responded_at < j.invoked_at.
+    responded = [
+        e.responded_at if e.responded_at is not None else float("inf")
+        for e in entries
+    ]
+    invoked = [e.invoked_at for e in entries]
+
+    full_mask = (1 << n) - 1
+    seen: set[tuple[int, Any]] = set()
+    # Depth-first search over (remaining-set, state); stack holds
+    # (mask, state, chosen-so-far) with chosen kept via parent pointers.
+    stack: list[tuple[int, Any, tuple]] = [(full_mask, initial_state, ())]
+
+    while stack:
+        mask, state, chosen = stack.pop()
+        if mask == 0:
+            witness = [entries[i] for i in chosen]
+            return LinearizabilityResult(True, witness=witness)
+        key = (mask, state)
+        if key in seen:
+            continue
+        seen.add(key)
+        if len(seen) > max_configurations:
+            raise RuntimeError(
+                f"linearizability search exceeded {max_configurations} "
+                f"configurations on a history of {n} operations"
+            )
+
+        # An operation is a candidate next linearization point iff no other
+        # remaining operation responded before it was invoked.
+        min_response = min(
+            responded[i] for i in range(n) if mask & (1 << i)
+        )
+        remaining_all_pending = min_response == float("inf")
+        if remaining_all_pending:
+            # Every remaining op is pending; all may simply never take
+            # effect, so the history is linearizable.
+            witness = [entries[i] for i in chosen]
+            return LinearizabilityResult(True, witness=witness)
+
+        for i in range(n):
+            bit = 1 << i
+            if not mask & bit:
+                continue
+            if invoked[i] > min_response:
+                continue  # some remaining op responded before i was invoked
+            entry = entries[i]
+            new_state, response = spec.apply_any(state, entry.op)
+            if (not entry.pending and not entry.response_unknown
+                    and response != entry.response):
+                continue  # observed response inconsistent with this point
+            stack.append((mask & ~bit, new_state, chosen + (i,)))
+            if entry.pending:
+                # A pending op may also never take effect: drop it.
+                stack.append((mask & ~bit, state, chosen))
+
+    return LinearizabilityResult(
+        False,
+        reason="no valid linearization order exists",
+    )
+
+
+# ----------------------------------------------------------------------
+# P-compositional partitioning
+# ----------------------------------------------------------------------
+
+_SINGLE_KEY_OPS = {
+    "get": 0, "put": 0, "delete": 0, "increment": 0,  # kvstore
+    "balance": 0, "deposit": 0, "withdraw": 0,  # bank (single-account ops)
+}
+
+
+def _partition_by_key(history: History) -> Optional[dict[Any, History]]:
+    """Split a history into per-key sub-histories, or None if impossible."""
+    buckets: dict[Any, list[HistoryEntry]] = {}
+    for entry in history:
+        name = getattr(entry.op, "name", None)
+        if name not in _SINGLE_KEY_OPS:
+            return None
+        key = entry.op.args[_SINGLE_KEY_OPS[name]]
+        buckets.setdefault(key, []).append(entry)
+    return {key: History(entries) for key, entries in buckets.items()}

@@ -1,0 +1,42 @@
+"""Tests for metric aggregation."""
+
+import pytest
+
+from repro.analysis.metrics import aggregate, mean, median, over_seeds
+
+
+def test_mean():
+    assert mean([1.0, 2.0, 3.0]) == 2.0
+    with pytest.raises(ValueError):
+        mean([])
+
+
+def test_median():
+    assert median([1.0, 100.0, 2.0]) == 2.0
+    assert median([1.0, 3.0]) == 2.0
+
+
+def test_aggregate():
+    agg = aggregate([2.0, 4.0, 6.0])
+    assert agg.count == 3
+    assert agg.mean == 4.0
+    assert agg.median == 4.0
+    assert agg.min == 2.0
+    assert agg.max == 6.0
+    assert agg.stdev == pytest.approx(1.632993, rel=1e-5)
+
+
+def test_aggregate_empty_rejected():
+    with pytest.raises(ValueError):
+        aggregate([])
+
+
+def test_aggregate_str():
+    text = str(aggregate([1.0, 2.0]))
+    assert "1.500" in text
+
+
+def test_over_seeds():
+    agg = over_seeds(lambda seed: float(seed * 2), seeds=[1, 2, 3])
+    assert agg.mean == 4.0
+    assert agg.count == 3

@@ -1,0 +1,31 @@
+"""Tests for the system factory registry."""
+
+import pytest
+
+from repro.analysis.runner import SYSTEMS, build_cluster, warmup
+from repro.objects.kvstore import KVStoreSpec, get, put
+
+
+def test_all_systems_registered():
+    assert set(SYSTEMS) == {
+        "cht", "multipaxos", "raft", "vr", "megastore", "pql", "spanner",
+    }
+
+
+@pytest.mark.parametrize("system", sorted(SYSTEMS))
+def test_every_system_serves_a_write_and_read(system):
+    cluster = build_cluster(system, KVStoreSpec(), seed=3)
+    warmup(cluster, 600.0)
+    assert cluster.execute(1, put("x", 9), timeout=8000.0) is None
+    assert cluster.execute(2, get("x"), timeout=8000.0) == 9
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ValueError):
+        build_cluster("bogus", KVStoreSpec())
+
+
+def test_warmup_resets_counters():
+    cluster = build_cluster("cht", KVStoreSpec(), seed=3)
+    warmup(cluster, 500.0)
+    assert cluster.net.total_sent() == 0

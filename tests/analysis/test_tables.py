@@ -1,0 +1,53 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.analysis.tables import Table, banner, format_value
+
+
+def test_format_value_floats():
+    assert format_value(0.0) == "0"
+    assert format_value(1234.5) == "1,234"
+    assert format_value(3.14159) == "3.14"
+    assert format_value(0.01234) == "0.0123"
+
+
+def test_format_value_bool_and_str():
+    assert format_value(True) == "yes"
+    assert format_value(False) == "no"
+    assert format_value("abc") == "abc"
+    assert format_value(7) == "7"
+
+
+def test_table_renders_aligned():
+    table = Table(["name", "count"], title="demo")
+    table.add_row("a", 1).add_row("bbbb", 22)
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "count" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert len({len(line) for line in lines[1:]}) == 1  # aligned widths
+
+
+def test_table_row_arity_checked():
+    table = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row(1)
+
+
+def test_table_add_rows():
+    table = Table(["a"]).add_rows([[1], [2]])
+    assert len(table.rows) == 2
+
+
+def test_empty_table_renders():
+    text = Table(["col"]).render()
+    assert "col" in text
+
+
+def test_banner():
+    text = banner("hello")
+    lines = text.splitlines()
+    assert len(lines) == 3
+    assert "hello" in lines[1]

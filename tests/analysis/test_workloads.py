@@ -1,0 +1,86 @@
+"""Tests for workload generation and the drive helper."""
+
+import pytest
+
+from repro.analysis.workloads import ReadWriteMix, ScheduledOp, drive
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec
+
+
+def test_generate_counts_and_times():
+    mix = ReadWriteMix(rate=2.0, duration=100.0, seed=1, start=50.0)
+    ops = mix.generate()
+    assert len(ops) == 200
+    assert all(op.time >= 50.0 for op in ops)
+    assert [op.time for op in ops] == sorted(op.time for op in ops)
+
+
+def test_read_fraction_respected():
+    mix = ReadWriteMix(read_fraction=0.8, rate=5.0, duration=200.0, seed=2)
+    ops = mix.generate()
+    reads = sum(1 for op in ops if op.op.name == "get")
+    assert 0.7 < reads / len(ops) < 0.9
+
+
+def test_pure_read_and_pure_write():
+    assert all(
+        op.op.name == "get"
+        for op in ReadWriteMix(read_fraction=1.0, seed=3).generate()
+    )
+    assert all(
+        op.op.name == "put"
+        for op in ReadWriteMix(read_fraction=0.0, seed=3).generate()
+    )
+
+
+def test_writer_reader_pid_restrictions():
+    mix = ReadWriteMix(read_fraction=0.5, rate=5.0, duration=100.0,
+                       writer_pids=[0], reader_pids=[3, 4], seed=4)
+    for op in mix.generate():
+        if op.op.name == "put":
+            assert op.pid == 0
+        else:
+            assert op.pid in (3, 4)
+
+
+def test_deterministic_in_seed():
+    a = ReadWriteMix(seed=5).generate()
+    b = ReadWriteMix(seed=5).generate()
+    c = ReadWriteMix(seed=6).generate()
+    assert a == b
+    assert a != c
+
+
+def test_hot_keys_receive_more_traffic():
+    mix = ReadWriteMix(rate=10.0, duration=500.0, keys=tuple(
+        f"k{i}" for i in range(8)), hot_fraction=0.125, hot_weight=8.0,
+        seed=7)
+    counts = {}
+    for op in mix.generate():
+        key = op.op.args[0]
+        counts[key] = counts.get(key, 0) + 1
+    assert counts["k0"] > 2 * max(counts[f"k{i}"] for i in range(1, 8))
+
+
+def test_drive_executes_schedule():
+    cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=1)
+    cluster.start()
+    cluster.run_until_leader()
+    mix = ReadWriteMix(rate=0.2, duration=300.0, seed=1,
+                       start=cluster.sim.now + 10.0)
+    futures = drive(cluster, mix.generate())
+    assert all(f.done for f in futures)
+
+
+def test_drive_raises_on_incomplete():
+    cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=1)
+    cluster.start()
+    for pid in (0, 1, 2):
+        cluster.crash(pid)  # majority down: writes cannot complete
+    schedule = [ScheduledOp(10.0, 3, ReadWriteMix().generate()[0].op)]
+    from repro.objects.kvstore import put
+
+    schedule = [ScheduledOp(10.0, 3, put("k", 1))]
+    with pytest.raises(TimeoutError):
+        drive(cluster, schedule, extra_time=300.0)

@@ -1,0 +1,121 @@
+"""Edge-case tests for the baseline protocols' recovery paths."""
+
+import pytest
+
+from repro.baselines.raft import RaftCluster
+from repro.baselines.spanner import SpannerCluster
+from repro.baselines.vr import VRCluster
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.verify import check_linearizable
+
+
+class TestRaftLogRepair:
+    def test_divergent_follower_log_is_overwritten(self):
+        """An isolated leader accumulates uncommitted entries; after the
+        heal it must discard them in favour of the new leader's log."""
+        cluster = RaftCluster(KVStoreSpec(), n=5, seed=3)
+        cluster.start()
+        cluster.run(500.0)
+        cluster.execute(2, put("x", 1))
+        old_leader = next(r for r in cluster.replicas if r.role == "leader")
+        cluster.net.isolate(old_leader.pid, start=cluster.sim.now)
+        # Plant an entry directly in the isolated leader's log (no client
+        # retry loop, so nothing ever re-submits it elsewhere): it can
+        # never commit and must be discarded on repair.
+        from repro.objects.spec import OpInstance
+
+        doomed = OpInstance(old_leader.next_op_id(), put("x", 999))
+        old_leader._leader_append(doomed)
+        cluster.run(800.0)  # the rest elects a new leader
+        new_leader = next(
+            r for r in cluster.replicas
+            if r.role == "leader" and r.pid != old_leader.pid
+        )
+        cluster.execute(new_leader.pid, put("x", 2), timeout=8000.0)
+        cluster.net.heal_all()
+        cluster.run(2000.0)
+        # The old leader stepped down and adopted the new log.
+        assert old_leader.role == "follower"
+        assert cluster.execute(old_leader.pid, get("x"),
+                               timeout=8000.0) == 2
+        # The doomed entry is not visible anywhere.
+        for replica in cluster.replicas:
+            committed_values = [
+                entry.instance.op.args
+                for entry in replica.log[: replica.commit_index]
+                if entry.instance.op.name == "put"
+            ]
+            assert ("x", 999) not in committed_values
+
+    def test_history_stays_linearizable_through_repair(self):
+        cluster = RaftCluster(KVStoreSpec(), n=5, seed=3)
+        cluster.start()
+        cluster.run(500.0)
+        cluster.execute(2, put("x", 1))
+        old_leader = next(r for r in cluster.replicas if r.role == "leader")
+        cluster.net.isolate(old_leader.pid, start=cluster.sim.now)
+        from repro.objects.spec import OpInstance
+
+        old_leader._leader_append(
+            OpInstance(old_leader.next_op_id(), put("x", 999))
+        )
+        cluster.run(800.0)
+        survivor = next(r.pid for r in cluster.replicas
+                        if r.pid != old_leader.pid)
+        cluster.execute(survivor, put("x", 2), timeout=8000.0)
+        cluster.net.heal_all()
+        cluster.run(2000.0)
+        result = check_linearizable(cluster.spec, cluster.history(),
+                                    partition_by_key=True)
+        assert result, result.reason
+
+
+class TestVRStateTransfer:
+    def test_lagging_replica_catches_up_via_getstate(self):
+        cluster = VRCluster(KVStoreSpec(), n=5, seed=3)
+        cluster.start()
+        cluster.execute(0, put("x", 1))
+        cluster.net.isolate(4, start=cluster.sim.now)
+        for i in range(5):
+            cluster.execute(0, put("x", 10 + i), timeout=8000.0)
+        cluster.net.heal_all()
+        cluster.run_until(
+            lambda: cluster.replicas[4].commit_num
+            >= cluster.replicas[0].commit_num,
+            timeout=8000.0,
+        )
+        assert cluster.replicas[4].applied_upto >= 6
+        assert cluster.execute(4, get("x"), timeout=8000.0) == 14
+
+
+class TestSpannerSnapshots:
+    def test_now_reads_see_a_consistent_cut(self):
+        cluster = SpannerCluster(KVStoreSpec(), n=5, seed=5,
+                                 read_mode="now", epsilon=2.0)
+        cluster.start()
+        cluster.run(200.0)
+        # Interleave writes and a follower snapshot read; the read's
+        # returned cut must equal the state at some single timestamp.
+        cluster.execute(0, put("a", 1))
+        cluster.execute(0, put("b", 1))
+        future_a = cluster.submit(3, get("a"))
+        future_b = cluster.submit(3, get("b"))
+        cluster.execute(0, put("a", 2))
+        cluster.execute(0, put("b", 2))
+        cluster.run_until(lambda: future_a.done and future_b.done,
+                          timeout=8000.0)
+        assert future_a.value in (1, 2)
+        assert future_b.value in (1, 2)
+        result = check_linearizable(cluster.spec, cluster.history(),
+                                    partition_by_key=True)
+        assert result, result.reason
+
+    def test_snapshot_history_is_bounded(self):
+        cluster = SpannerCluster(KVStoreSpec(), n=5, seed=5,
+                                 read_mode="stale", epsilon=2.0)
+        cluster.start()
+        cluster.run(200.0)
+        for i in range(30):
+            cluster.execute(0, put("k", i))
+        for replica in cluster.replicas:
+            assert len(replica.snapshots) <= 100_000

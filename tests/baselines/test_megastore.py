@@ -1,0 +1,94 @@
+"""Tests for the Megastore baseline."""
+
+import pytest
+
+from repro.baselines.megastore import MegastoreCluster
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.verify import check_linearizable
+
+
+@pytest.fixture
+def cluster():
+    c = MegastoreCluster(KVStoreSpec(), n=5, seed=3)
+    c.start()
+    c.run(100.0)
+    return c
+
+
+def test_write_read_roundtrip(cluster):
+    assert cluster.execute(2, put("x", 1)) is None
+    assert cluster.execute(4, get("x")) == 1
+
+
+def test_local_reads_at_up_to_date_replicas(cluster):
+    cluster.execute(2, put("x", 1))
+    cluster.run(100.0)
+    before = cluster.net.total_sent()
+    future = cluster.submit(3, get("x"))
+    assert future.done
+    assert future.value == 1
+    assert cluster.net.total_sent() == before
+
+
+def test_mixed_workload_linearizable(cluster):
+    ops = [(i % 5, put("k", i)) for i in range(8)]
+    ops += [(i % 5, get("k")) for i in range(8)]
+    cluster.execute_all(ops)
+    assert check_linearizable(cluster.spec, cluster.history(),
+                              partition_by_key=True)
+
+
+def test_unresponsive_replica_delays_writes_until_invalidated(cluster):
+    cluster.execute(0, put("x", 1))
+    cluster.net.isolate(4, start=cluster.sim.now)
+    before = len(cluster.stats.latencies("rmw"))
+    cluster.execute(0, put("x", 2), timeout=5000.0)
+    slow = cluster.stats.latencies("rmw")[before]
+    # Pays the ack timeout plus a Chubby round trip.
+    assert slow >= cluster.replicas[0].ack_timeout
+    # The laggard is now marked out-of-date: next write is fast.
+    cluster.execute(0, put("x", 3))
+    fast = cluster.stats.latencies("rmw")[before + 1]
+    assert fast < slow / 2
+    assert 4 in cluster.replicas[0].out_of_date
+
+
+def test_invalidated_replica_does_not_serve_stale_reads(cluster):
+    cluster.execute(0, put("x", 1))
+    cluster.net.isolate(4, start=cluster.sim.now)
+    cluster.execute(0, put("x", 2), timeout=5000.0)
+    future = cluster.submit(4, get("x"))
+    cluster.run(500.0)
+    # Partitioned and out-of-date: the read cannot complete (and in
+    # particular never returns the stale value 1).
+    assert not future.done
+
+
+def test_replica_revalidates_after_heal(cluster):
+    cluster.execute(0, put("x", 1))
+    cluster.net.isolate(4, start=cluster.sim.now)
+    cluster.execute(0, put("x", 2), timeout=5000.0)
+    future = cluster.submit(4, get("x"))
+    cluster.net.heal_all()
+    cluster.run_until(lambda: future.done, timeout=8000.0)
+    assert future.value == 2
+
+
+def test_chubby_loss_blocks_writes_indefinitely(cluster):
+    """The paper: 'If the leader loses contact with Chubby while other
+    processes maintain contact, writes can be left blocked forever.'"""
+    cluster.execute(0, put("x", 1))
+    cluster.chubby.disconnect(0)
+    cluster.net.isolate(3, start=cluster.sim.now)
+    future = cluster.submit(0, put("x", 2))
+    cluster.run(5000.0)
+    assert not future.done
+    cluster.chubby.reconnect(0)
+    cluster.run_until(lambda: future.done, timeout=5000.0)
+    assert future.done
+
+
+def test_chubby_loss_without_laggards_is_harmless(cluster):
+    cluster.chubby.disconnect(0)
+    # All replicas responsive: no invalidation needed, writes proceed.
+    assert cluster.execute(0, put("x", 1), timeout=5000.0) is None

@@ -1,0 +1,82 @@
+"""Tests for the Multi-Paxos baseline."""
+
+import pytest
+
+from repro.baselines.multipaxos import PaxosCluster
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.verify import check_linearizable
+
+
+@pytest.fixture
+def cluster():
+    c = PaxosCluster(KVStoreSpec(), n=5, seed=3)
+    c.start()
+    return c
+
+
+def test_write_read_roundtrip(cluster):
+    assert cluster.execute(2, put("x", 1)) is None
+    assert cluster.execute(4, get("x")) == 1
+
+
+def test_reads_cost_messages(cluster):
+    cluster.execute(2, put("x", 1))
+    before = cluster.net.total_sent()
+    cluster.execute(1, get("x"))
+    assert cluster.net.total_sent() > before
+
+
+def test_mixed_workload_linearizable(cluster):
+    ops = [(i % 5, put("k", i)) for i in range(10)]
+    ops += [(i % 5, get("k")) for i in range(10)]
+    cluster.execute_all(ops)
+    result = check_linearizable(cluster.spec, cluster.history(),
+                                partition_by_key=True)
+    assert result, result.reason
+
+
+def test_all_replicas_converge(cluster):
+    cluster.execute_all([(i % 5, put(f"k{i}", i)) for i in range(10)])
+    cluster.run(1000.0)
+    states = {repr(r.state) for r in cluster.replicas}
+    assert len(states) == 1
+
+
+def test_leader_failover(cluster):
+    cluster.execute(0, put("x", 1))
+    cluster.crash(0)
+    cluster.run(500.0)
+    assert cluster.execute(1, put("y", 2), timeout=8000.0) is None
+    assert cluster.execute(2, get("x"), timeout=8000.0) == 1
+    assert cluster.execute(3, get("y"), timeout=8000.0) == 2
+
+
+def test_no_slot_chosen_twice_differently(cluster):
+    cluster.execute_all([(i % 5, put("k", i)) for i in range(15)])
+    cluster.run(500.0)
+    reference = {}
+    for replica in cluster.replicas:
+        for slot, value in replica.chosen.items():
+            assert reference.setdefault(slot, value) == value
+
+
+def test_duplicate_submission_committed_once(cluster):
+    # The client retry loop may deliver the same instance repeatedly; the
+    # leader must deduplicate.
+    cluster.execute(1, put("c", 1))
+    counts = {}
+    leader = cluster.replicas[0]
+    for slot, value in leader.chosen.items():
+        counts[value.op_id] = counts.get(value.op_id, 0) + 1
+    assert all(count == 1 for count in counts.values())
+
+
+def test_safety_under_pre_gst_chaos():
+    c = PaxosCluster(KVStoreSpec(), n=5, seed=5, gst=600.0,
+                     pre_gst_drop_prob=0.3)
+    c.start()
+    futures = [c.submit(i % 5, put("k", i)) for i in range(6)]
+    futures += [c.submit(i % 5, get("k")) for i in range(6)]
+    c.run(8000.0)
+    assert all(f.done for f in futures)
+    assert check_linearizable(c.spec, c.history(), partition_by_key=True)

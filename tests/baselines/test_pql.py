@@ -1,0 +1,86 @@
+"""Tests for the Paxos Quorum Leases baseline."""
+
+import pytest
+
+from repro.baselines.pql import PQLCluster
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.verify import check_linearizable
+
+
+@pytest.fixture
+def cluster():
+    c = PQLCluster(KVStoreSpec(), n=5, seed=3)
+    c.start()
+    c.run(200.0)
+    return c
+
+
+def test_write_read_roundtrip(cluster):
+    assert cluster.execute(2, put("x", 1)) is None
+    assert cluster.execute(4, get("x")) == 1
+
+
+def test_quiet_reads_are_local(cluster):
+    cluster.execute(2, put("x", 1))
+    cluster.run(100.0)
+    before = cluster.net.sent_by_category().get("consensus", 0)
+    future = cluster.submit(3, get("x"))
+    assert future.done
+    after = cluster.net.sent_by_category().get("consensus", 0)
+    assert after == before
+
+
+def test_lease_renewal_is_quadratic_and_four_message(cluster):
+    cluster.net.reset_counters()
+    renewal = cluster.replicas[0].lease_renewal
+    cluster.run(renewal)
+    lease_msgs = cluster.net.sent_by_category().get("lease", 0)
+    n = cluster.n
+    # One renewal round: n grantors x (n-1) holders x 4 messages.
+    expected = 4 * n * (n - 1)
+    assert lease_msgs >= expected * 0.8
+
+
+def test_any_pending_write_blocks_all_reads(cluster):
+    """PQL has no conflict awareness: a write to one key blocks reads of
+    every key at a holder that saw the accept."""
+    cluster.execute(2, put("x", 1))
+    cluster.execute(2, put("unrelated", 1))
+    cluster.run(100.0)
+    # Start a write and catch a holder mid-revocation.
+    write_future = cluster.submit(0, put("unrelated", 2))
+    holder = cluster.replicas[3]
+    cluster.run_until(
+        lambda: holder.max_seen_slot > holder.applied_upto, timeout=500.0
+    )
+    read_future = holder.submit(get("x"))  # different key entirely!
+    assert not read_future.done
+    cluster.run_until(lambda: read_future.done, timeout=2000.0)
+    cluster.run_until(lambda: write_future.done, timeout=2000.0)
+
+
+def test_mixed_workload_linearizable(cluster):
+    ops = [(i % 5, put("k", i)) for i in range(8)]
+    ops += [(i % 5, get("k")) for i in range(8)]
+    cluster.execute_all(ops)
+    assert check_linearizable(cluster.spec, cluster.history(),
+                              partition_by_key=True)
+
+
+def test_reads_block_without_majority_leases():
+    c = PQLCluster(KVStoreSpec(), n=5, seed=4, lease_duration=50.0,
+                   lease_renewal=20.0)
+    c.start()
+    c.run(200.0)
+    c.execute(0, put("x", 1))
+    # Cut a holder off from everyone: its leases expire and cannot renew.
+    c.net.isolate(3, start=c.sim.now)
+    c.run(200.0)
+    holder = c.replicas[3]
+    assert holder.leases_active() < holder.majority
+    future = holder.submit(get("x"))
+    c.run(300.0)
+    assert not future.done
+    c.net.heal_all()
+    c.run_until(lambda: future.done, timeout=2000.0)
+    assert future.value == 1

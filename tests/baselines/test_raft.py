@@ -1,0 +1,98 @@
+"""Tests for the Raft baseline."""
+
+import pytest
+
+from repro.baselines.raft import RaftCluster
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.verify import check_linearizable
+
+
+@pytest.fixture
+def cluster():
+    c = RaftCluster(KVStoreSpec(), n=5, seed=3)
+    c.start()
+    c.run(500.0)
+    return c
+
+
+def test_single_leader_elected(cluster):
+    leaders = [r for r in cluster.replicas if r.role == "leader"]
+    assert len(leaders) == 1
+
+
+def test_write_read_roundtrip(cluster):
+    assert cluster.execute(2, put("x", 1)) is None
+    assert cluster.execute(4, get("x")) == 1
+
+
+def test_reads_are_never_local(cluster):
+    """The paper: Raft reads always go to the leader and round-trip a
+    heartbeat quorum before responding."""
+    cluster.execute(2, put("x", 1))
+    follower = next(r.pid for r in cluster.replicas if r.role != "leader")
+    before = cluster.net.total_sent()
+    cluster.execute(follower, get("x"))
+    read_cost = cluster.net.total_sent() - before
+    # At least: forward to leader + heartbeat round (n-1 out, acks back)
+    # + reply.
+    assert read_cost >= 2 + (cluster.n - 1)
+
+
+def test_leader_reads_also_block_on_quorum(cluster):
+    cluster.execute(2, put("x", 1))
+    leader = next(r for r in cluster.replicas if r.role == "leader")
+    before = cluster.net.total_sent()
+    future = leader.submit(get("x"))
+    assert not future.done  # must wait for the heartbeat round
+    cluster.run_until(lambda: future.done)
+    assert future.value == 1
+    assert cluster.net.total_sent() > before
+
+
+def test_mixed_workload_linearizable(cluster):
+    ops = [(i % 5, put("k", i)) for i in range(8)]
+    ops += [(i % 5, get("k")) for i in range(8)]
+    cluster.execute_all(ops)
+    result = check_linearizable(cluster.spec, cluster.history(),
+                                partition_by_key=True)
+    assert result, result.reason
+
+
+def test_leader_crash_failover(cluster):
+    cluster.execute(2, put("x", 1))
+    leader = next(r for r in cluster.replicas if r.role == "leader")
+    cluster.crash(leader.pid)
+    cluster.run(800.0)
+    other = next(r.pid for r in cluster.replicas if not r.crashed)
+    assert cluster.execute(other, put("y", 2), timeout=8000.0) is None
+    assert cluster.execute(other, get("x"), timeout=8000.0) == 1
+
+
+def test_up_to_date_restriction_preserves_committed_entries(cluster):
+    # Cut one follower off, commit entries, then crash the leader: the
+    # lagging follower must not win the election.
+    cluster.execute(2, put("x", 1))
+    leader = next(r for r in cluster.replicas if r.role == "leader")
+    laggard = next(r for r in cluster.replicas if r.role != "leader")
+    cluster.net.isolate(laggard.pid, start=cluster.sim.now)
+    cluster.execute(leader.pid, put("x", 2), timeout=5000.0)
+    cluster.net.heal_all()
+    cluster.crash(leader.pid)
+    cluster.run(1200.0)
+    reader = next(r.pid for r in cluster.replicas
+                  if not r.crashed)
+    assert cluster.execute(reader, get("x"), timeout=8000.0) == 2
+
+
+def test_terms_monotonic(cluster):
+    cluster.execute(2, put("x", 1))
+    leader = next(r for r in cluster.replicas if r.role == "leader")
+    term_before = leader.term
+    cluster.crash(leader.pid)
+    cluster.run(1000.0)
+    new_leader = next(
+        (r for r in cluster.replicas if not r.crashed and r.role == "leader"),
+        None,
+    )
+    assert new_leader is not None
+    assert new_leader.term > term_before

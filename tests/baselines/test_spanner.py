@@ -1,0 +1,120 @@
+"""Tests for the Spanner baseline."""
+
+import pytest
+
+from repro.baselines.spanner import SpannerCluster
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.verify import check_linearizable
+
+
+def build(read_mode="leader", epsilon=2.0, seed=3, **kwargs):
+    c = SpannerCluster(KVStoreSpec(), n=5, seed=seed, read_mode=read_mode,
+                       epsilon=epsilon, **kwargs)
+    c.start()
+    c.run(100.0)
+    return c
+
+
+class TestWrites:
+    def test_write_read_roundtrip(self):
+        c = build()
+        assert c.execute(2, put("x", 1)) is None
+        assert c.execute(4, get("x")) == 1
+
+    def test_timestamps_strictly_increase(self):
+        c = build()
+        c.execute_all([(i % 5, put("k", i)) for i in range(8)])
+        leader = c.replicas[0]
+        stamps = [ts for _, (ts, _) in sorted(leader.log.items())]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+    def test_commit_wait_grows_with_uncertainty(self):
+        waits = {}
+        for uncertainty in (1.0, 40.0):
+            c = SpannerCluster(
+                KVStoreSpec(), n=5, seed=3, read_mode="leader",
+                epsilon=2.0, uncertainty=uncertainty,
+            )
+            c.start()
+            c.run(100.0)
+            for i in range(5):
+                c.execute(0, put("k", i))
+            leader = c.replicas[0]
+            waits[uncertainty] = sum(leader.commit_waits) / len(
+                leader.commit_waits
+            )
+        # Large uncertainty forces real commit-wait; small one hides inside
+        # the replication round trip.
+        assert waits[40.0] > waits[1.0] + 20.0
+
+    def test_mixed_workload_linearizable_leader_mode(self):
+        c = build()
+        ops = [(i % 5, put("k", i)) for i in range(8)]
+        ops += [(i % 5, get("k")) for i in range(8)]
+        c.execute_all(ops)
+        assert check_linearizable(c.spec, c.history(),
+                                  partition_by_key=True)
+
+
+class TestReadOptions:
+    def test_leader_mode_reads_are_not_local(self):
+        c = build(read_mode="leader")
+        c.execute(2, put("x", 1))
+        before = c.net.total_sent()
+        follower = next(pid for pid in range(5)
+                        if c.replicas[pid].omega.leader() != pid)
+        c.execute(follower, get("x"))
+        assert c.net.total_sent() > before
+
+    def test_now_mode_blocks_without_writes(self):
+        c = build(read_mode="now")
+        c.execute(2, put("x", 1))
+        c.run(100.0)
+        future = c.submit(3, get("x"))
+        c.run(500.0)
+        assert not future.done, "option (b) must block until a later write"
+        c.execute(1, put("unblock", 1))
+        c.run_until(lambda: future.done, timeout=2000.0)
+        assert future.value == 1
+
+    def test_now_mode_is_linearizable(self):
+        c = build(read_mode="now")
+        futures = []
+        for i in range(6):
+            futures.append(c.submit(i % 5, put("k", i)))
+            futures.append(c.submit((i + 1) % 5, get("k")))
+            c.run(30.0)
+        c.execute(0, put("fin", 1))  # unblock the last reads
+        c.run(2000.0)
+        assert all(f.done for f in futures)
+        assert check_linearizable(c.spec, c.history(),
+                                  partition_by_key=True)
+
+    def test_stale_mode_never_blocks(self):
+        c = build(read_mode="stale")
+        c.execute(2, put("x", 1))
+        c.run(100.0)
+        future = c.submit(3, get("x"))
+        assert future.done
+
+    def test_stale_mode_can_violate_linearizability(self):
+        # Hold back the apply stream to one follower and read from it
+        # right after a write committed elsewhere.
+        c = build(read_mode="stale", seed=7)
+        c.execute(2, put("x", 1))
+        c.run(100.0)
+        c.net.isolate(4, start=c.sim.now)
+        c.execute(0, put("x", 2), timeout=5000.0)
+        c.run(5.0)  # strictly after the write's response in real time
+        stale = c.submit(4, get("x"))  # completes locally, stale
+        assert stale.done
+        assert stale.value == 1
+        result = check_linearizable(c.spec, c.history(),
+                                    partition_by_key=True)
+        assert not result, "option (c) staleness must be caught"
+
+
+def test_rejects_unknown_read_mode():
+    with pytest.raises(ValueError):
+        build(read_mode="bogus")

@@ -1,0 +1,82 @@
+"""Tests for the Viewstamped Replication baseline."""
+
+import pytest
+
+from repro.baselines.vr import VRCluster
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.verify import check_linearizable
+
+
+@pytest.fixture
+def cluster():
+    c = VRCluster(KVStoreSpec(), n=5, seed=3)
+    c.start()
+    return c
+
+
+def test_primary_is_view_mod_n(cluster):
+    primary = cluster.primary()
+    assert primary is not None
+    assert primary.pid == primary.view % cluster.n == 0
+
+
+def test_write_read_roundtrip(cluster):
+    assert cluster.execute(2, put("x", 1)) is None
+    assert cluster.execute(4, get("x")) == 1
+
+
+def test_reads_go_through_primary(cluster):
+    cluster.execute(2, put("x", 1))
+    before = cluster.net.total_sent()
+    cluster.execute(1, get("x"))
+    assert cluster.net.total_sent() > before
+
+
+def test_mixed_workload_linearizable(cluster):
+    ops = [(i % 5, put("k", i)) for i in range(8)]
+    ops += [(i % 5, get("k")) for i in range(8)]
+    cluster.execute_all(ops)
+    assert check_linearizable(cluster.spec, cluster.history(),
+                              partition_by_key=True)
+
+
+def test_view_change_on_primary_crash(cluster):
+    cluster.execute(2, put("x", 1))
+    cluster.crash(0)
+    cluster.run(1000.0)
+    new_primary = cluster.primary()
+    assert new_primary is not None
+    assert new_primary.pid == 1
+    assert cluster.execute(3, get("x"), timeout=8000.0) == 1
+
+
+def test_round_robin_cascade(cluster):
+    """The paper's critique: with a static schedule, crashing the next
+    primaries in id order forces the system through ineffective views."""
+    cluster.execute(2, put("x", 1))
+    cluster.crash(0)
+    cluster.crash(1)
+    cluster.run(2500.0)
+    primary = cluster.primary()
+    assert primary is not None
+    assert primary.pid == 2
+    assert primary.view >= 2  # cycled past view 1 whose primary is dead
+    assert cluster.execute(3, get("x"), timeout=8000.0) == 1
+
+
+def test_committed_ops_survive_view_change(cluster):
+    cluster.execute_all([(i % 5, put(f"k{i}", i)) for i in range(6)])
+    cluster.crash(0)
+    cluster.run(1200.0)
+    for i in range(6):
+        assert cluster.execute(2, get(f"k{i}"), timeout=8000.0) == i
+
+
+def test_logs_agree_across_replicas(cluster):
+    cluster.execute_all([(i % 5, put("k", i)) for i in range(10)])
+    cluster.run(500.0)
+    logs = {tuple(inst.op_id for inst in r.log[:r.commit_num])
+            for r in cluster.replicas}
+    # All committed prefixes are prefixes of one another.
+    longest = max(logs, key=len)
+    assert all(longest[:len(log)] == log for log in logs)

@@ -1,0 +1,32 @@
+"""Shared fixtures for the CHT algorithm tests."""
+
+import pytest
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec
+from repro.objects.register import RegisterSpec
+
+
+@pytest.fixture
+def kv_cluster():
+    """A started 5-process KV cluster with a stable leader."""
+    cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=2)
+    cluster.start()
+    cluster.run_until_leader()
+    return cluster
+
+
+@pytest.fixture
+def register_cluster():
+    cluster = ChtCluster(RegisterSpec(initial=0), ChtConfig(n=5), seed=2)
+    cluster.start()
+    cluster.run_until_leader()
+    return cluster
+
+
+def make_cluster(spec=None, config=None, **kwargs):
+    cluster = ChtCluster(spec or KVStoreSpec(), config or ChtConfig(n=5),
+                         **kwargs)
+    cluster.start()
+    return cluster

@@ -1,0 +1,60 @@
+"""Tests for ChtConfig validation and derived defaults."""
+
+import pytest
+
+from repro.core.config import ChtConfig
+
+
+def test_defaults_are_consistent():
+    config = ChtConfig()
+    assert config.majority == 3
+    assert config.heartbeat_timeout == 2 * config.heartbeat_period + 2 * config.delta
+    assert config.support_duration == (
+        3 * config.support_period + 2 * config.delta + config.epsilon
+    )
+    assert config.retry_period == 2 * config.delta
+    assert config.lease_renewal < config.lease_period
+
+
+def test_majority_odd_even():
+    assert ChtConfig(n=3).majority == 2
+    assert ChtConfig(n=4).majority == 3
+    assert ChtConfig(n=7).majority == 4
+
+
+def test_explicit_values_not_overridden():
+    config = ChtConfig(heartbeat_timeout=123.0, support_duration=456.0,
+                       retry_period=7.0)
+    assert config.heartbeat_timeout == 123.0
+    assert config.support_duration == 456.0
+    assert config.retry_period == 7.0
+
+
+def test_rejects_bad_n():
+    with pytest.raises(ValueError):
+        ChtConfig(n=0)
+
+
+def test_rejects_bad_delta():
+    with pytest.raises(ValueError):
+        ChtConfig(delta=0.0)
+
+
+def test_rejects_negative_epsilon():
+    with pytest.raises(ValueError):
+        ChtConfig(epsilon=-1.0)
+
+
+def test_rejects_renewal_longer_than_lease():
+    with pytest.raises(ValueError):
+        ChtConfig(lease_period=10.0, lease_renewal=20.0)
+
+
+def test_rejects_lease_period_swallowed_by_epsilon():
+    with pytest.raises(ValueError):
+        ChtConfig(epsilon=200.0)  # default lease_period=100 < epsilon
+
+
+def test_rejects_support_duration_below_period():
+    with pytest.raises(ValueError):
+        ChtConfig(support_period=50.0, support_duration=10.0)

@@ -1,0 +1,146 @@
+"""Tests for leadership changes: estimate transfer, invariants, liveness."""
+
+import pytest
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.verify import check_i2_i3, check_linearizable
+
+from .conftest import make_cluster
+
+
+def settled(seed=2):
+    cluster = make_cluster(seed=seed)
+    cluster.run_until_leader()
+    cluster.execute(0, put("x", 1))
+    cluster.run(100.0)
+    return cluster
+
+
+class TestLeaderCrash:
+    def test_new_leader_emerges(self):
+        cluster = settled()
+        old = cluster.leader()
+        cluster.crash(old.pid)
+        new = cluster.run_until_leader(timeout=5000.0)
+        assert new.pid != old.pid
+
+    def test_committed_data_survives(self):
+        cluster = settled()
+        old = cluster.leader()
+        cluster.execute(1, put("durable", 42))
+        cluster.crash(old.pid)
+        cluster.run_until_leader(timeout=5000.0)
+        reader = next(
+            r.pid for r in cluster.alive()
+        )
+        assert cluster.execute(reader, get("durable"), timeout=5000.0) == 42
+
+    def test_writes_resume_after_failover(self):
+        cluster = settled()
+        old = cluster.leader()
+        cluster.crash(old.pid)
+        writer = next(r.pid for r in cluster.alive())
+        assert cluster.execute(writer, put("post", 7), timeout=8000.0) is None
+        assert cluster.execute(writer, get("post"), timeout=5000.0) == 7
+
+    def test_i2_i3_hold_after_failover(self):
+        cluster = settled()
+        old = cluster.leader()
+        cluster.crash(old.pid)
+        cluster.run_until_leader(timeout=5000.0)
+        cluster.execute_all(
+            [(r.pid, put(f"k{r.pid}", r.pid)) for r in cluster.alive()],
+            timeout=8000.0,
+        )
+        check_i2_i3([r for r in cluster.replicas if not r.crashed])
+
+    def test_repeated_failovers(self):
+        cluster = settled()
+        for round_num in range(2):
+            leader = cluster.leader() or cluster.run_until_leader(
+                timeout=8000.0
+            )
+            cluster.crash(leader.pid)
+            new = cluster.run_until_leader(timeout=8000.0)
+            writer = new.pid
+            assert cluster.execute(
+                writer, put(f"round{round_num}", round_num), timeout=8000.0
+            ) is None
+        for round_num in range(2):
+            reader = cluster.alive()[0].pid
+            assert cluster.execute(
+                reader, get(f"round{round_num}"), timeout=5000.0
+            ) == round_num
+
+    def test_history_linearizable_across_failover(self):
+        cluster = settled()
+        futures = [cluster.submit(i % 5, put("k", i)) for i in range(6)]
+        futures += [cluster.submit(i % 5, get("k")) for i in range(6)]
+        old = cluster.leader()
+        cluster.run(15.0)
+        cluster.crash(old.pid)
+        cluster.run(4000.0)
+        result = check_linearizable(
+            cluster.spec,
+            cluster.history(),
+            partition_by_key=True,
+        )
+        assert result, result.reason
+
+
+class TestInFlightBatchTransfer:
+    def test_half_prepared_batch_is_resolved_consistently(self):
+        # Crash the leader right after it started preparing a batch; the
+        # successor must either commit exactly that batch or discard it,
+        # never a different value for the same batch number.
+        cluster = settled(seed=6)
+        old = cluster.leader()
+        future = cluster.submit(old.pid, put("inflight", 1))
+        # Let the Prepare go out but crash before Commit likely arrives.
+        cluster.run(cluster.config.delta + 1.0)
+        cluster.crash(old.pid)
+        cluster.run(6000.0)
+        # BatchMonitor raises if any batch number got two different values;
+        # additionally the history must stay linearizable whether or not
+        # the in-flight write survived.
+        result = check_linearizable(
+            cluster.spec, cluster.history(), partition_by_key=True
+        )
+        assert result, result.reason
+        # If the write is visible anywhere, it is visible consistently.
+        alive = cluster.alive()
+        cluster.run(1000.0)
+        values = {
+            cluster.execute(r.pid, get("inflight"), timeout=5000.0)
+            for r in alive
+        }
+        assert len(values) == 1
+
+    def test_client_retry_survives_leader_change(self):
+        cluster = settled(seed=6)
+        old = cluster.leader()
+        submitter = next(r.pid for r in cluster.replicas
+                         if r.pid != old.pid)
+        future = cluster.submit(submitter, put("retry", 5))
+        cluster.run(5.0)
+        cluster.crash(old.pid)
+        cluster.run_until(lambda: future.done, timeout=10_000.0)
+        assert future.done
+        assert cluster.execute(submitter, get("retry"), timeout=5000.0) == 5
+
+
+class TestMinorityCrashes:
+    def test_two_follower_crashes_tolerated(self):
+        cluster = settled()
+        leader = cluster.leader()
+        followers = [r.pid for r in cluster.replicas if r.pid != leader.pid]
+        cluster.crash(followers[0])
+        cluster.crash(followers[1])
+        assert cluster.execute(leader.pid, put("ok", 1), timeout=5000.0) is None
+        survivor = next(
+            pid for pid in followers[2:]
+        )
+        cluster.run(500.0)
+        assert cluster.execute(survivor, get("ok"), timeout=5000.0) == 1

@@ -1,0 +1,170 @@
+"""Tests for the read-lease and leaseholder mechanisms (the red code)."""
+
+import pytest
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.sim.latency import FixedDelay
+
+from .conftest import make_cluster
+
+
+def settled_cluster(seed=3, **kwargs):
+    cluster = make_cluster(seed=seed, **kwargs)
+    cluster.run_until_leader()
+    cluster.execute(0, put("x", 1))
+    cluster.run(200.0)
+    return cluster
+
+
+class TestLeaseIssuance:
+    def test_all_followers_hold_valid_leases(self):
+        cluster = settled_cluster()
+        leader = cluster.leader()
+        for replica in cluster.replicas:
+            if replica.pid == leader.pid:
+                continue
+            assert replica.lease is not None
+            assert replica.lease.valid_at(
+                replica.local_time, cluster.config.lease_period
+            )
+
+    def test_leases_carry_latest_committed_batch(self):
+        cluster = settled_cluster()
+        leader = cluster.leader()
+        cluster.run(2 * cluster.config.lease_renewal)
+        for replica in cluster.replicas:
+            if replica.pid != leader.pid:
+                assert replica.lease.k == leader.tenure.k
+
+    def test_leases_renewed_continuously(self):
+        cluster = settled_cluster()
+        follower = next(
+            r for r in cluster.replicas if not r.is_leader()
+        )
+        first_ts = follower.lease.ts
+        cluster.run(2 * cluster.config.lease_renewal)
+        assert follower.lease.ts > first_ts
+
+    def test_lease_validity_window(self):
+        from repro.core.state import ReadLease
+
+        lease = ReadLease(k=3, ts=100.0)
+        assert lease.valid_at(150.0, lease_period=100.0)
+        assert not lease.valid_at(200.0, lease_period=100.0)
+
+
+class TestLeaseholderMechanism:
+    def test_unresponsive_holder_delays_commit_once(self):
+        cluster = ChtCluster(
+            KVStoreSpec(), ChtConfig(n=5), seed=3,
+            post_gst_delay=FixedDelay(10.0),
+        )
+        cluster.start()
+        leader = cluster.run_until_leader()
+        cluster.execute(0, put("x", 1))
+        cluster.run(200.0)
+        victim = max(r.pid for r in cluster.replicas if r.pid != leader.pid)
+        cluster.net.isolate(victim, start=cluster.sim.now)
+
+        # First write after the partition: pays the full lease-expiry wait.
+        base_commits = len(leader.commit_log)
+        cluster.execute(0, put("a", 1), timeout=5000.0)
+        first = leader.commit_log[base_commits]
+        assert first.expiry_wait
+        assert first.latency >= cluster.config.lease_period
+
+        # The victim is dropped from the leaseholder set: later writes fast.
+        assert victim not in leader.tenure.leaseholders
+        cluster.execute(0, put("a", 2))
+        second = leader.commit_log[base_commits + 1]
+        assert not second.expiry_wait
+        assert second.latency <= 4 * cluster.config.delta
+
+    def test_victim_cannot_read_after_removal(self):
+        cluster = settled_cluster(post_gst_delay=FixedDelay(10.0))
+        leader = cluster.leader()
+        victim_pid = max(
+            r.pid for r in cluster.replicas if r.pid != leader.pid
+        )
+        victim = cluster.replicas[victim_pid]
+        cluster.net.isolate(victim_pid, start=cluster.sim.now)
+        cluster.execute(0, put("x", 99), timeout=5000.0)
+        cluster.run(2 * cluster.config.lease_period)
+        # Its lease has expired and cannot renew: reads block, never stale.
+        future = victim.submit_read(get("x"))
+        assert not future.done
+
+    def test_reintegration_after_heal(self):
+        cluster = settled_cluster(post_gst_delay=FixedDelay(10.0))
+        leader = cluster.leader()
+        victim_pid = max(
+            r.pid for r in cluster.replicas if r.pid != leader.pid
+        )
+        cluster.net.isolate(victim_pid, start=cluster.sim.now)
+        cluster.execute(0, put("x", 99), timeout=5000.0)
+        assert victim_pid not in leader.tenure.leaseholders
+        cluster.net.heal_all()
+        # LeaseRequest reintegrates the victim within a few renewals.
+        cluster.run_until(
+            lambda: victim_pid in leader.tenure.leaseholders, timeout=2000.0
+        )
+        cluster.run(2 * cluster.config.lease_renewal + 4 * cluster.config.delta)
+        victim = cluster.replicas[victim_pid]
+        future = victim.submit_read(get("x"))
+        cluster.run_until(lambda: future.done)
+        assert future.value == 99
+
+    def test_commit_waits_cover_clock_skew(self):
+        # The expiry wait includes the +epsilon term: with maximal skew a
+        # slow-clocked holder's lease must still be expired at commit time.
+        config = ChtConfig(n=3, epsilon=4.0)
+        cluster = ChtCluster(
+            KVStoreSpec(), config, seed=5,
+            post_gst_delay=FixedDelay(10.0),
+            clock_offsets=[2.0, -2.0, 0.0],
+        )
+        cluster.start()
+        leader = cluster.run_until_leader()
+        cluster.execute(0, put("x", 1))
+        cluster.run(200.0)
+        victim = next(
+            r for r in cluster.replicas if r.pid != leader.pid
+        )
+        cluster.net.isolate(victim.pid, start=cluster.sim.now)
+        before_commit = len(leader.commit_log)
+        future = cluster.submit(leader.pid, put("x", 2))
+        cluster.run_until(lambda: future.done, timeout=5000.0)
+        record = leader.commit_log[before_commit]
+        last_lease_ts = victim.lease.ts
+        # Commit happened only after the victim's lease expired on the
+        # victim's own clock.
+        commit_real = cluster.clocks.real(leader.pid, record.committed_local)
+        victim_local_at_commit = cluster.clocks.local(victim.pid, commit_real)
+        assert victim_local_at_commit > last_lease_ts + config.lease_period
+
+
+class TestLeaseSafety:
+    def test_no_stale_reads_around_lease_expiry(self):
+        # Continuously write while a follower is cut off; any read it
+        # serves must never be stale (it blocks instead).
+        cluster = settled_cluster(post_gst_delay=FixedDelay(10.0))
+        leader = cluster.leader()
+        victim_pid = max(
+            r.pid for r in cluster.replicas if r.pid != leader.pid
+        )
+        victim = cluster.replicas[victim_pid]
+        reads = []
+        cluster.net.isolate(victim_pid, start=cluster.sim.now)
+        for i in range(3):
+            reads.append((victim.submit_read(get("x")), i))
+            cluster.execute(0, put("x", 100 + i), timeout=5000.0)
+        cluster.net.heal_all()
+        cluster.run(1000.0)
+        from repro.verify import check_linearizable
+
+        result = check_linearizable(
+            cluster.spec, cluster.history(), partition_by_key=True
+        )
+        assert result, result.reason

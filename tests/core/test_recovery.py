@@ -1,0 +1,101 @@
+"""Tests for single-replica crash-recovery cycles."""
+
+import pytest
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.verify import check_linearizable
+
+
+def settled(seed=12):
+    cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=seed)
+    cluster.start()
+    cluster.run_until_leader()
+    cluster.execute(0, put("x", 1))
+    cluster.run(100.0)
+    return cluster
+
+
+class TestFollowerRecovery:
+    def test_recovered_follower_catches_up_and_reads(self):
+        cluster = settled()
+        leader = cluster.leader()
+        victim = next(r.pid for r in cluster.replicas
+                      if r.pid != leader.pid)
+        cluster.crash(victim)
+        for i in range(5):
+            cluster.execute(leader.pid, put("x", 10 + i))
+        cluster.recover(victim)
+        cluster.run(2000.0)
+        assert cluster.execute(victim, get("x"), timeout=10_000.0) == 14
+
+    def test_recovered_follower_participates_in_quorums(self):
+        cluster = settled()
+        leader = cluster.leader()
+        others = [r.pid for r in cluster.replicas if r.pid != leader.pid]
+        cluster.crash(others[0])
+        cluster.crash(others[1])
+        # Majority is exactly met; recover one, crash another: still ok.
+        cluster.recover(others[0])
+        cluster.run(1000.0)
+        cluster.crash(others[2])
+        assert cluster.execute(leader.pid, put("q", 1),
+                               timeout=15_000.0) is None
+
+    def test_stable_state_survives_recovery(self):
+        cluster = settled()
+        leader = cluster.leader()
+        victim = next(r.pid for r in cluster.replicas
+                      if r.pid != leader.pid)
+        replica = cluster.replicas[victim]
+        batches_before = dict(replica.batches)
+        cluster.crash(victim)
+        cluster.recover(victim)
+        for j, ops in batches_before.items():
+            assert replica.batches.get(j) == ops
+        # Volatile state was reset.
+        assert replica.lease is None
+        assert replica.tenure is None
+
+
+class TestLeaderRecovery:
+    def test_recovered_old_leader_rejoins_as_follower_under_new_one(self):
+        cluster = settled()
+        old = cluster.leader()
+        cluster.crash(old.pid)
+        new = cluster.run_until_leader(timeout=10_000.0)
+        cluster.execute(new.pid, put("x", 2), timeout=10_000.0)
+        cluster.recover(old.pid)
+        cluster.run(3000.0)
+        # With the default smallest-id Omega the recovered process may be
+        # re-elected; either way exactly one initialized leader exists and
+        # the old value is preserved.
+        cluster.run_until_leader(timeout=10_000.0)
+        leaders = [r for r in cluster.alive() if r.is_leader()]
+        assert len(leaders) == 1
+        reader = old.pid
+        assert cluster.execute(reader, get("x"), timeout=10_000.0) == 2
+
+    def test_history_linearizable_across_recovery(self):
+        cluster = settled()
+        old = cluster.leader()
+        futures = {
+            i % 5: cluster.submit(i % 5, put("k", i)) for i in range(4)
+        }
+        cluster.run(15.0)
+        cluster.crash(old.pid)
+        cluster.run(2000.0)
+        cluster.recover(old.pid)
+        cluster.run(6000.0)
+        reads = [cluster.submit(i % 5, get("k")) for i in range(4)]
+        cluster.run(5000.0)
+        # Ops from processes that stayed up terminate; the crashed
+        # process's own in-flight op died with its client task (the paper
+        # promises termination only to correct processes).
+        assert all(f.done for pid, f in futures.items() if pid != old.pid)
+        assert all(f.done for f in reads)
+        result = check_linearizable(
+            cluster.spec, cluster.history(), partition_by_key=True
+        )
+        assert result, result.reason

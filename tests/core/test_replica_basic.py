@@ -1,0 +1,161 @@
+"""Basic end-to-end behaviour of the CHT cluster."""
+
+import pytest
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.objects.counter import CounterSpec, add, value
+from repro.objects.kvstore import KVStoreSpec, get, increment, put
+from repro.objects.lock import LockSpec, acquire, owner, release
+from repro.verify import check_linearizable
+
+from .conftest import make_cluster
+
+
+class TestBootstrap:
+    def test_a_leader_emerges(self, kv_cluster):
+        leader = kv_cluster.leader()
+        assert leader is not None
+        assert leader.is_leader()
+
+    def test_exactly_one_leader(self, kv_cluster):
+        leaders = [r for r in kv_cluster.replicas if r.is_leader()]
+        assert len(leaders) == 1
+
+    def test_leader_committed_noop_bootstrap(self, kv_cluster):
+        leader = kv_cluster.leader()
+        kv_cluster.run(200.0)
+        # Batch 1 (inherited/empty) plus the NoOp batch must be committed.
+        assert leader.applied_upto >= 2
+
+    def test_el1_monitor_stayed_clean(self, kv_cluster):
+        kv_cluster.run(500.0)
+        # LeaderIntervalMonitor raises on violation; reaching here with
+        # recorded intervals means EL1 held.
+        assert kv_cluster.leader_monitor.intervals
+
+
+class TestRmwOperations:
+    def test_write_and_read_roundtrip(self, kv_cluster):
+        assert kv_cluster.execute(1, put("x", 10)) is None
+        assert kv_cluster.execute(3, get("x")) == 10
+
+    def test_rmw_response_depends_on_state(self, kv_cluster):
+        assert kv_cluster.execute(0, increment("c", 2)) == 2
+        assert kv_cluster.execute(4, increment("c", 3)) == 5
+
+    def test_rmw_from_every_process(self, kv_cluster):
+        for pid in range(5):
+            kv_cluster.execute(pid, put(f"key{pid}", pid))
+        for pid in range(5):
+            assert kv_cluster.execute((pid + 1) % 5, get(f"key{pid}")) == pid
+
+    def test_concurrent_rmws_all_complete(self, kv_cluster):
+        results = kv_cluster.execute_all(
+            [(i % 5, increment("c")) for i in range(20)]
+        )
+        assert sorted(results) == list(range(1, 21))
+
+    def test_counter_object(self):
+        cluster = make_cluster(spec=CounterSpec(), seed=4)
+        cluster.run_until_leader()
+        assert cluster.execute(0, add(5)) == 5
+        assert cluster.execute(1, value()) == 5
+
+    def test_lock_object(self):
+        cluster = make_cluster(spec=LockSpec(), seed=4)
+        cluster.run_until_leader()
+        assert cluster.execute(0, acquire("alice")) is True
+        assert cluster.execute(1, acquire("bob")) is False
+        assert cluster.execute(2, owner()) == "alice"
+        assert cluster.execute(0, release("alice")) is True
+        assert cluster.execute(1, acquire("bob")) is True
+
+
+class TestBatching:
+    def test_concurrent_submissions_share_batches(self, kv_cluster):
+        futures = [kv_cluster.submit(i % 5, put(f"k{i}", i))
+                   for i in range(10)]
+        kv_cluster.run_until(lambda: all(f.done for f in futures))
+        leader = kv_cluster.leader()
+        # 10 operations committed in fewer than 10 batches (batching works;
+        # bootstrap committed 2 batches before this test's operations).
+        op_batches = [
+            rec for rec in leader.commit_log if rec.size > 0
+        ]
+        total_ops = sum(rec.size for rec in op_batches)
+        assert total_ops >= 10
+        assert len(leader.commit_log) < 12
+
+    def test_no_operation_in_two_batches(self, kv_cluster):
+        kv_cluster.execute_all([(i % 5, put("k", i)) for i in range(10)])
+        seen = {}
+        for j, ops in kv_cluster.batch_monitor.batch_values.items():
+            for inst in ops:
+                assert inst.op_id not in seen, (
+                    f"op {inst} in batches {seen[inst.op_id]} and {j}"
+                )
+                seen[inst.op_id] = j
+
+    def test_batches_identical_across_replicas(self, kv_cluster):
+        kv_cluster.execute_all([(i % 5, put("k", i)) for i in range(10)])
+        kv_cluster.run(500.0)
+        leader = kv_cluster.leader()
+        for replica in kv_cluster.replicas:
+            for j, ops in replica.batches.items():
+                assert leader.batches.get(j) == ops
+
+    def test_all_replicas_converge(self, kv_cluster):
+        kv_cluster.execute_all([(i % 5, put("k", i)) for i in range(10)])
+        kv_cluster.run(500.0)
+        states = {repr(r.state) for r in kv_cluster.replicas}
+        applied = {r.applied_upto for r in kv_cluster.replicas}
+        assert len(states) == 1
+        assert len(applied) == 1
+
+
+class TestLinearizability:
+    def test_mixed_workload_linearizable(self, kv_cluster):
+        ops = []
+        for i in range(15):
+            ops.append((i % 5, put(f"k{i % 3}", i)))
+            ops.append(((i + 2) % 5, get(f"k{i % 3}")))
+        kv_cluster.execute_all(ops)
+        result = check_linearizable(
+            kv_cluster.spec, kv_cluster.history(), partition_by_key=True
+        )
+        assert result, result.reason
+
+    def test_register_history_linearizable(self, register_cluster):
+        from repro.objects.register import read, write
+
+        ops = []
+        for i in range(8):
+            ops.append((i % 5, write(i)))
+            ops.append(((i + 1) % 5, read()))
+        register_cluster.execute_all(ops)
+        result = check_linearizable(
+            register_cluster.spec, register_cluster.history()
+        )
+        assert result, result.reason
+
+
+class TestClientApi:
+    def test_submit_read_on_rmw_rejected(self, kv_cluster):
+        with pytest.raises(ValueError):
+            kv_cluster.replicas[0].submit_read(put("k", 1))
+
+    def test_crashed_replica_rejects_submissions(self, kv_cluster):
+        kv_cluster.crash(4)
+        with pytest.raises(RuntimeError):
+            kv_cluster.replicas[4].submit_rmw(put("k", 1))
+        with pytest.raises(RuntimeError):
+            kv_cluster.replicas[4].submit_read(get("k"))
+
+    def test_execute_timeout(self):
+        cluster = make_cluster(seed=5)
+        # Crash a majority: operations cannot complete.
+        for pid in (0, 1, 2):
+            cluster.crash(pid)
+        with pytest.raises(TimeoutError):
+            cluster.execute(3, put("k", 1), timeout=500.0)

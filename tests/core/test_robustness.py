@@ -1,0 +1,149 @@
+"""Robustness tests: the paper's degraded-mode guarantees.
+
+"If a majority of processes crash or the bounds on process speed or
+message delay never hold, only liveness is compromised ... If clocks are
+not synchronized, the object remains consistent in the sense that the
+sub-execution consisting of the RMW operations is still linearizable, but
+reads may stall or return stale object states.  Once clock synchrony is
+restored, however, reads will again return the current object state."
+"""
+
+import pytest
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.sim.latency import SpikeDelay, UniformDelay
+from repro.verify import check_linearizable
+
+from .conftest import make_cluster
+
+
+class TestMajorityCrash:
+    def test_liveness_lost_but_never_wrong(self):
+        cluster = make_cluster(seed=2)
+        cluster.run_until_leader()
+        cluster.execute(0, put("x", 1))
+        for pid in (0, 1, 2):
+            cluster.crash(pid)
+        write = cluster.submit(3, put("x", 2))
+        read = cluster.submit(4, get("x"))
+        cluster.run(5000.0)
+        # The write can never commit; the read may only complete if the
+        # survivor still holds a valid lease, in which case it returns the
+        # pre-crash value, never garbage.
+        assert not write.done
+        if read.done:
+            assert read.value == 1
+        result = check_linearizable(
+            cluster.spec, cluster.history(), partition_by_key=True
+        )
+        assert result, result.reason
+
+    def test_recovery_of_crashed_majority_restores_liveness(self):
+        cluster = make_cluster(seed=2)
+        cluster.run_until_leader()
+        cluster.execute(0, put("x", 1))
+        for pid in (0, 1, 2):
+            cluster.crash(pid)
+        cluster.run(500.0)
+        for pid in (0, 1, 2):
+            cluster.recover(pid)
+        cluster.run_until_leader(timeout=8000.0)
+        assert cluster.execute(3, put("x", 2), timeout=8000.0) is None
+        assert cluster.execute(4, get("x"), timeout=8000.0) == 2
+
+
+class TestPreGstChaos:
+    def test_safety_under_loss_and_delay(self):
+        cluster = ChtCluster(
+            KVStoreSpec(),
+            ChtConfig(n=5),
+            seed=8,
+            gst=800.0,
+            pre_gst_delay=SpikeDelay(1.0, 10.0, 200.0, spike_prob=0.3),
+            pre_gst_drop_prob=0.3,
+        )
+        cluster.start()
+        futures = [cluster.submit(i % 5, put(f"k{i % 2}", i))
+                   for i in range(8)]
+        futures += [cluster.submit(i % 5, get(f"k{i % 2}"))
+                    for i in range(8)]
+        cluster.run(6000.0)
+        # After GST everything completes...
+        assert all(f.done for f in futures)
+        # ...and the full history (including pre-GST chaos) is linearizable.
+        result = check_linearizable(
+            cluster.spec, cluster.history(), partition_by_key=True
+        )
+        assert result, result.reason
+
+    def test_operations_before_gst_eventually_complete(self):
+        cluster = ChtCluster(
+            KVStoreSpec(), ChtConfig(n=5), seed=9,
+            gst=500.0, pre_gst_drop_prob=0.9,
+        )
+        cluster.start()
+        future = cluster.submit(2, put("x", 1))
+        cluster.run(400.0)
+        cluster.run_until(lambda: future.done, timeout=5000.0)
+        assert future.done
+
+
+class TestClockDesync:
+    def _desynced_run(self):
+        cluster = make_cluster(seed=4)
+        leader = cluster.run_until_leader()
+        cluster.execute(0, put("x", 0))
+        cluster.run(200.0)
+        # Throw a follower's clock far ahead of the envelope.
+        victim = next(r.pid for r in cluster.replicas
+                      if r.pid != leader.pid)
+        cluster.clocks.desynchronize(victim, cluster.sim.now, jump=500.0)
+        return cluster, victim
+
+    def test_rmw_subhistory_stays_linearizable(self):
+        cluster, victim = self._desynced_run()
+        futures = [cluster.submit(i % 5, put("x", i)) for i in range(6)]
+        cluster.run(3000.0)
+        assert all(f.done for f in futures)
+        rmw_only = cluster.history(kinds=("rmw",))
+        assert check_linearizable(cluster.spec, rmw_only,
+                                  partition_by_key=True)
+
+    def test_desynced_reader_stalls_rather_than_lies(self):
+        cluster, victim = self._desynced_run()
+        # The victim's clock is 500 ahead: every lease looks expired, so
+        # its reads block (stall) instead of returning stale data.
+        future = cluster.replicas[victim].submit_read(get("x"))
+        cluster.run(300.0)
+        assert not future.done
+
+    def test_reads_recover_after_resync(self):
+        cluster, victim = self._desynced_run()
+        future = cluster.replicas[victim].submit_read(get("x"))
+        cluster.run(300.0)
+        assert not future.done
+        cluster.clocks.resynchronize(victim, cluster.sim.now)
+        cluster.run_until(lambda: future.done, timeout=20_000.0)
+        assert future.value == 0
+
+
+class TestPermanentAsynchrony:
+    def test_never_returns_wrong_results(self):
+        # Delays never stabilize below delta (the model's bound is simply
+        # false): liveness may suffer, safety must not.
+        cluster = ChtCluster(
+            KVStoreSpec(), ChtConfig(n=5, delta=10.0), seed=10,
+            gst=10.0 ** 9,
+            pre_gst_delay=UniformDelay(5.0, 120.0),
+            pre_gst_drop_prob=0.05,
+        )
+        cluster.start()
+        futures = [cluster.submit(i % 5, put("k", i)) for i in range(6)]
+        futures += [cluster.submit(i % 5, get("k")) for i in range(6)]
+        cluster.run(20_000.0)
+        result = check_linearizable(
+            cluster.spec, cluster.history(), partition_by_key=True
+        )
+        assert result, result.reason

@@ -1,0 +1,184 @@
+"""Stress tests: adversarial networks, larger clusters, flapping Omega,
+reads racing leader changes, and the remaining object types end-to-end.
+"""
+
+import pytest
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.objects.bank import BankSpec, balance, total, transfer
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.objects.queue import QueueSpec, dequeue, enqueue, peek
+from repro.verify import check_i2_i3, check_linearizable
+
+
+class TestNonFifoNetwork:
+    """The paper's model does not assume FIFO links; safety must hold on
+    an adversarially reordering network too."""
+
+    def _cluster(self, seed):
+        cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=seed)
+        cluster.net.fifo = False
+        cluster.start()
+        return cluster
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_linearizable_under_reordering(self, seed):
+        cluster = self._cluster(seed)
+        cluster.run_until_leader()
+        ops = []
+        for i in range(10):
+            ops.append((i % 5, put(f"k{i % 2}", i)))
+            ops.append(((i + 3) % 5, get(f"k{i % 2}")))
+        cluster.execute_all(ops, timeout=30_000.0)
+        result = check_linearizable(
+            cluster.spec, cluster.history(), partition_by_key=True
+        )
+        assert result, result.reason
+
+    def test_reordering_with_leader_crash(self):
+        cluster = self._cluster(5)
+        leader = cluster.run_until_leader()
+        futures = [cluster.submit(i % 5, put("k", i)) for i in range(6)]
+        cluster.run(15.0)
+        cluster.crash(leader.pid)
+        cluster.run(8000.0)
+        result = check_linearizable(
+            cluster.spec, cluster.history(), partition_by_key=True
+        )
+        assert result, result.reason
+
+
+class TestLargerCluster:
+    def test_n7_tolerates_three_crashes(self):
+        cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=7), seed=2)
+        cluster.start()
+        leader = cluster.run_until_leader()
+        cluster.execute(0, put("x", 1))
+        for victim in [leader.pid, (leader.pid + 1) % 7,
+                       (leader.pid + 2) % 7]:
+            cluster.crash(victim)
+        survivor = next(r.pid for r in cluster.alive())
+        assert cluster.execute(survivor, put("y", 2),
+                               timeout=30_000.0) is None
+        assert cluster.execute(survivor, get("x"), timeout=10_000.0) == 1
+        check_i2_i3([r for r in cluster.replicas if not r.crashed])
+
+    def test_n3_minimum_viable(self):
+        cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=3), seed=2)
+        cluster.start()
+        cluster.run_until_leader()
+        assert cluster.execute(1, put("x", 1)) is None
+        assert cluster.execute(2, get("x")) == 1
+        cluster.crash(cluster.leader().pid)
+        survivor = next(r.pid for r in cluster.alive())
+        assert cluster.execute(survivor, get("x"), timeout=10_000.0) == 1
+
+
+class TestFlappingOmega:
+    def test_el1_survives_rapid_leader_flapping(self):
+        # An adversarial Omega alternates its output every call; the
+        # enhanced service must never let two leaders coexist, and the
+        # cluster may simply fail to make progress while flapping.
+        flap = {"on": True, "count": 0}
+
+        def chooser():
+            if not flap["on"]:
+                return 0
+            flap["count"] += 1
+            return flap["count"] % 3
+
+        cluster = ChtCluster(
+            KVStoreSpec(), ChtConfig(n=5), seed=4, oracle_leader=chooser,
+        )
+        cluster.start()
+        future = cluster.submit(3, put("x", 1))
+        cluster.run(2000.0)  # LeaderIntervalMonitor raises on violation
+        flap["on"] = False   # Omega stabilizes on process 0
+        cluster.run_until(lambda: future.done, timeout=20_000.0)
+        assert future.done
+        assert cluster.execute(2, get("x"), timeout=10_000.0) == 1
+        result = check_linearizable(
+            cluster.spec, cluster.history(), partition_by_key=True
+        )
+        assert result, result.reason
+
+
+class TestReadsDuringFailover:
+    def test_reads_across_leader_change_never_stale(self):
+        cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=6)
+        cluster.start()
+        leader = cluster.run_until_leader()
+        cluster.execute(0, put("x", 1))
+        cluster.run(100.0)
+        # Issue reads at every process, crash the leader immediately,
+        # and write a new value through the successor.
+        read_futures = [
+            cluster.replicas[pid].submit_read(get("x"))
+            for pid in range(5) if pid != leader.pid
+        ]
+        cluster.crash(leader.pid)
+        writer = next(r.pid for r in cluster.alive())
+        cluster.execute(writer, put("x", 2), timeout=20_000.0)
+        cluster.run(5000.0)
+        assert all(f.done for f in read_futures)
+        assert all(f.value in (1, 2) for f in read_futures)
+        result = check_linearizable(
+            cluster.spec, cluster.history(), partition_by_key=True
+        )
+        assert result, result.reason
+
+
+class TestMoreObjectTypes:
+    def test_queue_preserves_fifo_order(self):
+        cluster = ChtCluster(QueueSpec(), ChtConfig(n=5), seed=8)
+        cluster.start()
+        cluster.run_until_leader()
+        for i in range(5):
+            cluster.execute(i % 5, enqueue(i))
+        assert cluster.execute(3, peek()) == 0
+        dequeued = [cluster.execute(i % 5, dequeue()) for i in range(5)]
+        assert dequeued == [0, 1, 2, 3, 4]
+
+    def test_bank_conserves_money_under_concurrency(self):
+        cluster = ChtCluster(
+            BankSpec({"a": 100, "b": 100, "c": 100}),
+            ChtConfig(n=5), seed=8,
+        )
+        cluster.start()
+        cluster.run_until_leader()
+        transfers = [
+            (i % 5, transfer(src, dst, 10))
+            for i, (src, dst) in enumerate(
+                [("a", "b"), ("b", "c"), ("c", "a"), ("a", "c"),
+                 ("b", "a")] * 2
+            )
+        ]
+        cluster.execute_all(transfers, timeout=30_000.0)
+        assert cluster.execute(2, total()) == 300
+        balances = [cluster.execute(3, balance(acct))
+                    for acct in ("a", "b", "c")]
+        assert sum(balances) == 300
+
+    def test_bank_total_reads_do_not_block_on_transfers(self):
+        # total() never conflicts with transfer() (money conservation),
+        # so total reads stay non-blocking under a transfer stream.
+        cluster = ChtCluster(BankSpec({"a": 1000, "b": 0}),
+                             ChtConfig(n=5), seed=8)
+        cluster.start()
+        leader = cluster.run_until_leader()
+        cluster.execute(0, transfer("a", "b", 1))
+        cluster.run(200.0)
+        marker = len(cluster.stats.records)
+        futures = []
+        for i in range(10):
+            futures.append(cluster.submit(0, transfer("a", "b", 1)))
+            for pid in range(5):
+                futures.append(cluster.submit(pid, total()))
+            cluster.run(10.0)
+        cluster.run_until(lambda: all(f.done for f in futures),
+                          timeout=20_000.0)
+        reads = [r for r in cluster.stats.records[marker:]
+                 if r.kind == "read"]
+        assert all(r.response == 1000 for r in reads)
+        assert all(not r.blocked for r in reads)

@@ -1,0 +1,133 @@
+"""Tests for the Theorem 4.1 machinery."""
+
+import pytest
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.lowerbound.shifting import (
+    ReadInterval,
+    SystemS,
+    certificate_legal,
+    fast_processes,
+    run_construction,
+    shift_certificate,
+    theorem_alpha,
+    theorem_alpha_sequential,
+)
+from repro.objects.register import RegisterSpec, read, write
+from repro.sim.latency import FixedDelay
+
+
+def test_alpha_formula():
+    assert theorem_alpha(4.0, 10.0, 0.5) == 3.0  # min(4, 5) - 1
+    assert theorem_alpha(10.0, 4.0, 0.0) == 2.0  # min(10, 2)
+    assert theorem_alpha_sequential(4.0, 10.0) == 2.0
+
+
+def test_system_s_alpha():
+    assert SystemS(epsilon=4.0, delta=10.0, gamma=0.5).alpha == 3.0
+
+
+def test_fast_processes():
+    intervals = [
+        ReadInterval(0, 0.0, 0.1, "v"),
+        ReadInterval(0, 1.0, 1.1, "v"),
+        ReadInterval(1, 0.0, 9.0, "v"),
+    ]
+    assert fast_processes(intervals, alpha=3.0) == [0]
+
+
+def build_cht_in_system_s(system, seed=11):
+    config = ChtConfig(n=system.n, delta=system.delta,
+                       epsilon=system.epsilon)
+    cluster = ChtCluster(
+        RegisterSpec(initial=0), config, seed=seed,
+        post_gst_delay=FixedDelay(system.delta / 2),
+        clock_offsets=[system.epsilon / 2] * system.n,
+    )
+    cluster.start()
+    return cluster
+
+
+class TestConstructionAgainstCht:
+    def test_at_most_one_fast_process(self):
+        system = SystemS(n=5, epsilon=4.0, delta=10.0, gamma=0.5)
+        cluster = build_cht_in_system_s(system)
+        intervals = run_construction(
+            cluster, write(1), read(), 0, 1, system, writer=2
+        )
+        fast = fast_processes(intervals, system.alpha)
+        assert len(fast) <= 1  # Theorem 4.1: n-1 processes block
+
+    def test_the_fast_process_is_the_leader(self):
+        system = SystemS(n=5, epsilon=4.0, delta=10.0, gamma=0.5)
+        cluster = build_cht_in_system_s(system)
+        intervals = run_construction(
+            cluster, write(1), read(), 0, 1, system, writer=2
+        )
+        fast = fast_processes(intervals, system.alpha)
+        leader = cluster.leader()
+        assert fast == [leader.pid]
+
+    def test_blocking_within_3_delta_of_bound(self):
+        system = SystemS(n=5, epsilon=4.0, delta=10.0, gamma=0.5)
+        cluster = build_cht_in_system_s(system)
+        intervals = run_construction(
+            cluster, write(1), read(), 0, 1, system, writer=2
+        )
+        worst = max(iv.duration for iv in intervals)
+        assert worst <= 3 * system.delta
+
+    def test_every_process_eventually_reads_new_value(self):
+        system = SystemS(n=3, epsilon=2.0, delta=8.0, gamma=0.5)
+        cluster = build_cht_in_system_s(system)
+        intervals = run_construction(
+            cluster, write(1), read(), 0, 1, system, writer=0
+        )
+        new_readers = {iv.pid for iv in intervals if iv.value == 1}
+        assert new_readers == set(range(system.n))
+
+
+class TestShiftCertificate:
+    def _two_fast_intervals(self, system):
+        # Fabricate a run in which processes 0 and 1 both read fast:
+        # exactly the situation the theorem rules out for real algorithms.
+        return [
+            ReadInterval(0, 10.0, 10.5, 0),   # Rp0 (last old read of 0)
+            ReadInterval(1, 9.0, 9.5, 0),     # Rq0
+            ReadInterval(1, 10.2, 10.7, 1),   # Rq1 (first new read of 1)
+            ReadInterval(0, 12.0, 12.5, 1),
+        ]
+
+    def test_certificate_shows_violation(self):
+        system = SystemS(n=5, epsilon=4.0, delta=10.0, gamma=0.5)
+        intervals = self._two_fast_intervals(system)
+        cert = shift_certificate(intervals, 0, 1, system, 0, 1)
+        assert cert is not None
+        assert cert.shift == pytest.approx(min(system.epsilon,
+                                               system.delta / 2))
+        assert cert.violates
+
+    def test_certificate_is_legal_in_system_s(self):
+        system = SystemS(n=5, epsilon=4.0, delta=10.0, gamma=0.5)
+        cert = shift_certificate(self._two_fast_intervals(system),
+                                 0, 1, system, 0, 1)
+        assert certificate_legal(cert, system)
+
+    def test_certificate_none_without_preconditions(self):
+        system = SystemS()
+        intervals = [ReadInterval(0, 0.0, 0.1, 0)]
+        assert shift_certificate(intervals, 0, 1, system, 0, 1) is None
+
+    def test_slow_reads_do_not_violate(self):
+        # If q's new-value read ends late (reads actually blocked), the
+        # shifted start does not pass it: no contradiction.
+        system = SystemS(n=5, epsilon=4.0, delta=10.0, gamma=0.5)
+        intervals = [
+            ReadInterval(0, 10.0, 10.5, 0),
+            ReadInterval(1, 9.0, 9.5, 0),
+            ReadInterval(1, 10.2, 25.0, 1),  # blocked for >> alpha
+        ]
+        cert = shift_certificate(intervals, 0, 1, system, 0, 1)
+        assert cert is not None
+        assert not cert.violates

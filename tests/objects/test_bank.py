@@ -1,0 +1,103 @@
+"""Tests for the bank-accounts object."""
+
+import pytest
+
+from repro.objects.bank import (
+    BankSpec,
+    balance,
+    deposit,
+    total,
+    transfer,
+    withdraw,
+)
+from repro.objects.spec import definition_conflicts
+
+
+@pytest.fixture
+def spec():
+    return BankSpec({"a": 100, "b": 50})
+
+
+def test_balance(spec):
+    state = spec.initial_state()
+    assert spec.apply(state, balance("a"))[1] == 100
+    assert spec.apply(state, balance("missing"))[1] == 0
+
+
+def test_total(spec):
+    assert spec.apply(spec.initial_state(), total())[1] == 150
+
+
+def test_deposit(spec):
+    state, _ = spec.apply(spec.initial_state(), deposit("a", 25))
+    assert spec.apply(state, balance("a"))[1] == 125
+
+
+def test_withdraw_sufficient(spec):
+    state, amount = spec.apply(spec.initial_state(), withdraw("a", 60))
+    assert amount == 60
+    assert spec.apply(state, balance("a"))[1] == 40
+
+
+def test_withdraw_insufficient(spec):
+    state, amount = spec.apply(spec.initial_state(), withdraw("b", 999))
+    assert amount == 0
+    assert spec.apply(state, balance("b"))[1] == 50
+
+
+def test_transfer_success_conserves_total(spec):
+    state, ok = spec.apply(spec.initial_state(), transfer("a", "b", 30))
+    assert ok is True
+    assert spec.apply(state, balance("a"))[1] == 70
+    assert spec.apply(state, balance("b"))[1] == 80
+    assert spec.apply(state, total())[1] == 150
+
+
+def test_transfer_insufficient_funds(spec):
+    state, ok = spec.apply(spec.initial_state(), transfer("b", "a", 999))
+    assert ok is False
+    assert spec.apply(state, total())[1] == 150
+
+
+def test_transfer_to_self_rejected(spec):
+    state, ok = spec.apply(spec.initial_state(), transfer("a", "a", 10))
+    assert ok is False
+
+
+def test_transfer_to_new_account(spec):
+    state, ok = spec.apply(spec.initial_state(), transfer("a", "c", 10))
+    assert ok is True
+    assert spec.apply(state, balance("c"))[1] == 10
+
+
+def test_is_read_classification(spec):
+    assert spec.is_read(balance("a"))
+    assert spec.is_read(total())
+    assert not spec.is_read(deposit("a", 1))
+    assert not spec.is_read(withdraw("a", 1))
+    assert not spec.is_read(transfer("a", "b", 1))
+
+
+def test_conflicts_account_granular(spec):
+    assert spec.conflicts(balance("a"), deposit("a", 1))
+    assert not spec.conflicts(balance("a"), deposit("b", 1))
+    assert spec.conflicts(balance("a"), transfer("a", "b", 1))
+    assert spec.conflicts(balance("b"), transfer("a", "b", 1))
+    assert not spec.conflicts(balance("c"), transfer("a", "b", 1))
+
+
+def test_total_conflicts_with_deposits_not_transfers(spec):
+    assert spec.conflicts(total(), deposit("a", 1))
+    assert spec.conflicts(total(), withdraw("a", 1))
+    # Transfers conserve the total, so a total() read never conflicts.
+    assert not spec.conflicts(total(), transfer("a", "b", 1))
+
+
+def test_total_transfer_nonconflict_matches_definition(spec):
+    states = [spec.initial_state()]
+    for op in (deposit("c", 5), transfer("a", "b", 10)):
+        states.append(spec.apply(states[-1], op)[0])
+    assert not definition_conflicts(spec, total(), transfer("a", "b", 7),
+                                    states=states)
+    assert definition_conflicts(spec, total(), deposit("a", 7),
+                                states=states)

@@ -1,0 +1,47 @@
+"""Tests for the counter object."""
+
+from repro.objects.counter import CounterSpec, add, increment, value
+from repro.objects.spec import definition_conflicts
+
+
+def test_value_reads_state():
+    spec = CounterSpec(initial=3)
+    assert spec.apply(3, value()) == (3, 3)
+
+
+def test_increment_returns_new_value():
+    spec = CounterSpec()
+    assert spec.apply(0, increment()) == (1, 1)
+
+
+def test_add_negative():
+    spec = CounterSpec()
+    assert spec.apply(10, add(-4)) == (6, 6)
+
+
+def test_is_read_classification():
+    spec = CounterSpec()
+    assert spec.is_read(value())
+    assert not spec.is_read(increment())
+    assert spec.is_read(add(0))  # add(0) never changes state
+
+
+def test_conflicts_match_definition():
+    spec = CounterSpec(initial=0)
+    states = list(spec.enumerate_states())
+    for rmw in (increment(), add(0), add(-2), add(5)):
+        assert spec.conflicts(value(), rmw) == definition_conflicts(
+            spec, value(), rmw, states=states
+        )
+
+
+def test_unknown_operation_rejected():
+    from repro.objects.spec import Operation
+
+    spec = CounterSpec()
+    try:
+        spec.apply(0, Operation("bogus"))
+    except ValueError:
+        pass
+    else:
+        raise AssertionError("expected ValueError")

@@ -1,0 +1,130 @@
+"""Tests for the key-value store object."""
+
+import pytest
+
+from repro.objects.kvstore import (
+    KVStoreSpec,
+    delete,
+    get,
+    increment,
+    put,
+    scan,
+)
+from repro.objects.spec import definition_conflicts
+
+
+@pytest.fixture
+def spec():
+    return KVStoreSpec()
+
+
+def test_get_missing_key(spec):
+    state = spec.initial_state()
+    _, value = spec.apply(state, get("k"))
+    assert value is None
+
+
+def test_put_then_get(spec):
+    state = spec.initial_state()
+    state, _ = spec.apply(state, put("k", 1))
+    _, value = spec.apply(state, get("k"))
+    assert value == 1
+
+
+def test_put_does_not_mutate_old_state(spec):
+    s0 = spec.initial_state()
+    s1, _ = spec.apply(s0, put("k", 1))
+    assert spec.apply(s0, get("k"))[1] is None
+    assert spec.apply(s1, get("k"))[1] == 1
+
+
+def test_delete(spec):
+    state = spec.initial_state()
+    state, _ = spec.apply(state, put("k", 1))
+    state, _ = spec.apply(state, delete("k"))
+    assert spec.apply(state, get("k"))[1] is None
+
+
+def test_delete_missing_is_noop_state(spec):
+    s0 = spec.initial_state()
+    s1, _ = spec.apply(s0, delete("nope"))
+    assert s0 == s1
+
+
+def test_scan_returns_sorted_items(spec):
+    state = spec.initial_state()
+    state, _ = spec.apply(state, put("b", 2))
+    state, _ = spec.apply(state, put("a", 1))
+    _, items = spec.apply(state, scan())
+    assert items == (("a", 1), ("b", 2))
+
+
+def test_increment(spec):
+    state = spec.initial_state()
+    state, value = spec.apply(state, increment("c", 5))
+    assert value == 5
+    state, value = spec.apply(state, increment("c"))
+    assert value == 6
+
+
+def test_initial_contents():
+    spec = KVStoreSpec({"a": 1})
+    assert spec.apply(spec.initial_state(), get("a"))[1] == 1
+
+
+def test_is_read_classification(spec):
+    assert spec.is_read(get("k"))
+    assert spec.is_read(scan())
+    assert not spec.is_read(put("k", 1))
+    assert not spec.is_read(delete("k"))
+    assert not spec.is_read(increment("k"))
+
+
+def test_key_granular_conflicts(spec):
+    assert spec.conflicts(get("a"), put("a", 1))
+    assert not spec.conflicts(get("a"), put("b", 1))
+    assert spec.conflicts(get("a"), delete("a"))
+    assert spec.conflicts(get("a"), increment("a"))
+    assert spec.conflicts(scan(), put("anything", 1))
+
+
+def test_conflicts_match_definition_on_samples(spec):
+    states = [spec.initial_state()]
+    for op in (put("a", 1), put("b", 2), put("a", 3)):
+        states.append(spec.apply(states[-1], op)[0])
+    for read_op in (get("a"), get("b"), scan()):
+        for rmw in (put("a", 9), put("b", 9), delete("a"), increment("b")):
+            exact = definition_conflicts(spec, read_op, rmw, states=states)
+            assert spec.conflicts(read_op, rmw) or not exact
+
+
+def test_state_hashable_and_equal(spec):
+    s0 = spec.initial_state()
+    s1, _ = spec.apply(s0, put("k", 1))
+    s2, _ = spec.apply(s0, put("k", 1))
+    assert s1 == s2
+    assert hash(s1) == hash(s2)
+    assert s1 != s0
+
+
+def test_state_contains_len(spec):
+    s, _ = spec.apply(spec.initial_state(), put("k", 1))
+    assert "k" in s
+    assert len(s) == 1
+
+
+def test_written_key_helper(spec):
+    assert KVStoreSpec.written_key(put("k", 1)) == "k"
+    assert KVStoreSpec.written_key(delete("d")) == "d"
+
+
+def test_unknown_operation_rejected(spec):
+    from repro.objects.spec import Operation
+
+    with pytest.raises(ValueError):
+        spec.apply(spec.initial_state(), Operation("bogus"))
+
+
+def test_enumerate_states_unsupported(spec):
+    with pytest.raises(NotImplementedError):
+        list(spec.enumerate_states())

@@ -1,0 +1,71 @@
+"""Tests for the lock object."""
+
+from repro.objects.lock import LockSpec, acquire, owner, release
+from repro.objects.spec import definition_conflicts
+
+
+def test_initially_free():
+    spec = LockSpec()
+    assert spec.initial_state() is None
+    assert spec.apply(None, owner()) == (None, None)
+
+
+def test_acquire_free_lock():
+    spec = LockSpec()
+    state, ok = spec.apply(None, acquire("alice"))
+    assert state == "alice"
+    assert ok is True
+
+
+def test_acquire_held_lock_fails():
+    spec = LockSpec()
+    state, ok = spec.apply("alice", acquire("bob"))
+    assert state == "alice"
+    assert ok is False
+
+
+def test_reacquire_by_holder_succeeds():
+    spec = LockSpec()
+    state, ok = spec.apply("alice", acquire("alice"))
+    assert state == "alice"
+    assert ok is True
+
+
+def test_release_by_holder():
+    spec = LockSpec()
+    state, ok = spec.apply("alice", release("alice"))
+    assert state is None
+    assert ok is True
+
+
+def test_release_by_non_holder_fails():
+    spec = LockSpec()
+    state, ok = spec.apply("alice", release("bob"))
+    assert state == "alice"
+    assert ok is False
+
+
+def test_is_read_classification():
+    spec = LockSpec()
+    assert spec.is_read(owner())
+    assert not spec.is_read(acquire("a"))
+    assert not spec.is_read(release("a"))
+
+
+def test_conflicts_match_definition():
+    spec = LockSpec(holders=["a", "b"])
+    states = list(spec.enumerate_states())
+    for rmw in (acquire("a"), release("a"), acquire("b")):
+        exact = definition_conflicts(spec, owner(), rmw, states=states)
+        assert spec.conflicts(owner(), rmw) or not exact
+        assert spec.conflicts(owner(), rmw) == exact
+
+
+def test_enumerate_requires_holders():
+    spec = LockSpec()
+    try:
+        list(spec.enumerate_states())
+    except NotImplementedError:
+        pass
+    else:
+        raise AssertionError("expected NotImplementedError")

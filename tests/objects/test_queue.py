@@ -1,0 +1,60 @@
+"""Tests for the FIFO queue object."""
+
+from repro.objects.queue import QueueSpec, dequeue, enqueue, peek, size
+from repro.objects.spec import definition_conflicts
+
+
+def test_initially_empty():
+    spec = QueueSpec()
+    assert spec.initial_state() == ()
+    assert spec.apply((), peek()) == ((), None)
+    assert spec.apply((), size()) == ((), 0)
+
+
+def test_enqueue_dequeue_fifo():
+    spec = QueueSpec()
+    state, _ = spec.apply((), enqueue("a"))
+    state, _ = spec.apply(state, enqueue("b"))
+    state, head = spec.apply(state, dequeue())
+    assert head == "a"
+    state, head = spec.apply(state, dequeue())
+    assert head == "b"
+    assert state == ()
+
+
+def test_dequeue_empty_returns_none():
+    spec = QueueSpec()
+    state, head = spec.apply((), dequeue())
+    assert state == ()
+    assert head is None
+
+
+def test_peek_does_not_remove():
+    spec = QueueSpec()
+    state, _ = spec.apply((), enqueue("x"))
+    state2, head = spec.apply(state, peek())
+    assert head == "x"
+    assert state2 == state
+
+
+def test_is_read_classification():
+    spec = QueueSpec()
+    assert spec.is_read(peek())
+    assert spec.is_read(size())
+    assert not spec.is_read(enqueue("a"))
+    assert not spec.is_read(dequeue())
+
+
+def test_conflicts_match_definition():
+    spec = QueueSpec(items=["a", "b"], max_enumerated_len=2)
+    states = list(spec.enumerate_states())
+    for read_op in (peek(), size()):
+        for rmw in (enqueue("a"), dequeue()):
+            exact = definition_conflicts(spec, read_op, rmw, states=states)
+            assert spec.conflicts(read_op, rmw) or not exact
+
+
+def test_enumerate_states_count():
+    spec = QueueSpec(items=["a", "b"], max_enumerated_len=2)
+    # lengths 0,1,2 over 2 items: 1 + 2 + 4 = 7 states
+    assert len(list(spec.enumerate_states())) == 7

@@ -1,0 +1,60 @@
+"""Tests for the register object."""
+
+from repro.objects.register import RegisterSpec, cas, read, write
+from repro.objects.spec import definition_conflicts
+
+
+def test_initial_state():
+    assert RegisterSpec(initial=7).initial_state() == 7
+
+
+def test_read_returns_state():
+    spec = RegisterSpec(initial=3)
+    state, value = spec.apply(3, read())
+    assert (state, value) == (3, 3)
+
+
+def test_write_sets_state():
+    spec = RegisterSpec()
+    state, value = spec.apply(0, write("x"))
+    assert state == "x"
+    assert value is None
+
+
+def test_cas_success_and_failure():
+    spec = RegisterSpec()
+    state, old = spec.apply(1, cas(1, 2))
+    assert (state, old) == (2, 1)
+    state, old = spec.apply(5, cas(1, 2))
+    assert (state, old) == (5, 5)
+
+
+def test_is_read_classification():
+    spec = RegisterSpec()
+    assert spec.is_read(read())
+    assert not spec.is_read(write(0))
+    assert not spec.is_read(cas(0, 1))
+    assert spec.is_read(cas(1, 1))  # degenerate CAS never changes state
+
+
+def test_conflicts_matches_definition_on_finite_domain():
+    domain = [0, 1, 2]
+    spec = RegisterSpec(initial=0, domain=domain)
+    rmws = [write(0), write(1), cas(0, 1), cas(1, 1), cas(2, 0)]
+    for rmw in rmws:
+        fast = spec.conflicts(read(), rmw)
+        exact = definition_conflicts(spec, read(), rmw)
+        # The fast predicate may over-approximate but never under-.
+        assert fast or not exact
+        if rmw.name == "cas":
+            assert fast == exact
+
+
+def test_unknown_operation_rejected():
+    spec = RegisterSpec()
+    try:
+        spec.apply(0, read().__class__("bogus"))
+    except ValueError as err:
+        assert "bogus" in str(err)
+    else:
+        raise AssertionError("expected ValueError")

@@ -1,0 +1,70 @@
+"""Tests for the object abstraction and the generic conflict definition."""
+
+import pytest
+
+from repro.objects.register import RegisterSpec, cas, read, write
+from repro.objects.spec import NOOP, Operation, OpInstance, definition_conflicts
+
+
+class TestOperation:
+    def test_hashable_and_equal(self):
+        assert Operation("get", ("k",)) == Operation("get", ("k",))
+        assert hash(Operation("get", ("k",))) == hash(Operation("get", ("k",)))
+        assert Operation("get", ("a",)) != Operation("get", ("b",))
+
+    def test_repr(self):
+        assert repr(Operation("put", ("k", 1))) == "put('k', 1)"
+
+
+class TestOpInstance:
+    def test_orders_by_op_id(self):
+        a = OpInstance((0, 1), Operation("w"))
+        b = OpInstance((0, 2), Operation("w"))
+        c = OpInstance((1, 1), Operation("w"))
+        assert sorted([c, b, a]) == [a, b, c]
+
+    def test_batch_application_order_is_deterministic(self):
+        ops = [OpInstance((p, i), Operation("w", (p, i)))
+               for p in (2, 0, 1) for i in (3, 1)]
+        assert [o.op_id for o in sorted(ops)] == [
+            (0, 1), (0, 3), (1, 1), (1, 3), (2, 1), (2, 3)
+        ]
+
+
+class TestNoop:
+    def test_noop_has_no_effect(self):
+        spec = RegisterSpec(initial=5)
+        state, response = spec.apply_any(5, NOOP)
+        assert state == 5
+        assert response is None
+
+    def test_apply_any_dispatches_regular_ops(self):
+        spec = RegisterSpec(initial=0)
+        state, response = spec.apply_any(0, write(3))
+        assert state == 3
+
+
+class TestDefinitionConflicts:
+    def test_read_conflicts_with_write(self):
+        spec = RegisterSpec(initial=0, domain=[0, 1])
+        assert definition_conflicts(spec, read(), write(1))
+
+    def test_noop_never_conflicts(self):
+        spec = RegisterSpec(initial=0, domain=[0, 1])
+        assert not definition_conflicts(spec, read(), NOOP)
+
+    def test_degenerate_cas_does_not_conflict(self):
+        spec = RegisterSpec(initial=0, domain=[0, 1])
+        assert not definition_conflicts(spec, read(), cas(1, 1))
+
+    def test_explicit_states_override(self):
+        spec = RegisterSpec(initial=0)
+        # Over the single state {1}, write(1) cannot change what a read
+        # returns.
+        assert not definition_conflicts(spec, read(), write(1), states=[1])
+        assert definition_conflicts(spec, read(), write(1), states=[0])
+
+    def test_unbounded_spec_requires_states(self):
+        spec = RegisterSpec(initial=0)
+        with pytest.raises(NotImplementedError):
+            definition_conflicts(spec, read(), write(1))

@@ -1,0 +1,130 @@
+"""Property-based tests: the linearizability checker against an oracle.
+
+The oracle enumerates every permutation of the (complete) history and
+every subset of pending operations — exponential but exact for the tiny
+histories hypothesis generates.
+"""
+
+from itertools import chain, combinations, permutations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects.register import RegisterSpec, read, write
+from repro.verify.history import History, HistoryEntry
+from repro.verify.linearizability import check_linearizable
+
+SPEC = RegisterSpec(initial=0)
+
+
+def oracle(entries):
+    """Exact linearizability decision by brute force."""
+    completed = [e for e in entries if not e.pending]
+    pendings = [e for e in entries if e.pending]
+    for included in chain.from_iterable(
+        combinations(pendings, k) for k in range(len(pendings) + 1)
+    ):
+        candidate = completed + list(included)
+        for order in permutations(candidate):
+            if _order_ok(order):
+                return True
+    return False
+
+
+def _order_ok(order):
+    # Real-time precedence respected?
+    for i, early in enumerate(order):
+        for late in order[i + 1:]:
+            if late.responded_at is not None and (
+                late.responded_at < early.invoked_at
+            ):
+                return False
+    # Responses consistent with sequential execution?
+    state = SPEC.initial_state()
+    for entry in order:
+        state, response = SPEC.apply(state, entry.op)
+        if not entry.pending and response != entry.response:
+            return False
+    return True
+
+
+@st.composite
+def histories(draw):
+    """Small random register histories (some valid, some not)."""
+    n_ops = draw(st.integers(min_value=1, max_value=5))
+    entries = []
+    for i in range(n_ops):
+        start = draw(st.floats(min_value=0, max_value=20))
+        duration = draw(st.floats(min_value=0.1, max_value=10))
+        is_pending = draw(st.booleans()) and draw(st.booleans())
+        if draw(st.booleans()):
+            op = write(draw(st.integers(min_value=0, max_value=2)))
+            response = None
+        else:
+            op = read()
+            response = draw(st.integers(min_value=0, max_value=2))
+        entries.append(
+            HistoryEntry(
+                op=op,
+                response=None if is_pending else response,
+                invoked_at=start,
+                responded_at=None if is_pending else start + duration,
+                pid=i,
+            )
+        )
+    return entries
+
+
+@given(histories())
+@settings(max_examples=300, deadline=None, derandomize=True)
+def test_checker_matches_bruteforce_oracle(entries):
+    expected = oracle(entries)
+    actual = bool(check_linearizable(SPEC, History(entries)))
+    assert actual == expected
+
+
+@st.composite
+def sequential_runs(draw):
+    """Histories produced by actually running ops one at a time: these are
+    linearizable by construction."""
+    n_ops = draw(st.integers(min_value=1, max_value=8))
+    state = SPEC.initial_state()
+    entries = []
+    time = 0.0
+    for _ in range(n_ops):
+        if draw(st.booleans()):
+            op = write(draw(st.integers(min_value=0, max_value=3)))
+        else:
+            op = read()
+        state, response = SPEC.apply(state, op)
+        entries.append(
+            HistoryEntry(op=op, response=response, invoked_at=time,
+                         responded_at=time + 1.0)
+        )
+        time += 2.0
+    return entries
+
+
+@given(sequential_runs())
+@settings(max_examples=200, deadline=None, derandomize=True)
+def test_sequential_executions_always_linearizable(entries):
+    assert check_linearizable(SPEC, History(entries))
+
+
+@given(sequential_runs(), st.data())
+@settings(max_examples=200, deadline=None, derandomize=True)
+def test_corrupting_a_read_response_matches_oracle(entries, data):
+    reads = [i for i, e in enumerate(entries) if e.op.name == "read"]
+    if not reads:
+        return
+    index = data.draw(st.sampled_from(reads))
+    target = entries[index]
+    corrupted = HistoryEntry(
+        op=target.op,
+        response=(target.response or 0) + 100,  # value never written
+        invoked_at=target.invoked_at,
+        responded_at=target.responded_at,
+        pid=target.pid,
+    )
+    mutated = entries[:index] + [corrupted] + entries[index + 1:]
+    assert not check_linearizable(SPEC, History(mutated))

@@ -1,0 +1,81 @@
+"""Property-based end-to-end tests of the CHT algorithm.
+
+Each example builds a small cluster with a random seed, drives a random
+mix of reads and writes (optionally with a random crash or partition),
+and asserts the global safety properties: every surviving operation
+completes, the history is linearizable, and reads never block longer than
+3*delta after stabilization.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.verify import check_linearizable
+
+
+@st.composite
+def scenarios(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = draw(st.sampled_from([3, 5]))
+    n_ops = draw(st.integers(min_value=4, max_value=14))
+    ops = []
+    for i in range(n_ops):
+        pid = draw(st.integers(min_value=0, max_value=n - 1))
+        key = draw(st.sampled_from(["a", "b"]))
+        if draw(st.booleans()):
+            ops.append((pid, get(key)))
+        else:
+            ops.append((pid, put(key, i)))
+    fault = draw(st.sampled_from(["none", "crash_follower", "partition"]))
+    return seed, n, ops, fault
+
+
+@given(scenarios())
+@settings(max_examples=25, deadline=None, derandomize=True)
+def test_random_workloads_stay_linearizable(scenario):
+    seed, n, ops, fault = scenario
+    cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=n), seed=seed)
+    cluster.start()
+    leader = cluster.run_until_leader()
+
+    crashed = set()
+    if fault == "crash_follower":
+        victim = (leader.pid + 1) % n
+        cluster.crash(victim)
+        crashed.add(victim)
+    elif fault == "partition":
+        victim = (leader.pid + 1) % n
+        cluster.net.isolate(victim, start=cluster.sim.now,
+                            end=cluster.sim.now + 300.0)
+
+    futures = [
+        cluster.submit(pid, op) for pid, op in ops if pid not in crashed
+    ]
+    cluster.run(8000.0)
+
+    assert all(f.done for f in futures), "surviving ops must complete"
+    result = check_linearizable(
+        cluster.spec, cluster.history(), partition_by_key=True
+    )
+    assert result, result.reason
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None, derandomize=True)
+def test_blocking_bound_holds_across_seeds(seed):
+    cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=seed)
+    cluster.start()
+    cluster.run_until_leader()
+    cluster.execute(0, put("hot", 0))
+    cluster.run(200.0)
+    futures = []
+    for i in range(5):
+        futures.append(cluster.submit(i % 5, put("hot", i)))
+        futures.append(cluster.submit((i + 1) % 5, get("hot")))
+        cluster.run(20.0)
+    cluster.run_until(lambda: all(f.done for f in futures), timeout=5000.0)
+    assert all(f.done for f in futures)
+    assert cluster.stats.max_blocking("read") <= 3 * cluster.config.delta

@@ -1,0 +1,51 @@
+"""Property-based tests for the enhanced leader service's support store."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.leader.enhanced import LeaderLease, _SupportStore
+
+
+@st.composite
+def leases(draw):
+    counter = draw(st.integers(min_value=0, max_value=3))
+    start = draw(st.floats(min_value=0, max_value=100))
+    length = draw(st.floats(min_value=0, max_value=50))
+    return LeaderLease(counter, start, start + length)
+
+
+def brute_covers_both(lease_list, t1, t2):
+    """Reference semantics: some counter has a message covering t1 and a
+    message covering t2 (the paper's rule, directly)."""
+    by_counter = {}
+    for lease in lease_list:
+        by_counter.setdefault(lease.counter, []).append(lease)
+    for group in by_counter.values():
+        covers_t1 = any(m.start <= t1 <= m.end for m in group)
+        covers_t2 = any(m.start <= t2 <= m.end for m in group)
+        if covers_t1 and covers_t2:
+            return True
+    return False
+
+
+@given(st.lists(leases(), min_size=0, max_size=10),
+       st.floats(min_value=0, max_value=160),
+       st.floats(min_value=0, max_value=160))
+@settings(max_examples=500, deadline=None, derandomize=True)
+def test_store_matches_reference_semantics(lease_list, t1, t2):
+    store = _SupportStore()
+    for lease in lease_list:
+        store.add(lease)
+    assert store.covers_both(t1, t2) == brute_covers_both(lease_list, t1, t2)
+
+
+@given(st.lists(leases(), min_size=0, max_size=12))
+@settings(max_examples=300, deadline=None, derandomize=True)
+def test_merged_intervals_are_disjoint_and_sorted_content(lease_list):
+    store = _SupportStore()
+    for lease in lease_list:
+        store.add(lease)
+    for counter, spans in store.by_counter.items():
+        ordered = sorted(spans)
+        for (s1, e1), (s2, e2) in zip(ordered, ordered[1:]):
+            assert e1 < s2, "merged intervals must be disjoint"

@@ -1,0 +1,141 @@
+"""Property-based tests on object specifications.
+
+Invariants checked for every object type:
+
+* ``apply`` is pure: re-applying to the same state gives the same result,
+  and old states are never mutated.
+* ``is_read`` is sound: an operation classified as a read never changes
+  any reachable state.
+* ``conflicts`` soundly over-approximates the paper's definition: if the
+  definition says two operations conflict (over sampled reachable
+  states), the fast predicate must agree.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects.bank import BankSpec, balance, deposit, total, transfer, withdraw
+from repro.objects.counter import CounterSpec, add, value
+from repro.objects.kvstore import KVStoreSpec, delete, get, increment, put, scan
+from repro.objects.lock import LockSpec, acquire, owner, release
+from repro.objects.queue import QueueSpec, dequeue, enqueue, peek, size
+from repro.objects.register import RegisterSpec, cas, read, write
+
+KEYS = ["a", "b"]
+VALUES = [0, 1]
+WHO = ["p", "q"]
+
+
+def kv_ops():
+    return st.one_of(
+        st.sampled_from(KEYS).map(get),
+        st.just(scan()),
+        st.tuples(st.sampled_from(KEYS), st.sampled_from(VALUES)).map(
+            lambda kv: put(*kv)),
+        st.sampled_from(KEYS).map(delete),
+        st.tuples(st.sampled_from(KEYS), st.integers(-2, 2)).map(
+            lambda kv: increment(*kv)),
+    )
+
+
+def register_ops():
+    return st.one_of(
+        st.just(read()),
+        st.sampled_from(VALUES).map(write),
+        st.tuples(st.sampled_from(VALUES), st.sampled_from(VALUES)).map(
+            lambda ab: cas(*ab)),
+    )
+
+
+def counter_ops():
+    return st.one_of(st.just(value()), st.integers(-3, 3).map(add))
+
+
+def lock_ops():
+    return st.one_of(
+        st.just(owner()),
+        st.sampled_from(WHO).map(acquire),
+        st.sampled_from(WHO).map(release),
+    )
+
+
+def queue_ops():
+    return st.one_of(
+        st.just(peek()), st.just(size()),
+        st.sampled_from(VALUES).map(enqueue), st.just(dequeue()),
+    )
+
+
+def bank_ops():
+    return st.one_of(
+        st.sampled_from(KEYS).map(balance),
+        st.just(total()),
+        st.tuples(st.sampled_from(KEYS), st.integers(0, 5)).map(
+            lambda kv: deposit(*kv)),
+        st.tuples(st.sampled_from(KEYS), st.integers(0, 5)).map(
+            lambda kv: withdraw(*kv)),
+        st.tuples(st.sampled_from(KEYS), st.sampled_from(KEYS),
+                  st.integers(0, 5)).map(lambda abx: transfer(*abx)),
+    )
+
+
+SPECS = [
+    (KVStoreSpec(), kv_ops()),
+    (RegisterSpec(initial=0), register_ops()),
+    (CounterSpec(), counter_ops()),
+    (LockSpec(), lock_ops()),
+    (QueueSpec(), queue_ops()),
+    (BankSpec({"a": 3}), bank_ops()),
+]
+
+spec_and_ops = st.sampled_from(SPECS)
+
+
+@given(spec_and_ops, st.data())
+@settings(max_examples=300, deadline=None, derandomize=True)
+def test_apply_is_deterministic_and_pure(pair, data):
+    spec, ops = pair
+    sequence = data.draw(st.lists(ops, min_size=0, max_size=6))
+    op = data.draw(ops)
+    state = spec.initial_state()
+    for step in sequence:
+        state, _ = spec.apply(state, step)
+    first = spec.apply(state, op)
+    second = spec.apply(state, op)
+    assert first == second
+
+
+@given(spec_and_ops, st.data())
+@settings(max_examples=300, deadline=None, derandomize=True)
+def test_is_read_ops_never_change_state(pair, data):
+    spec, ops = pair
+    sequence = data.draw(st.lists(ops, min_size=0, max_size=6))
+    op = data.draw(ops)
+    state = spec.initial_state()
+    for step in sequence:
+        state, _ = spec.apply(state, step)
+    new_state, _ = spec.apply(state, op)
+    if spec.is_read(op):
+        assert new_state == state
+
+
+@given(spec_and_ops, st.data())
+@settings(max_examples=300, deadline=None, derandomize=True)
+def test_conflicts_over_approximates_definition(pair, data):
+    spec, ops = pair
+    # Sample reachable states.
+    states = [spec.initial_state()]
+    for step in data.draw(st.lists(ops, min_size=0, max_size=6)):
+        states.append(spec.apply(states[-1], step)[0])
+    read_op = data.draw(ops.filter(spec.is_read))
+    rmw_op = data.draw(ops.filter(lambda o: not spec.is_read(o)))
+    for state in states:
+        after_w, _ = spec.apply(state, rmw_op)
+        _, before = spec.apply(state, read_op)
+        _, after = spec.apply(after_w, read_op)
+        if before != after:
+            assert spec.conflicts(read_op, rmw_op), (
+                f"{spec.name}: definition says {read_op} conflicts with "
+                f"{rmw_op} from state {state!r} but fast predicate says no"
+            )
+            return

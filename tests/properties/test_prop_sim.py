@@ -1,0 +1,93 @@
+"""Property-based tests on the simulation substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.clocks import Clock
+from repro.sim.core import Simulator
+from repro.sim.trace import percentile
+
+
+@st.composite
+def clock_specs(draw):
+    """Random piecewise clocks: positive rates, forward jumps."""
+    offset = draw(st.floats(min_value=-5, max_value=5))
+    segments = draw(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.5, max_value=20),   # gap to next start
+                st.floats(min_value=0.1, max_value=3),    # rate
+                st.floats(min_value=0, max_value=5),      # jump
+            ),
+            min_size=0,
+            max_size=4,
+        )
+    )
+    return offset, segments
+
+
+@given(clock_specs(), st.lists(st.floats(min_value=0, max_value=200),
+                               min_size=2, max_size=20))
+@settings(max_examples=300, deadline=None, derandomize=True)
+def test_clock_is_monotone(spec, times):
+    offset, segments = spec
+    clock = Clock(offset=offset)
+    start = 0.0
+    for gap, rate, jump in segments:
+        start += gap
+        clock.add_segment(start, rate=rate, jump=jump)
+    ordered = sorted(times)
+    readings = [clock.local(t) for t in ordered]
+    assert all(a <= b + 1e-9 for a, b in zip(readings, readings[1:]))
+
+
+@given(clock_specs(), st.floats(min_value=0, max_value=200))
+@settings(max_examples=300, deadline=None, derandomize=True)
+def test_clock_inverse_roundtrip(spec, real):
+    offset, segments = spec
+    clock = Clock(offset=offset)
+    start = 0.0
+    for gap, rate, jump in segments:
+        start += gap
+        clock.add_segment(start, rate=rate, jump=jump)
+    local = clock.local(real)
+    recovered = clock.real(local)
+    # real(local(t)) returns the earliest real time with that reading; it
+    # can precede t only at a jump instant, never exceed it.
+    assert recovered <= real + 1e-6
+    assert clock.local(recovered) <= local + 1e-6
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=50),
+       st.floats(min_value=0, max_value=100))
+@settings(max_examples=300, deadline=None, derandomize=True)
+def test_percentile_within_bounds(values, q):
+    p = percentile(values, q)
+    assert min(values) - 1e-9 <= p <= max(values) + 1e-9
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                max_size=30),
+       st.floats(min_value=0, max_value=100),
+       st.floats(min_value=0, max_value=100))
+@settings(max_examples=200, deadline=None, derandomize=True)
+def test_percentile_monotone_in_q(values, q1, q2):
+    low, high = sorted([q1, q2])
+    assert percentile(values, low) <= percentile(values, high) + 1e-9
+
+
+@given(st.integers(min_value=0, max_value=2 ** 31),
+       st.integers(min_value=1, max_value=30))
+@settings(max_examples=50, deadline=None, derandomize=True)
+def test_simulator_deterministic_under_random_schedules(seed, n_events):
+    def run():
+        sim = Simulator(seed=seed)
+        log = []
+        for i in range(n_events):
+            delay = sim.rng.uniform(0, 100)
+            sim.schedule(delay, lambda i=i: log.append((i, sim.now)))
+        sim.run()
+        return log
+
+    assert run() == run()

@@ -1,0 +1,133 @@
+"""Tests for process clocks and the clock model."""
+
+import random
+
+import pytest
+
+from repro.sim.clocks import Clock, ClockModel, TrueTimeClock
+
+
+class TestClock:
+    def test_default_tracks_real_time(self):
+        clock = Clock()
+        assert clock.local(0.0) == 0.0
+        assert clock.local(10.0) == 10.0
+
+    def test_offset(self):
+        clock = Clock(offset=1.5)
+        assert clock.local(10.0) == 11.5
+        assert clock.skew(10.0) == 1.5
+
+    def test_rate(self):
+        clock = Clock(rate=2.0)
+        assert clock.local(10.0) == 20.0
+
+    def test_inverse_roundtrip(self):
+        clock = Clock(offset=0.7, rate=1.0)
+        for real in (0.0, 1.0, 123.456):
+            assert clock.real(clock.local(real)) == pytest.approx(real)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            Clock(rate=0.0)
+
+    def test_segment_changes_rate(self):
+        clock = Clock()
+        clock.add_segment(10.0, rate=2.0)
+        assert clock.local(10.0) == 10.0
+        assert clock.local(15.0) == 20.0
+
+    def test_jump_is_monotonic_only_forward(self):
+        clock = Clock()
+        clock.add_segment(5.0, rate=1.0, jump=3.0)
+        assert clock.local(5.0) == 8.0
+        with pytest.raises(ValueError):
+            clock.add_segment(6.0, rate=1.0, jump=-1.0)
+
+    def test_monotonicity_across_segments(self):
+        clock = Clock()
+        clock.add_segment(3.0, rate=0.5)
+        clock.add_segment(7.0, rate=2.0, jump=1.0)
+        readings = [clock.local(t / 10) for t in range(0, 120)]
+        assert readings == sorted(readings)
+
+    def test_inverse_with_jump_gap_maps_to_jump_instant(self):
+        clock = Clock()
+        clock.add_segment(5.0, rate=1.0, jump=4.0)
+        # Local values in (5, 9) never appear; earliest real time showing
+        # at least that value is the jump instant.
+        assert clock.real(7.0) == pytest.approx(5.0)
+        assert clock.real(9.0) == pytest.approx(5.0)
+        assert clock.real(10.0) == pytest.approx(6.0)
+
+    def test_inverse_before_initial_value_raises(self):
+        clock = Clock(offset=5.0)
+        with pytest.raises(ValueError):
+            clock.real(4.0)
+
+    def test_segments_must_be_ordered(self):
+        clock = Clock()
+        clock.add_segment(5.0, rate=1.0)
+        with pytest.raises(ValueError):
+            clock.add_segment(3.0, rate=1.0)
+
+
+class TestClockModel:
+    def test_offsets_respect_epsilon(self):
+        model = ClockModel(10, epsilon=4.0, rng=random.Random(7))
+        for real in (0.0, 100.0):
+            assert model.max_pairwise_skew(real) <= 4.0
+
+    def test_explicit_offsets(self):
+        model = ClockModel(3, epsilon=2.0, offsets=[-1.0, 0.0, 1.0])
+        assert model.local(0, 10.0) == 9.0
+        assert model.local(2, 10.0) == 11.0
+
+    def test_rejects_offsets_outside_envelope(self):
+        with pytest.raises(ValueError):
+            ClockModel(2, epsilon=2.0, offsets=[0.0, 1.5])
+
+    def test_real_inverse(self):
+        model = ClockModel(3, epsilon=2.0, offsets=[-1.0, 0.0, 1.0])
+        assert model.real(0, 9.0) == pytest.approx(10.0)
+
+    def test_desynchronize_breaks_envelope(self):
+        model = ClockModel(2, epsilon=2.0, offsets=[0.0, 0.0])
+        model.desynchronize(1, real_start=10.0, jump=50.0)
+        assert model.max_pairwise_skew(11.0) > 2.0
+
+    def test_resynchronize_restores_envelope(self):
+        model = ClockModel(2, epsilon=2.0, offsets=[0.0, 0.0])
+        model.desynchronize(1, real_start=10.0, jump=50.0)
+        model.resynchronize(1, real_start=20.0)
+        # After enough time the slowed clock re-enters the envelope.
+        assert model.max_pairwise_skew(200.0) <= 2.0
+        # And stays monotone throughout.
+        readings = [model.local(1, t) for t in range(0, 300)]
+        assert readings == sorted(readings)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ClockModel(0, epsilon=1.0)
+        with pytest.raises(ValueError):
+            ClockModel(2, epsilon=-1.0)
+        with pytest.raises(ValueError):
+            ClockModel(2, epsilon=1.0, offsets=[0.0])
+
+
+class TestTrueTime:
+    def test_interval_contains_real_time(self):
+        model = ClockModel(1, epsilon=4.0, offsets=[2.0])
+        tt = TrueTimeClock(model[0], uncertainty=2.0)
+        for real in (0.0, 5.0, 99.0):
+            earliest, latest = tt.now(real)
+            assert earliest <= real <= latest
+
+    def test_interval_width(self):
+        tt = TrueTimeClock(Clock(), uncertainty=3.0)
+        earliest, latest = tt.now(10.0)
+        assert latest - earliest == pytest.approx(6.0)
+
+    def test_rejects_negative_uncertainty(self):
+        with pytest.raises(ValueError):
+            TrueTimeClock(Clock(), uncertainty=-1.0)

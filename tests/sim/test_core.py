@@ -1,0 +1,149 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.sim.core import SimulationError, Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_run_fifo():
+    sim = Simulator()
+    order = []
+    for tag in "abc":
+        sim.schedule(1.0, lambda tag=tag: order.append(tag))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_now_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(5.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [5.5]
+    assert sim.now == 5.5
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, lambda: fired.append(1))
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [1]
+
+
+def test_run_for_is_relative():
+    sim = Simulator()
+    sim.run_for(3.0)
+    assert sim.now == 3.0
+    sim.run_for(2.0)
+    assert sim.now == 5.0
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_schedule_during_event():
+    sim = Simulator()
+    order = []
+
+    def first():
+        order.append("first")
+        sim.schedule(1.0, lambda: order.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert order == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_cannot_schedule_into_the_past():
+    sim = Simulator()
+    sim.schedule(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_stop_when_predicate():
+    sim = Simulator()
+    count = []
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda: count.append(1))
+    sim.run(stop_when=lambda: len(count) >= 3)
+    assert len(count) == 3
+
+
+def test_max_events():
+    sim = Simulator()
+    count = []
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda: count.append(1))
+    sim.run(max_events=4)
+    assert len(count) == 4
+
+
+def test_stop_exits_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(2.0, lambda: fired.append(2))
+    sim.run()
+    assert fired == [1]
+
+
+def test_determinism_same_seed():
+    def trace(seed):
+        sim = Simulator(seed=seed)
+        values = []
+        for _ in range(20):
+            sim.schedule(sim.rng.uniform(0, 10),
+                         lambda: values.append(sim.now))
+        sim.run()
+        return values
+
+    assert trace(42) == trace(42)
+    assert trace(42) != trace(43)
+
+
+def test_fork_rng_streams_are_independent():
+    sim = Simulator(seed=1)
+    a = sim.fork_rng("a")
+    b = sim.fork_rng("b")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    event = sim.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sim.pending_events == 1

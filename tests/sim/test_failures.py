@@ -1,0 +1,120 @@
+"""Tests for fault-injection schedules."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.sim.clocks import ClockModel
+from repro.sim.core import Simulator
+from repro.sim.failures import (
+    ClockDesync,
+    Crash,
+    FaultSchedule,
+    LossWindow,
+    PartitionWindow,
+    Recover,
+)
+from repro.sim.latency import FixedDelay
+from repro.sim.network import Network
+from repro.sim.process import Process
+
+
+@dataclass(frozen=True)
+class Msg:
+    pass
+
+
+class Sink(Process):
+    def __init__(self, *args):
+        super().__init__(*args)
+        self.count = 0
+
+    def on_message(self, src, msg):
+        self.count += 1
+
+
+def build(n=3):
+    sim = Simulator(seed=1)
+    clocks = ClockModel(n, epsilon=2.0)
+    net = Network(sim, delta=10.0, post_gst_delay=FixedDelay(1.0))
+    procs = [Sink(pid, sim, net, clocks) for pid in range(n)]
+    return sim, clocks, net, procs
+
+
+def test_crash_and_recover_schedule():
+    sim, clocks, net, procs = build()
+    plan = FaultSchedule(
+        crashes=[Crash(pid=1, at=10.0)],
+        recoveries=[Recover(pid=1, at=20.0)],
+    )
+    plan.arm(sim, net, procs, clocks)
+    sim.run(until=15.0)
+    assert procs[1].crashed
+    sim.run(until=25.0)
+    assert not procs[1].crashed
+
+
+def test_partition_window():
+    sim, clocks, net, procs = build()
+    plan = FaultSchedule(
+        partitions=[PartitionWindow(frozenset({0}), frozenset({1, 2}),
+                                    start=5.0, end=15.0)]
+    )
+    plan.arm(sim, net, procs, clocks)
+    sim.run(until=6.0)
+    net.send(0, 1, Msg())
+    sim.run(until=10.0)
+    assert procs[1].count == 0
+    sim.run(until=16.0)
+    net.send(0, 1, Msg())
+    sim.run()
+    assert procs[1].count == 1
+
+
+def test_loss_window_drops_all_at_prob_one():
+    sim, clocks, net, procs = build()
+    plan = FaultSchedule(losses=[LossWindow(start=0.0, end=50.0, prob=1.0)])
+    plan.arm(sim, net, procs, clocks)
+    for _ in range(10):
+        net.send(0, 1, Msg())
+    sim.run(until=60.0)
+    assert procs[1].count == 0
+    net.send(0, 1, Msg())
+    sim.run()
+    assert procs[1].count == 1
+
+
+def test_loss_window_preserves_existing_drop_rule():
+    sim, clocks, net, procs = build()
+    net.drop_rule = lambda src, dst, msg, now: dst == 2
+    plan = FaultSchedule(losses=[LossWindow(start=0.0, end=1.0, prob=0.0)])
+    plan.arm(sim, net, procs, clocks)
+    net.send(0, 2, Msg())
+    net.send(0, 1, Msg())
+    sim.run()
+    assert procs[2].count == 0
+    assert procs[1].count == 1
+
+
+def test_loss_window_validates_probability():
+    with pytest.raises(ValueError):
+        LossWindow(start=0.0, end=1.0, prob=1.5)
+
+
+def test_clock_desync_schedule():
+    sim, clocks, net, procs = build()
+    plan = FaultSchedule(
+        desyncs=[ClockDesync(pid=0, start=10.0, jump=30.0, end=40.0)]
+    )
+    plan.arm(sim, net, procs, clocks)
+    sim.run(until=20.0)
+    assert clocks.max_pairwise_skew(20.0) > 2.0
+    sim.run(until=300.0)
+    assert clocks.max_pairwise_skew(300.0) <= 2.0
+
+
+def test_clock_desync_requires_clock_model():
+    sim, clocks, net, procs = build()
+    plan = FaultSchedule(desyncs=[ClockDesync(pid=0, start=1.0, jump=5.0)])
+    with pytest.raises(ValueError):
+        plan.arm(sim, net, procs, clocks=None)

@@ -1,0 +1,84 @@
+"""Tests for the delay models."""
+
+import random
+
+import pytest
+
+from repro.sim.latency import FixedDelay, GeoDelay, SpikeDelay, UniformDelay
+
+
+def test_fixed_delay():
+    model = FixedDelay(3.0)
+    rng = random.Random(0)
+    assert model.sample(0, 1, rng) == 3.0
+    assert model.maximum == 3.0
+
+
+def test_fixed_rejects_negative():
+    with pytest.raises(ValueError):
+        FixedDelay(-1.0)
+
+
+def test_uniform_delay_within_bounds():
+    model = UniformDelay(1.0, 5.0)
+    rng = random.Random(0)
+    samples = [model.sample(0, 1, rng) for _ in range(200)]
+    assert all(1.0 <= s <= 5.0 for s in samples)
+    assert model.maximum == 5.0
+    # Non-degenerate spread.
+    assert max(samples) - min(samples) > 1.0
+
+
+def test_uniform_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        UniformDelay(5.0, 1.0)
+    with pytest.raises(ValueError):
+        UniformDelay(-1.0, 1.0)
+
+
+def test_spike_delay_bounds_and_spikes():
+    model = SpikeDelay(1.0, 2.0, 50.0, spike_prob=0.5)
+    rng = random.Random(1)
+    samples = [model.sample(0, 1, rng) for _ in range(500)]
+    assert all(1.0 <= s <= 50.0 for s in samples)
+    assert any(s > 2.0 for s in samples)
+    assert model.maximum == 50.0
+
+
+def test_spike_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        SpikeDelay(2.0, 1.0, 50.0)
+    with pytest.raises(ValueError):
+        SpikeDelay(1.0, 2.0, 50.0, spike_prob=1.5)
+
+
+def test_geo_delay_matrix():
+    model = GeoDelay(
+        assignment={0: 0, 1: 0, 2: 1},
+        matrix=[[1.0, 40.0], [40.0, 1.0]],
+    )
+    rng = random.Random(0)
+    assert model.sample(0, 1, rng) == 1.0  # same region
+    assert model.sample(0, 2, rng) == 40.0  # cross region
+    assert model.maximum == 40.0
+
+
+def test_geo_delay_jitter():
+    model = GeoDelay(
+        assignment={0: 0, 1: 1},
+        matrix=[[1.0, 10.0], [10.0, 1.0]],
+        jitter=5.0,
+    )
+    rng = random.Random(0)
+    samples = [model.sample(0, 1, rng) for _ in range(100)]
+    assert all(10.0 <= s <= 15.0 for s in samples)
+    assert model.maximum == 15.0
+
+
+def test_geo_rejects_bad_config():
+    with pytest.raises(ValueError):
+        GeoDelay({0: 0}, [[1.0, 2.0]])  # not square
+    with pytest.raises(ValueError):
+        GeoDelay({0: 5}, [[1.0]])  # region out of range
+    with pytest.raises(ValueError):
+        GeoDelay({0: 0}, [[1.0]], jitter=-1.0)

@@ -1,0 +1,112 @@
+"""Tests for run statistics and summaries."""
+
+import pytest
+
+from repro.sim.trace import RunStats, percentile, summarize
+
+
+class TestRunStats:
+    def test_invoke_respond_roundtrip(self):
+        stats = RunStats()
+        stats.invoke((0, 1), 0, "read", "op", now=1.0)
+        record = stats.respond((0, 1), "value", now=3.5)
+        assert record.latency == 2.5
+        assert record.response == "value"
+        assert record.completed
+
+    def test_duplicate_invoke_rejected(self):
+        stats = RunStats()
+        stats.invoke((0, 1), 0, "read", "op", 0.0)
+        with pytest.raises(ValueError):
+            stats.invoke((0, 1), 0, "read", "op", 1.0)
+
+    def test_double_respond_rejected(self):
+        stats = RunStats()
+        stats.invoke((0, 1), 0, "read", "op", 0.0)
+        stats.respond((0, 1), "v", 1.0)
+        with pytest.raises(ValueError):
+            stats.respond((0, 1), "v", 2.0)
+
+    def test_pending_and_completed(self):
+        stats = RunStats()
+        stats.invoke((0, 1), 0, "read", "op", 0.0)
+        stats.invoke((0, 2), 0, "rmw", "op", 0.0)
+        stats.respond((0, 1), "v", 1.0)
+        assert len(stats.completed()) == 1
+        assert len(stats.pending()) == 1
+        assert len(stats.completed("read")) == 1
+        assert len(stats.completed("rmw")) == 0
+
+    def test_blocking_accounting(self):
+        stats = RunStats()
+        stats.invoke((0, 1), 0, "read", "op", 0.0)
+        stats.invoke((0, 2), 0, "read", "op", 0.0)
+        stats.mark_blocked((0, 1), 4.0)
+        stats.respond((0, 1), "v", 5.0)
+        stats.respond((0, 2), "v", 1.0)
+        assert stats.blocked_fraction("read") == 0.5
+        assert stats.max_blocking("read") == 4.0
+        assert stats.get((0, 1)).blocked
+        assert not stats.get((0, 2)).blocked
+
+    def test_blocked_fraction_by_pid(self):
+        stats = RunStats()
+        stats.invoke((0, 1), 0, "read", "op", 0.0)
+        stats.invoke((1, 1), 1, "read", "op", 0.0)
+        stats.mark_blocked((1, 1), 1.0)
+        stats.respond((0, 1), "v", 1.0)
+        stats.respond((1, 1), "v", 1.0)
+        assert stats.blocked_fraction("read", pid=0) == 0.0
+        assert stats.blocked_fraction("read", pid=1) == 1.0
+
+    def test_blocked_fraction_empty(self):
+        assert RunStats().blocked_fraction("read") == 0.0
+
+    def test_latencies(self):
+        stats = RunStats()
+        stats.invoke((0, 1), 0, "rmw", "op", 0.0)
+        stats.respond((0, 1), None, 7.0)
+        assert stats.latencies("rmw") == [7.0]
+        assert stats.latencies("read") == []
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 99) == 5.0
+
+    def test_median_of_two(self):
+        assert percentile([1.0, 3.0], 50) == 2.0
+
+    def test_extremes(self):
+        data = [float(i) for i in range(1, 101)]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 100.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == 2.5
+        assert summary.p50 == 2.5
+        assert summary.max == 4.0
+
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.max == 0.0
+
+    def test_row_renders_strings(self):
+        row = summarize([1.0]).row()
+        assert row[0] == "1"
+        assert all(isinstance(cell, str) for cell in row)

@@ -1,0 +1,66 @@
+"""Tests for history construction."""
+
+from repro.sim.trace import RunStats
+from repro.verify.history import History, HistoryEntry
+
+
+def test_from_stats_builds_entries():
+    stats = RunStats()
+    stats.invoke((0, 1), 0, "rmw", "w", 0.0)
+    stats.respond((0, 1), None, 2.0)
+    stats.invoke((1, 1), 1, "read", "r", 1.0)
+    stats.respond((1, 1), 5, 3.0)
+    history = History.from_stats(stats)
+    assert len(history) == 2
+    kinds = {(e.op, e.response) for e in history}
+    assert ("w", None) in kinds
+    assert ("r", 5) in kinds
+
+
+def test_from_stats_pending_included_by_default():
+    stats = RunStats()
+    stats.invoke((0, 1), 0, "rmw", "w", 0.0)
+    history = History.from_stats(stats)
+    assert len(history) == 1
+    assert history.entries[0].pending
+
+
+def test_from_stats_pending_excluded():
+    stats = RunStats()
+    stats.invoke((0, 1), 0, "rmw", "w", 0.0)
+    history = History.from_stats(stats, include_pending=False)
+    assert len(history) == 0
+
+
+def test_from_stats_kind_filter():
+    stats = RunStats()
+    stats.invoke((0, 1), 0, "rmw", "w", 0.0)
+    stats.respond((0, 1), None, 1.0)
+    stats.invoke((1, 1), 1, "read", "r", 0.0)
+    stats.respond((1, 1), 0, 1.0)
+    rmw_only = History.from_stats(stats, kinds=("rmw",))
+    assert len(rmw_only) == 1
+    assert rmw_only.entries[0].op == "w"
+
+
+def test_completed_filters_pending():
+    entries = [
+        HistoryEntry("a", None, 0.0, 1.0),
+        HistoryEntry("b", None, 0.0, None),
+    ]
+    history = History(entries)
+    assert len(history.completed()) == 1
+
+
+def test_precedes():
+    first = HistoryEntry("a", None, 0.0, 1.0)
+    second = HistoryEntry("b", None, 2.0, 3.0)
+    overlapping = HistoryEntry("c", None, 0.5, 2.5)
+    assert first.precedes(second)
+    assert not second.precedes(first)
+    assert not first.precedes(overlapping) or overlapping.invoked_at > 1.0
+
+
+def test_repr_counts_pending():
+    history = History([HistoryEntry("a", None, 0.0, None)])
+    assert "1 pending" in repr(history)

@@ -1,0 +1,129 @@
+"""Tests for the invariant monitors."""
+
+import pytest
+
+from repro.objects.spec import Operation, OpInstance
+from repro.verify.invariants import (
+    BatchMonitor,
+    InvariantViolation,
+    LeaderIntervalMonitor,
+    check_i2_i3,
+)
+
+
+def inst(pid, seq):
+    return OpInstance((pid, seq), Operation("w", (pid, seq)))
+
+
+class TestLeaderIntervalMonitor:
+    def test_same_process_overlap_allowed(self):
+        mon = LeaderIntervalMonitor()
+        mon.record_true(0, 0.0, 10.0)
+        mon.record_true(0, 5.0, 15.0)
+
+    def test_disjoint_processes_allowed(self):
+        mon = LeaderIntervalMonitor()
+        mon.record_true(0, 0.0, 10.0)
+        mon.record_true(1, 10.5, 20.0)
+
+    def test_overlapping_processes_rejected(self):
+        mon = LeaderIntervalMonitor()
+        mon.record_true(0, 0.0, 10.0)
+        with pytest.raises(InvariantViolation):
+            mon.record_true(1, 9.0, 12.0)
+
+    def test_touching_endpoints_rejected(self):
+        mon = LeaderIntervalMonitor()
+        mon.record_true(0, 0.0, 10.0)
+        with pytest.raises(InvariantViolation):
+            mon.record_true(1, 10.0, 11.0)
+
+    def test_merging_keeps_detection(self):
+        mon = LeaderIntervalMonitor()
+        mon.record_true(0, 0.0, 5.0)
+        mon.record_true(0, 4.0, 9.0)  # merges to [0, 9]
+        with pytest.raises(InvariantViolation):
+            mon.record_true(1, 8.0, 8.5)
+
+    def test_backwards_interval_rejected(self):
+        mon = LeaderIntervalMonitor()
+        with pytest.raises(ValueError):
+            mon.record_true(0, 5.0, 1.0)
+
+
+class TestBatchMonitor:
+    def test_agreeing_batches_ok(self):
+        mon = BatchMonitor()
+        ops = frozenset({inst(0, 1)})
+        mon.record_batch(0, 1, ops, now=1.0)
+        mon.record_batch(1, 1, ops, now=2.0)
+        assert mon.highest_committed() == 1
+        assert mon.commit_time(1) == 1.0
+
+    def test_conflicting_batch_value_rejected(self):
+        mon = BatchMonitor()
+        mon.record_batch(0, 1, frozenset({inst(0, 1)}), now=1.0)
+        with pytest.raises(InvariantViolation):
+            mon.record_batch(1, 1, frozenset({inst(0, 2)}), now=2.0)
+
+    def test_op_in_two_batches_rejected(self):
+        mon = BatchMonitor()
+        shared = inst(0, 1)
+        mon.record_batch(0, 1, frozenset({shared}), now=1.0)
+        with pytest.raises(InvariantViolation):
+            mon.record_batch(0, 2, frozenset({shared, inst(0, 2)}), now=2.0)
+
+    def test_commit_time_unknown_batch(self):
+        assert BatchMonitor().commit_time(5) is None
+
+
+class _FakeReplica:
+    def __init__(self, pid, batches, estimate=None, crashed=False):
+        self.pid = pid
+        self.batches = batches
+        self.estimate = estimate
+        self.crashed = crashed
+
+
+class _FakeEstimate:
+    def __init__(self, k):
+        self.k = k
+
+
+class TestI2I3:
+    def test_consistent_cluster_passes(self):
+        b1, b2 = frozenset({inst(0, 1)}), frozenset({inst(0, 2)})
+        replicas = [
+            _FakeReplica(0, {1: b1, 2: b2}, _FakeEstimate(3)),
+            _FakeReplica(1, {1: b1, 2: b2}),
+            _FakeReplica(2, {1: b1}),
+        ]
+        check_i2_i3(replicas)
+
+    def test_i2_violation(self):
+        replicas = [
+            _FakeReplica(0, {}, _FakeEstimate(3)),  # missing batch 2
+            _FakeReplica(1, {}),
+            _FakeReplica(2, {}),
+        ]
+        with pytest.raises(InvariantViolation):
+            check_i2_i3(replicas)
+
+    def test_i3_violation(self):
+        b2 = frozenset({inst(0, 2)})
+        replicas = [
+            _FakeReplica(0, {2: b2}),  # knows batch 2, nobody has batch 1
+            _FakeReplica(1, {}),
+            _FakeReplica(2, {}),
+        ]
+        with pytest.raises(InvariantViolation):
+            check_i2_i3(replicas)
+
+    def test_crashed_replicas_count_conservatively(self):
+        b1, b2 = frozenset({inst(0, 1)}), frozenset({inst(0, 2)})
+        replicas = [
+            _FakeReplica(0, {1: b1, 2: b2}),
+            _FakeReplica(1, {}, crashed=True),
+            _FakeReplica(2, {1: b1}),
+        ]
+        check_i2_i3(replicas)

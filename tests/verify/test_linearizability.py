@@ -1,0 +1,178 @@
+"""Tests for the linearizability checker."""
+
+import pytest
+
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.objects.register import RegisterSpec, cas, read, write
+from repro.verify.history import History, HistoryEntry
+from repro.verify.linearizability import check_linearizable
+
+
+def entry(op, response, start, end, pid=0):
+    return HistoryEntry(op=op, response=response, invoked_at=start,
+                        responded_at=end, pid=pid)
+
+
+def pending(op, start, pid=0):
+    return HistoryEntry(op=op, response=None, invoked_at=start,
+                        responded_at=None, pid=pid)
+
+
+@pytest.fixture
+def reg():
+    return RegisterSpec(initial=0)
+
+
+class TestBasics:
+    def test_empty_history(self, reg):
+        assert check_linearizable(reg, History([]))
+
+    def test_single_read_of_initial_value(self, reg):
+        h = History([entry(read(), 0, 0, 1)])
+        assert check_linearizable(reg, h)
+
+    def test_single_read_of_wrong_value(self, reg):
+        h = History([entry(read(), 7, 0, 1)])
+        assert not check_linearizable(reg, h)
+
+    def test_sequential_write_then_read(self, reg):
+        h = History([
+            entry(write(1), None, 0, 1),
+            entry(read(), 1, 2, 3),
+        ])
+        assert check_linearizable(reg, h)
+
+    def test_stale_read_after_write_completes(self, reg):
+        h = History([
+            entry(write(1), None, 0, 1),
+            entry(read(), 0, 2, 3),  # reads old value strictly after write
+        ])
+        assert not check_linearizable(reg, h)
+
+    def test_concurrent_read_may_see_either_value(self, reg):
+        for seen in (0, 1):
+            h = History([
+                entry(write(1), None, 0, 10),
+                entry(read(), seen, 1, 2),
+            ])
+            assert check_linearizable(reg, h), seen
+
+    def test_new_old_inversion_rejected(self, reg):
+        # Two sequential reads: the second goes backwards in time.
+        h = History([
+            entry(write(1), None, 0, 10),
+            entry(read(), 1, 1, 2, pid=1),
+            entry(read(), 0, 3, 4, pid=2),
+        ])
+        assert not check_linearizable(reg, h)
+
+    def test_witness_is_a_valid_order(self, reg):
+        h = History([
+            entry(write(1), None, 0, 1),
+            entry(read(), 1, 2, 3),
+        ])
+        result = check_linearizable(reg, h)
+        assert [e.op.name for e in result.witness] == ["write", "read"]
+
+
+class TestCas:
+    def test_cas_responses_constrain_order(self, reg):
+        # Both CAS(0->1) succeed: impossible.
+        h = History([
+            entry(cas(0, 1), 0, 0, 10, pid=1),
+            entry(cas(0, 1), 0, 0, 10, pid=2),
+        ])
+        assert not check_linearizable(reg, h)
+
+    def test_one_cas_wins(self, reg):
+        h = History([
+            entry(cas(0, 1), 0, 0, 10, pid=1),
+            entry(cas(0, 1), 1, 0, 10, pid=2),  # observed old value 1: lost
+        ])
+        assert check_linearizable(reg, h)
+
+
+class TestPendingOps:
+    def test_pending_write_may_have_taken_effect(self, reg):
+        h = History([
+            pending(write(1), 0),
+            entry(read(), 1, 5, 6),
+        ])
+        assert check_linearizable(reg, h)
+
+    def test_pending_write_may_not_have_taken_effect(self, reg):
+        h = History([
+            pending(write(1), 0),
+            entry(read(), 0, 5, 6),
+        ])
+        assert check_linearizable(reg, h)
+
+    def test_pending_op_cannot_take_effect_before_invocation(self, reg):
+        h = History([
+            entry(read(), 1, 0, 1),   # sees 1 before the write is invoked
+            pending(write(1), 5),
+        ])
+        assert not check_linearizable(reg, h)
+
+    def test_all_pending_history_is_linearizable(self, reg):
+        h = History([pending(write(1), 0), pending(read(), 0)])
+        assert check_linearizable(reg, h)
+
+
+class TestPartitioning:
+    def test_partitioned_check_on_kv(self):
+        spec = KVStoreSpec()
+        h = History([
+            entry(put("a", 1), None, 0, 1),
+            entry(get("a"), 1, 2, 3),
+            entry(put("b", 2), None, 0, 1),
+            entry(get("b"), 2, 2, 3),
+        ])
+        assert check_linearizable(spec, h, partition_by_key=True)
+
+    def test_partitioned_check_finds_per_key_violation(self):
+        spec = KVStoreSpec()
+        h = History([
+            entry(put("a", 1), None, 0, 1),
+            entry(get("a"), None, 2, 3),  # stale read of key a
+        ])
+        result = check_linearizable(spec, h, partition_by_key=True)
+        assert not result
+        assert "'a'" in result.reason
+
+    def test_partitioning_rejects_multi_key_ops(self):
+        from repro.objects.kvstore import scan
+
+        spec = KVStoreSpec()
+        h = History([entry(scan(), (), 0, 1)])
+        with pytest.raises(ValueError):
+            check_linearizable(spec, h, partition_by_key=True)
+
+    def test_cross_key_real_time_order_is_respected(self):
+        # Partitioning is sound for KV: per-key orders embed in real time.
+        spec = KVStoreSpec()
+        h = History([
+            entry(put("a", 1), None, 0, 1),
+            entry(put("b", 1), None, 2, 3),
+            entry(get("a"), 1, 4, 5),
+            entry(get("b"), 1, 4, 5),
+        ])
+        assert check_linearizable(spec, h, partition_by_key=True)
+
+
+class TestSearchLimits:
+    def test_configuration_cap_raises(self, reg):
+        # Many overlapping concurrent operations blow up the search; the
+        # checker must refuse rather than give a wrong answer.
+        entries = []
+        for i in range(24):
+            entries.append(entry(write(i), None, 0, 1000, pid=i))
+        entries.append(entry(read(), 23, 2000, 2001))
+        with pytest.raises(RuntimeError):
+            check_linearizable(reg, History(entries), max_configurations=100)
+
+
+class TestHistoryValidation:
+    def test_response_before_invocation_rejected(self):
+        with pytest.raises(ValueError):
+            History([entry(read(), 0, 5, 4)])
