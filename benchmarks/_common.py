@@ -11,11 +11,20 @@ claim checks, so the whole suite is exercised by
 from __future__ import annotations
 
 import sys
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
+from repro.analysis.parallel import parallel_starmap, run_cells
 from repro.analysis.tables import Table, banner
 
-__all__ = ["Table", "banner", "emit", "experiment_main"]
+__all__ = [
+    "Table", "banner", "emit", "experiment_main",
+    "parallel_starmap", "run_cells", "avg_rows",
+]
+
+
+def avg_rows(rows: Sequence[dict]) -> dict:
+    """Average per-seed measurement dicts field by field."""
+    return {key: sum(r[key] for r in rows) / len(rows) for key in rows[0]}
 
 
 def emit(result: dict) -> None:

@@ -1,0 +1,190 @@
+"""Engine throughput benchmark: current engine vs the pre-optimization one.
+
+Three workloads, identical to the ones used to record the seed baseline:
+
+* ``raw_loop`` — a self-rescheduling callback chain; isolates the event
+  loop itself (schedule + pop + dispatch, no protocol code).
+* ``cancel_pending`` — schedule/cancel churn with a ``pending_events``
+  query per operation; isolates the cancellation bookkeeping (the seed
+  engine's O(n) scan made this quadratic).
+* ``cht_steady_write`` — a full CHT cluster under the E6 steady-write
+  workload; the end-to-end number, in simulator events and protocol
+  messages per wall-clock second.
+
+Each workload runs on the current :class:`~repro.sim.core.Simulator` and
+on :class:`~_legacy_engine.LegacySimulator` (the old engine behind the
+current API).  Results, the recorded seed-stack baseline, and the
+speedups are written to ``BENCH_engine.json`` at the repository root.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_engine.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec, get, put
+
+import repro.core.client as client_mod
+
+from _common import Table, banner
+from _legacy_engine import LegacySimulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Full-stack numbers measured at the seed commit (the original engine
+#: *and* the original protocol hot paths), recorded with this same script
+#: body on the same workloads.  The live "legacy" engine runs below isolate
+#: the event-loop contribution; this baseline is the true "before".
+SEED_BASELINE = {
+    "raw_loop_events_per_sec": 458_366,
+    "cancel_pending_ops_per_sec": 1_128,
+    "cht_steady_write_events_per_sec": 81_330,
+    "cht_steady_write_msgs_per_sec": 24_216,
+}
+
+
+def bench_raw_loop(sim_cls, n_events: int = 200_000) -> float:
+    sim = sim_cls(seed=0)
+    count = 0
+
+    def cb() -> None:
+        nonlocal count
+        count += 1
+        if count < n_events:
+            sim.schedule(1.0, cb)
+
+    t0 = time.perf_counter()
+    for _ in range(100):
+        sim.schedule(1.0, cb)
+    sim.run(max_events=n_events)
+    dt = time.perf_counter() - t0
+    return sim.events_processed / dt
+
+
+def bench_cancel_pending(sim_cls, n: int = 50_000) -> float:
+    sim = sim_cls(seed=0)
+    t0 = time.perf_counter()
+    for i in range(n):
+        ev = sim.schedule(float(i % 100) + 1.0, lambda: None)
+        if i % 2:
+            ev.cancel()
+        _ = sim.pending_events
+    sim.run()
+    dt = time.perf_counter() - t0
+    return n / dt
+
+
+def bench_cht_steady_write(sim_cls, rounds: int = 300) -> tuple[float, float]:
+    original = client_mod.Simulator
+    client_mod.Simulator = sim_cls
+    try:
+        t0 = time.perf_counter()
+        cluster = client_mod.ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=1)
+        cluster.start()
+        cluster.run(800.0)
+        futures = []
+        for i in range(rounds):
+            futures.append(cluster.submit(0, put("hot", i)))
+            for pid in (1, 2, 3, 4):
+                futures.append(cluster.submit(pid, get("hot")))
+                futures.append(cluster.submit(pid, get("cold")))
+            cluster.run(10.0)
+        cluster.run_until(lambda: all(f.done for f in futures),
+                          timeout=60_000.0)
+        assert all(f.done for f in futures)
+        dt = time.perf_counter() - t0
+        return (cluster.sim.events_processed / dt,
+                cluster.net.total_sent() / dt)
+    finally:
+        client_mod.Simulator = original
+
+
+def _best_of(fn, k: int = 3) -> float:
+    return max(fn() for _ in range(k))
+
+
+def measure(sim_cls, repeats: int = 3) -> dict:
+    raw = _best_of(lambda: bench_raw_loop(sim_cls), repeats)
+    cancel = _best_of(lambda: bench_cancel_pending(sim_cls), repeats)
+    ev, msg = max((bench_cht_steady_write(sim_cls) for _ in range(repeats)),
+                  key=lambda pair: pair[0])
+    return {
+        "raw_loop_events_per_sec": round(raw),
+        "cancel_pending_ops_per_sec": round(cancel),
+        "cht_steady_write_events_per_sec": round(ev),
+        "cht_steady_write_msgs_per_sec": round(msg),
+    }
+
+
+def run(repeats: int = 3) -> dict:
+    from repro.sim.core import Simulator
+
+    current = measure(Simulator, repeats)
+    legacy = measure(LegacySimulator, repeats)
+    speedup_vs_seed = {
+        key: current[key] / SEED_BASELINE[key] for key in current
+    }
+    speedup_vs_legacy = {
+        key: current[key] / legacy[key] for key in current
+    }
+    result = {
+        "workload": {
+            "raw_loop": "200k-event self-rescheduling callback chain",
+            "cancel_pending": "50k schedule/cancel ops, pending_events "
+                              "queried per op",
+            "cht_steady_write": "E6 steady-write workload, n=5, 300 rounds",
+        },
+        "seed_baseline": SEED_BASELINE,
+        "legacy_engine": legacy,
+        "current": current,
+        "speedup_vs_seed": {k: round(v, 2) for k, v in speedup_vs_seed.items()},
+        "speedup_vs_legacy_engine": {
+            k: round(v, 2) for k, v in speedup_vs_legacy.items()
+        },
+    }
+    return result
+
+
+def emit(result: dict) -> None:
+    print(banner("engine throughput: current vs legacy engine vs seed stack"))
+    table = Table(["metric", "seed stack", "legacy engine", "current",
+                   "vs seed", "vs legacy"])
+    labels = {
+        "raw_loop_events_per_sec": "raw loop (events/s)",
+        "cancel_pending_ops_per_sec": "cancel+pending (ops/s)",
+        "cht_steady_write_events_per_sec": "CHT steady write (events/s)",
+        "cht_steady_write_msgs_per_sec": "CHT steady write (msgs/s)",
+    }
+    for key, label in labels.items():
+        table.add_row(
+            label,
+            result["seed_baseline"][key],
+            result["legacy_engine"][key],
+            result["current"][key],
+            f'{result["speedup_vs_seed"][key]:.2f}x',
+            f'{result["speedup_vs_legacy_engine"][key]:.2f}x',
+        )
+    print(table.render())
+
+
+def main() -> None:
+    result = run()
+    emit(result)
+    out = REPO_ROOT / "BENCH_engine.json"
+    out.write_text(json.dumps(result, indent=2) + "\n")
+    print(f"\nwrote {out}")
+    target = 1.5
+    achieved = result["speedup_vs_seed"]["cht_steady_write_events_per_sec"]
+    print(f"steady-write speedup vs seed: {achieved:.2f}x "
+          f"(target >= {target}x)")
+    if achieved < target:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

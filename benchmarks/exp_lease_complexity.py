@@ -15,7 +15,7 @@ from __future__ import annotations
 from repro.analysis.runner import build_cluster, warmup
 from repro.objects.kvstore import KVStoreSpec, put
 
-from _common import Table, experiment_main
+from _common import Table, experiment_main, parallel_starmap
 
 WINDOW = 1000.0
 RENEWAL = 25.0  # both systems renew every 25 ms in this comparison
@@ -42,10 +42,17 @@ def run(scale: float = 1.0, seeds=(1, 2)) -> dict:
          "cht per pair", "pql per pair", "pql/cht"],
         title="E5  lease-renewal messages per period vs cluster size",
     )
+    cells = [
+        (system, n, seed)
+        for n in sizes
+        for system in ("cht", "pql")
+        for seed in seeds
+    ]
+    flat = iter(parallel_starmap(_measure, cells))
     cht_series, pql_series = [], []
     for n in sizes:
-        cht = sum(_measure("cht", n, s) for s in seeds) / len(seeds)
-        pql = sum(_measure("pql", n, s) for s in seeds) / len(seeds)
+        cht = sum(next(flat) for _ in seeds) / len(seeds)
+        pql = sum(next(flat) for _ in seeds) / len(seeds)
         cht_series.append(cht)
         pql_series.append(pql)
         pairs = n * (n - 1)

@@ -15,7 +15,7 @@ from __future__ import annotations
 from repro.analysis.runner import build_cluster, warmup
 from repro.objects.kvstore import KVStoreSpec, get, put
 
-from _common import Table, experiment_main
+from _common import Table, avg_rows, experiment_main, run_cells
 
 
 def _run_phase(cluster, leader, read_key, write_key, reads, seed_offset):
@@ -75,12 +75,10 @@ def run(scale: float = 1.0, seeds=(1, 2, 3)) -> dict:
         title="E2  fraction of blocking reads after GST (n=5, delta=10)",
     )
     measured = {}
-    for phase in ("quiet", "disjoint", "conflicting"):
-        rows = [_measure(phase, reads, seed) for seed in seeds]
-        avg = {
-            key: sum(r[key] for r in rows) / len(rows)
-            for key in rows[0]
-        }
+    phases = ("quiet", "disjoint", "conflicting")
+    cells = run_cells(_measure, phases, seeds, reads)
+    for phase in phases:
+        avg = avg_rows(cells[phase])
         measured[phase] = avg
         table.add_row(
             phase,

@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.analysis.runner import build_cluster, warmup
 from repro.objects.kvstore import KVStoreSpec, get, put
 
-from _common import Table, experiment_main
+from _common import Table, experiment_main, parallel_starmap
 
 WINDOW = 2000.0
 
@@ -56,11 +56,18 @@ def run(scale: float = 1.0, seeds=(1, 2, 3)) -> dict:
         title="E1  total messages in a fixed window vs number of reads "
               "(n=5, fixed RMW load)",
     )
+    cells = [
+        (system, reads, seed)
+        for reads in read_points
+        for system in systems
+        for seed in seeds
+    ]
+    flat = iter(parallel_starmap(_measure, cells))
     results: dict[str, list[float]] = {s: [] for s in systems}
     for reads in read_points:
         row = [reads]
         for system in systems:
-            counts = [_measure(system, reads, seed) for seed in seeds]
+            counts = [next(flat) for _ in seeds]
             avg = sum(counts) / len(counts)
             results[system].append(avg)
             row.append(round(avg))

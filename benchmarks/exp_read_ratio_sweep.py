@@ -18,7 +18,7 @@ from repro.analysis.workloads import ReadWriteMix, drive
 from repro.objects.kvstore import KVStoreSpec
 from repro.sim.trace import summarize
 
-from _common import Table, experiment_main
+from _common import Table, experiment_main, parallel_starmap
 
 # PQL is omitted here: under a continuous write stream its reads starve
 # behind perpetual revocation (the pathology E5/E6 quantify directly),
@@ -58,15 +58,19 @@ def run(scale: float = 1.0, seeds=(1,)) -> dict:
         title="E14  mean latency and message cost vs read fraction "
               "(n=5, delta=10, same schedule for every system)",
     )
+    cells = [
+        (system, fraction, rate, duration, seed)
+        for fraction in fractions
+        for system in SYSTEMS
+    ]
+    flat = parallel_starmap(_measure, cells)
     measured = {}
-    for fraction in fractions:
-        for system in SYSTEMS:
-            row = _measure(system, fraction, rate, duration, seed)
-            measured[(system, fraction)] = row
-            table.add_row(
-                int(fraction * 100), system, row["read_mean"],
-                row["rmw_mean"], row["messages"] / max(row["ops"], 1),
-            )
+    for (system, fraction, *_), row in zip(cells, flat):
+        measured[(system, fraction)] = row
+        table.add_row(
+            int(fraction * 100), system, row["read_mean"],
+            row["rmw_mean"], row["messages"] / max(row["ops"], 1),
+        )
 
     top = fractions[-1]
     claims = {

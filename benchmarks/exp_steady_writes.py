@@ -18,7 +18,7 @@ from repro.analysis.runner import build_cluster, warmup
 from repro.objects.kvstore import KVStoreSpec, get, put
 from repro.sim.trace import summarize
 
-from _common import Table, experiment_main
+from _common import Table, avg_rows, experiment_main, run_cells
 
 
 def _measure(system: str, rounds: int, seed: int) -> dict:
@@ -65,9 +65,9 @@ def run(scale: float = 1.0, seeds=(1, 2)) -> dict:
               "(n=5, delta=10, one write per 10 ms)",
     )
     measured = {}
+    cells = run_cells(_measure, ("cht", "pql"), seeds, rounds)
     for system in ("cht", "pql"):
-        rows = [_measure(system, rounds, seed) for seed in seeds]
-        avg = {k: sum(r[k] for r in rows) / len(rows) for k in rows[0]}
+        avg = avg_rows(cells[system])
         measured[system] = avg
         table.add_row(system, "hot", avg["hot_mean"], avg["hot_max"],
                       100 * avg["hot_blocked"])

@@ -54,3 +54,19 @@ def test_experiment_claims(benchmark, module_name, scale, seeds):
         f"{module_name}: failed claims: {failed}\n"
         + "\n".join(t.render() for t in result["tables"])
     )
+
+
+def test_experiments_deterministic_across_runs_and_workers(monkeypatch):
+    # Same seed -> byte-identical tables, and a parallel run must merge
+    # to exactly what a serial run produces.
+    module = importlib.import_module("exp_steady_writes")
+
+    def rendered(result):
+        return "\n".join(t.render() for t in result["tables"])
+
+    first = rendered(module.run(scale=0.5, seeds=(1, 2)))
+    second = rendered(module.run(scale=0.5, seeds=(1, 2)))
+    assert first == second
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+    serial = rendered(module.run(scale=0.5, seeds=(1, 2)))
+    assert serial == first

@@ -57,6 +57,10 @@ from .state import COMPACTED, ReadLease, Tenure
 __all__ = ["ChtReplica", "CommitRecord"]
 
 
+def _noop() -> None:
+    """Shared timer callback for pure wake-up timers (see ``_wait``)."""
+
+
 class CommitRecord:
     """Per-commit measurements kept by the committing leader (experiments)."""
 
@@ -142,6 +146,11 @@ class ChtReplica(Process):
         # Experiment instrumentation.
         self.commit_log: list[CommitRecord] = []
         self.tenure_history: list[float] = []  # leadership acquisition times
+
+        # The peer set never changes; computed once, copied per tenure.
+        self._others: frozenset[int] = frozenset(
+            p for p in range(config.n) if p != pid
+        )
 
     # ==================================================================
     # Lifecycle
@@ -394,22 +403,29 @@ class ChtReplica(Process):
         """Fetch batches 1..upto this process is missing (line 33).  Each
         is known by a majority (I3), hence by some correct process."""
         cfg = self.config
-
-        def missing() -> list[int]:
+        while True:
             # Batches at or below the applied prefix are already folded
             # into the state (possibly via a snapshot).
             start = max(1, self.applied_upto + 1)
-            return [j for j in range(start, upto + 1)
-                    if j not in self.batches]
-
-        while missing():
+            missing = {j for j in range(start, upto + 1)
+                       if j not in self.batches}
+            if not missing:
+                return True
             if not self.leader_service.am_leader(t, self.local_time):
                 return False
-            self.broadcast(BatchRequest(frozenset(missing())))
-            yield from self._wait(
-                lambda: not missing(), timeout=cfg.retry_period
-            )
-        return True
+            self.broadcast(BatchRequest(frozenset(missing)))
+
+            def all_arrived() -> bool:
+                # Incremental: drop batches as they arrive instead of
+                # rescanning the whole 1..upto range per wakeup.
+                batches = self.batches
+                applied = self.applied_upto
+                missing.difference_update(
+                    [j for j in missing if j in batches or j <= applied]
+                )
+                return not missing
+
+            yield from self._wait(all_arrived, timeout=cfg.retry_period)
 
     def _leader_loop(self, t: float) -> Generator:
         """The leader's continuing tasks (lines 39-51): renew read leases,
@@ -457,7 +473,7 @@ class ChtReplica(Process):
         return frozenset(fresh) if fresh else None
 
     def _all_others(self) -> set[int]:
-        return {p for p in range(self.config.n) if p != self.pid}
+        return set(self._others)
 
     # ------------------------------------------------------------------
     # DoOps: commit one batch (paper lines 52-70)
@@ -690,22 +706,32 @@ class ChtReplica(Process):
 
     def _apply_ready(self) -> None:
         """Apply committed batches in sequence to the local replica,
-        resolving the futures of our own operations."""
-        while (self.applied_upto + 1) in self.batches:
-            j = self.applied_upto + 1
-            for instance in sorted(self.batches[j]):
-                self.state, response = self.spec.apply_any(
-                    self.state, instance.op
-                )
+        resolving the futures of our own operations.
+
+        Advances from the ``applied_upto`` frontier only — the batch log is
+        never rescanned — and the common no-progress call (every Commit
+        handler invokes this) costs a single dict probe.
+        """
+        batches = self.batches
+        j = self.applied_upto + 1
+        if j not in batches:
+            return
+        apply_any = self.spec.apply_any
+        last_applied = self.last_applied
+        my_pid = self.pid
+        while j in batches:
+            for instance in sorted(batches[j]):
+                self.state, response = apply_any(self.state, instance.op)
                 pid, seq = instance.op_id
-                prev = self.last_applied.get(pid)
+                prev = last_applied.get(pid)
                 if prev is None or seq > prev[0]:
-                    self.last_applied[pid] = (seq, response)
-                if pid == self.pid:
+                    last_applied[pid] = (seq, response)
+                if pid == my_pid:
                     future = self.op_futures.get(instance.op_id)
                     if future is not None and not future.done:
                         future.resolve(response)
             self.applied_upto = j
+            j += 1
         self._maybe_compact()
 
     def _maybe_compact(self) -> None:
@@ -806,7 +832,7 @@ class ChtReplica(Process):
             yield Until(predicate)
             return
         deadline = self.local_time + max(timeout, 0.0)
-        self.set_timer(max(timeout, 0.0), lambda: None)
+        self.set_timer(max(timeout, 0.0), _noop)
         yield Until(lambda: predicate() or self.local_time >= deadline)
 
     def is_leader(self) -> bool:

@@ -74,8 +74,13 @@ class _SupportStore:
     def covers_both(self, t1: float, t2: float) -> bool:
         """True iff some counter has intervals covering t1 and covering t2."""
         for spans in self.by_counter.values():
-            covers_t1 = any(s <= t1 <= e for (s, e) in spans)
-            covers_t2 = any(s <= t2 <= e for (s, e) in spans)
+            covers_t1 = False
+            covers_t2 = False
+            for (s, e) in spans:
+                if s <= t1 <= e:
+                    covers_t1 = True
+                if s <= t2 <= e:
+                    covers_t2 = True
             if covers_t1 and covers_t2:
                 return True
         return False
@@ -193,10 +198,14 @@ class EnhancedLeaderService:
         """
         if t1 > t2:
             raise ValueError(f"AmLeader interval is backwards: [{t1}, {t2}]")
-        supporters = sum(
-            1 for store in self.support.values() if store.covers_both(t1, t2)
-        )
-        result = supporters >= self.majority
+        needed = self.majority
+        supporters = 0
+        for store in self.support.values():
+            if store.covers_both(t1, t2):
+                supporters += 1
+                if supporters >= needed:
+                    break
+        result = supporters >= needed
         if result and self.monitor is not None:
             self.monitor.record_true(self.host.pid, t1, t2)
         return result

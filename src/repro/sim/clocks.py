@@ -51,7 +51,10 @@ class Clock:
 
     def local(self, real: float) -> float:
         """Local clock reading at simulated real time ``real``."""
-        seg = self._segment_at(real)
+        segments = self._segments
+        # Single-segment clocks (the common case: fixed offset, rate 1)
+        # skip the bisect; the arithmetic is identical either way.
+        seg = segments[0] if len(segments) == 1 else self._segment_at(real)
         return seg.local_start + seg.rate * (real - seg.real_start)
 
     def real(self, local: float) -> float:
@@ -64,6 +67,9 @@ class Clock:
                 f"local time {local} precedes initial clock value "
                 f"{first.local_start}"
             )
+        if len(self._segments) == 1:
+            real = first.real_start + (local - first.local_start) / first.rate
+            return max(real, first.real_start)
         for seg, next_start in zip(
             self._segments, self._starts[1:] + [float("inf")]
         ):

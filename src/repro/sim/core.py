@@ -7,15 +7,30 @@ deterministic for a given seed and therefore reproducible and debuggable.
 
 Time is a float; by convention throughout the repository one time unit is
 one millisecond of simulated real time.
+
+Engine internals (see docs/PERFORMANCE.md):
+
+* The heap holds plain ``(time, seq, callback, args)`` tuples, so ordering
+  comparisons run entirely in C.  The monotonically increasing sequence
+  number makes the ordering of simultaneous events deterministic (FIFO in
+  scheduling order) and guarantees the callback is never compared.
+* Cancellation is a tombstone scheme: ``_alive`` holds the sequence numbers
+  of scheduled, not-yet-fired, not-cancelled events.  Cancelling removes
+  the seq from ``_alive``; the stale heap entry is discarded lazily when
+  popped (or swept by :meth:`_compact` when tombstones dominate the heap).
+  ``pending_events`` is therefore O(1): ``len(_alive)``.
+* :meth:`call_at` / :meth:`call_later` / :meth:`schedule_many` are the
+  fire-and-forget fast paths: they do not allocate an :class:`Event`
+  handle, which matters on the network-delivery hot path.
 """
 
 from __future__ import annotations
 
+import hashlib
 import heapq
 import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 __all__ = ["Event", "Simulator", "SimulationError"]
 
@@ -24,23 +39,31 @@ class SimulationError(RuntimeError):
     """Raised when the simulation is driven into an illegal configuration."""
 
 
-@dataclass(order=True)
 class Event:
-    """A scheduled callback.
+    """Handle to a scheduled callback, supporting cancellation.
 
-    Events are ordered by ``(time, seq)``; the monotonically increasing
-    sequence number makes the ordering of simultaneous events deterministic
-    (FIFO in scheduling order).
+    The heap itself stores bare tuples; this object exists only for callers
+    that need to cancel or inspect a scheduled event (process timers).
     """
 
-    time: float
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "seq", "cancelled", "_sim")
+
+    def __init__(self, time: float, seq: int, sim: "Simulator") -> None:
+        self.time = time
+        self.seq = seq
+        self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark the event so the simulator skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            # Discard is a no-op when the event already fired.
+            self._sim._alive.discard(self.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "scheduled"
+        return f"<Event t={self.time} seq={self.seq} {state}>"
 
 
 class Simulator:
@@ -57,45 +80,121 @@ class Simulator:
 
     def __init__(self, seed: int = 0) -> None:
         self.now: float = 0.0
+        self.seed = seed
         self.rng = random.Random(seed)
-        self._heap: list[Event] = []
+        self._heap: list[tuple] = []
         self._seq = itertools.count()
+        self._alive: set[int] = set()
+        self._fork_counts: dict[str, int] = {}
         self._events_processed = 0
         self._stopped = False
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> Event:
         """Schedule ``callback`` to run ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, callback)
+        return self.schedule_at(self.now + delay, callback, *args)
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` at an absolute simulation time."""
+    def schedule_at(self, time: float, callback: Callable[..., None],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulation time.
+
+        Returns an :class:`Event` handle that supports cancellation; when
+        the caller never cancels, prefer :meth:`call_at`, which skips the
+        handle allocation.
+        """
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at {time}, current time is {self.now}"
             )
-        event = Event(time=time, seq=next(self._seq), callback=callback)
-        heapq.heappush(self._heap, event)
-        return event
+        seq = next(self._seq)
+        heapq.heappush(self._heap, (time, seq, callback, args))
+        self._alive.add(seq)
+        if len(self._heap) > 512 and len(self._heap) > 2 * len(self._alive):
+            self._compact()
+        return Event(time, seq, self)
+
+    def call_at(self, time: float, callback: Callable[..., None],
+                *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at`: no cancellation handle.
+
+        Extra positional ``args`` are stored in the heap entry and passed
+        to ``callback`` when it fires, which avoids allocating a closure
+        per event on hot paths (message delivery).
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        seq = next(self._seq)
+        heapq.heappush(self._heap, (time, seq, callback, args))
+        self._alive.add(seq)
+
+    def call_later(self, delay: float, callback: Callable[..., None],
+                   *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no cancellation handle."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self.call_at(self.now + delay, callback, *args)
+
+    def schedule_many(
+        self, items: Iterable[tuple[float, Callable[[], None]]]
+    ) -> int:
+        """Bulk-schedule ``(delay, callback)`` pairs; returns the count.
+
+        Equivalent to calling :meth:`call_later` per pair but with the
+        method-dispatch overhead paid once; used by workload injection.
+        """
+        now = self.now
+        heap = self._heap
+        alive = self._alive
+        counter = self._seq
+        push = heapq.heappush
+        n = 0
+        for delay, callback in items:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule into the past (delay={delay})"
+                )
+            seq = next(counter)
+            push(heap, (now + delay, seq, callback, ()))
+            alive.add(seq)
+            n += 1
+        return n
+
+    def _compact(self) -> None:
+        """Sweep cancelled tombstones out of the heap.
+
+        Rebuilding preserves the pop order exactly: ``(time, seq)`` is a
+        total order, so heapify of the filtered entries is equivalent to
+        lazily discarding the tombstones one pop at a time.
+        """
+        alive = self._alive
+        self._heap = [entry for entry in self._heap if entry[1] in alive]
+        heapq.heapify(self._heap)
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Process the next event.  Returns False when no events remain."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            if event.time < self.now:
+        heap = self._heap
+        alive = self._alive
+        pop = heapq.heappop
+        while heap:
+            time, seq, callback, args = pop(heap)
+            if seq not in alive:
+                continue  # cancelled tombstone
+            alive.remove(seq)
+            if time < self.now:
                 raise SimulationError("event heap corrupted: time went backwards")
-            self.now = event.time
+            self.now = time
             self._events_processed += 1
-            event.callback()
+            callback(*args)
             return True
         return False
 
@@ -120,18 +219,31 @@ class Simulator:
         """
         processed = 0
         self._stopped = False
-        while self._heap and not self._stopped:
-            if until is not None and self._heap[0].time > until:
+        heap = self._heap
+        alive = self._alive
+        pop = heapq.heappop
+        # The loop below is the hottest code in the repository; it inlines
+        # step() so per-event cost is one pop, one set probe, and the
+        # callback itself.
+        while heap and not self._stopped:
+            if until is not None and heap[0][0] > until:
                 break
             if max_events is not None and processed >= max_events:
                 break
-            if not self.step():
-                break
+            time, seq, callback, args = pop(heap)
+            if seq not in alive:
+                continue  # cancelled tombstone
+            alive.remove(seq)
+            if time < self.now:
+                raise SimulationError("event heap corrupted: time went backwards")
+            self.now = time
+            self._events_processed += 1
+            callback(*args)
             processed += 1
             if stop_when is not None and stop_when():
                 break
         if until is not None and self.now < until and not self._stopped:
-            if not self._heap or self._heap[0].time > until:
+            if not heap or heap[0][0] > until:
                 self.now = until
 
     def run_for(self, duration: float, **kwargs: Any) -> None:
@@ -151,8 +263,21 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Scheduled events that are neither fired nor cancelled.  O(1)."""
+        return len(self._alive)
 
     def fork_rng(self, label: str) -> random.Random:
-        """Derive an independent, deterministic RNG stream for a component."""
-        return random.Random(f"{self.rng.random()}:{label}")
+        """Derive an independent, deterministic RNG stream for a component.
+
+        The stream is a pure function of ``(seed, label, k)`` where ``k``
+        counts prior forks of the same label: it does not depend on the
+        parent stream's position or on what other labels were forked
+        before, so adding a component cannot silently reseed every other
+        component's randomness.
+        """
+        k = self._fork_counts.get(label, 0)
+        self._fork_counts[label] = k + 1
+        digest = hashlib.sha256(
+            f"{self.seed}\x1f{label}\x1f{k}".encode()
+        ).digest()
+        return random.Random(int.from_bytes(digest, "big"))

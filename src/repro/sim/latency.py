@@ -26,9 +26,28 @@ __all__ = [
 class DelayModel(ABC):
     """Computes one-way message delays."""
 
+    #: True when :meth:`sample` ignores ``(src, dst)``.  Pair-independent
+    #: models can be presampled in batches (:meth:`presample`) without
+    #: changing the rng draw sequence, because draw k always belongs to the
+    #: k-th message regardless of its endpoints.
+    pair_independent = False
+
     @abstractmethod
     def sample(self, src: int, dst: int, rng: random.Random) -> float:
         """Return the latency for one message from ``src`` to ``dst``."""
+
+    def presample(self, rng: random.Random, n: int) -> list[float]:
+        """Draw ``n`` delays ahead of time (pair-independent models only).
+
+        Must consume ``rng`` exactly as ``n`` successive :meth:`sample`
+        calls would, so buffered and unbuffered runs see identical draws.
+        """
+        if not self.pair_independent:
+            raise TypeError(
+                f"{type(self).__name__} delays depend on (src, dst); "
+                "presampling would reorder the draw sequence"
+            )
+        return [self.sample(0, 0, rng) for _ in range(n)]
 
     @property
     @abstractmethod
@@ -39,6 +58,8 @@ class DelayModel(ABC):
 class FixedDelay(DelayModel):
     """Every message takes exactly ``delay`` time units."""
 
+    pair_independent = True
+
     def __init__(self, delay: float) -> None:
         if delay < 0:
             raise ValueError("delay must be non-negative")
@@ -46,6 +67,9 @@ class FixedDelay(DelayModel):
 
     def sample(self, src: int, dst: int, rng: random.Random) -> float:
         return self.delay
+
+    def presample(self, rng: random.Random, n: int) -> list[float]:
+        return [self.delay] * n
 
     @property
     def maximum(self) -> float:
@@ -58,6 +82,8 @@ class FixedDelay(DelayModel):
 class UniformDelay(DelayModel):
     """Delays drawn uniformly from ``[low, high]``."""
 
+    pair_independent = True
+
     def __init__(self, low: float, high: float) -> None:
         if not 0 <= low <= high:
             raise ValueError("need 0 <= low <= high")
@@ -66,6 +92,11 @@ class UniformDelay(DelayModel):
 
     def sample(self, src: int, dst: int, rng: random.Random) -> float:
         return rng.uniform(self.low, self.high)
+
+    def presample(self, rng: random.Random, n: int) -> list[float]:
+        uniform = rng.uniform
+        low, high = self.low, self.high
+        return [uniform(low, high) for _ in range(n)]
 
     @property
     def maximum(self) -> float:
@@ -84,6 +115,8 @@ class SpikeDelay(DelayModel):
     message delays are unbounded in the model but must be finite in a
     simulation.
     """
+
+    pair_independent = True
 
     def __init__(
         self,
@@ -105,6 +138,16 @@ class SpikeDelay(DelayModel):
         if rng.random() < self.spike_prob:
             return rng.uniform(self.base_high, self.spike_high)
         return rng.uniform(self.base_low, self.base_high)
+
+    def presample(self, rng: random.Random, n: int) -> list[float]:
+        # One random() then one uniform() per draw, exactly as sample().
+        out = []
+        for _ in range(n):
+            if rng.random() < self.spike_prob:
+                out.append(rng.uniform(self.base_high, self.spike_high))
+            else:
+                out.append(rng.uniform(self.base_low, self.base_high))
+        return out
 
     @property
     def maximum(self) -> float:

@@ -131,6 +131,13 @@ class Network:
         self.drop_rule: Optional[Callable[[int, int, Any, float], bool]] = None
         self.fifo = fifo
         self._last_delivery: dict[tuple[int, int], float] = {}
+        # Post-GST delay draws are consumed in send order by a single rng,
+        # so pair-independent models can be presampled in chunks (the draw
+        # sequence is unchanged; see DelayModel.presample).
+        self._delay_buf: list[float] = []
+        self._delay_idx = 0
+        self._pids_sorted: list[int] = []
+        self._category_of: dict[type, str] = {}
 
     # ------------------------------------------------------------------
     # Registration / topology control
@@ -139,6 +146,7 @@ class Network:
         if process.pid in self.processes:
             raise SimulationError(f"process {process.pid} already registered")
         self.processes[process.pid] = process
+        self._pids_sorted = sorted(self.processes)
 
     def add_partition(
         self, group_a: frozenset[int], group_b: frozenset[int], start: float,
@@ -176,9 +184,15 @@ class Network:
         if dst not in self.processes:
             raise SimulationError(f"unknown destination process {dst}")
         now = self.sim.now
-        mtype = type(msg).__name__
+        mcls = type(msg)
+        mtype = mcls.__name__
         self.messages_sent[mtype] += 1
-        self.category_sent[getattr(msg, "category", "other")] += 1
+        category = self._category_of.get(mcls)
+        if category is None:
+            category = self._category_of.setdefault(
+                mcls, getattr(msg, "category", "other")
+            )
+        self.category_sent[category] += 1
 
         dropped = self._should_drop(src, dst, msg, now)
         if dropped:
@@ -200,23 +214,23 @@ class Network:
         if self.trace_enabled:
             self.trace.append(SentMessage(src, dst, msg, now, deliver_at))
 
-        def deliver() -> None:
-            # Partitions that begin after the send can still cut the message
-            # off in flight; check again at delivery time.
-            if self._partition_blocks(src, dst, self.sim.now):
-                self.messages_dropped[mtype] += 1
-                return
-            process = self.processes[dst]
-            if process.crashed:
-                return
-            self.messages_delivered[mtype] += 1
-            process.deliver(src, msg)
+        self.sim.call_at(deliver_at, self._deliver, src, dst, msg, mtype)
 
-        self.sim.schedule_at(deliver_at, deliver)
+    def _deliver(self, src: int, dst: int, msg: Any, mtype: str) -> None:
+        # Partitions that begin after the send can still cut the message
+        # off in flight; check again at delivery time.
+        if self.partitions and self._partition_blocks(src, dst, self.sim.now):
+            self.messages_dropped[mtype] += 1
+            return
+        process = self.processes[dst]
+        if process.crashed:
+            return
+        self.messages_delivered[mtype] += 1
+        process.deliver(src, msg)
 
     def broadcast(self, src: int, msg: Any) -> None:
         """Send ``msg`` to every process except ``src``."""
-        for pid in sorted(self.processes):
+        for pid in self._pids_sorted:
             if pid != src:
                 self.send(src, pid, msg)
 
@@ -227,7 +241,7 @@ class Network:
         return any(p.blocks(src, dst, now) for p in self.partitions)
 
     def _should_drop(self, src: int, dst: int, msg: Any, now: float) -> bool:
-        if self._partition_blocks(src, dst, now):
+        if self.partitions and self._partition_blocks(src, dst, now):
             return True
         if self.drop_rule is not None and self.drop_rule(src, dst, msg, now):
             return True
@@ -243,7 +257,18 @@ class Network:
             # measured after stabilization, so a pre-GST message may arrive
             # no later than GST + delta.
             return min(delay, (self.gst - now) + self.delta)
-        return self.post_gst_delay.sample(src, dst, self.rng)
+        model = self.post_gst_delay
+        if not model.pair_independent:
+            return model.sample(src, dst, self.rng)
+        # Post-GST the delay model is the rng's only consumer, so chunked
+        # presampling yields the exact draw sequence of per-send sampling.
+        idx = self._delay_idx
+        buf = self._delay_buf
+        if idx >= len(buf):
+            buf = self._delay_buf = model.presample(self.rng, 256)
+            idx = 0
+        self._delay_idx = idx + 1
+        return buf[idx]
 
     # ------------------------------------------------------------------
     # Accounting helpers used by experiments

@@ -43,9 +43,11 @@ class Process:
         self.crashed = False
         self.stable: dict[str, Any] = {}
         self.rng = sim.fork_rng(f"process-{pid}")
+        self._clock = clocks[pid]
         self._tasks: list[Task] = []
         self._timers: list[Event] = []
         self._in_scheduler = False
+        self._needs_prune = False
         net.register(self)
 
     # ------------------------------------------------------------------
@@ -54,7 +56,7 @@ class Process:
     @property
     def local_time(self) -> float:
         """The process's local clock reading."""
-        return self.clocks.local(self.pid, self.sim.now)
+        return self._clock.local(self.sim.now)
 
     def real_for_local(self, local: float) -> float:
         """Real time at which the local clock will show ``local``."""
@@ -85,18 +87,14 @@ class Process:
     # ------------------------------------------------------------------
     # Timers (local-time based)
     # ------------------------------------------------------------------
-    def set_timer(self, local_delay: float, callback: Callable[[], None]) -> Event:
-        """Run ``callback`` after ``local_delay`` units of *local* time."""
+    def set_timer(self, local_delay: float, callback: Callable[..., None],
+                  *args: Any) -> Event:
+        """Run ``callback(*args)`` after ``local_delay`` units of *local*
+        time."""
         fire_local = self.local_time + local_delay
         fire_real = max(self.real_for_local(fire_local), self.sim.now)
-
-        def fire() -> None:
-            if self.crashed:
-                return
-            callback()
-            self._run_scheduler()
-
-        event = self.sim.schedule_at(fire_real, fire)
+        event = self.sim.schedule_at(fire_real, self._fire_timer, callback,
+                                     args)
         self._timers.append(event)
         if len(self._timers) > 256:
             self._timers = [
@@ -104,6 +102,12 @@ class Process:
                 if not t.cancelled and t.time >= self.sim.now
             ]
         return event
+
+    def _fire_timer(self, callback: Callable[..., None], args: tuple) -> None:
+        if self.crashed:
+            return
+        callback(*args)
+        self._run_scheduler()
 
     def every(self, local_period: float, callback: Callable[[], None]) -> None:
         """Run ``callback`` every ``local_period`` local-time units, starting
@@ -136,6 +140,7 @@ class Process:
             except StopIteration as stop:
                 task.finished = True
                 task.result = stop.value
+                self._needs_prune = True
                 return
             send_value = None
             if isinstance(yielded, Sleep):
@@ -158,11 +163,11 @@ class Process:
             )
 
     def _arm_sleep(self, task: Task, duration: float) -> None:
-        def wake() -> None:
-            if not task.cancelled:
-                self._step_task(task, None)
+        self.set_timer(duration, self._wake_from_sleep, task)
 
-        self.set_timer(duration, wake)
+    def _wake_from_sleep(self, task: Task) -> None:
+        if not task.cancelled:
+            self._step_task(task, None)
 
     def _arm_future(self, task: Task, future: Future) -> None:
         def wake(value: Any) -> None:
@@ -181,11 +186,18 @@ class Process:
         if self._in_scheduler:
             return
         self._in_scheduler = True
+        tasks = self._tasks
         try:
             for _ in range(_MAX_WAKE_ROUNDS):
                 progressed = False
-                for task in list(self._tasks):
+                # Index iteration instead of copying: tasks spawned while a
+                # pass runs are appended and picked up within the same pass.
+                i = 0
+                while i < len(tasks):
+                    task = tasks[i]
+                    i += 1
                     if task.finished or task.cancelled:
+                        self._needs_prune = True
                         continue
                     wait = task.waiting_on
                     if wait is not None and wait.predicate():
@@ -198,9 +210,11 @@ class Process:
                 raise RuntimeError(
                     f"process {self.pid}: task scheduler failed to quiesce"
                 )
-            self._tasks = [
-                t for t in self._tasks if not t.finished and not t.cancelled
-            ]
+            if self._needs_prune:
+                self._needs_prune = False
+                self._tasks = [
+                    t for t in tasks if not t.finished and not t.cancelled
+                ]
         finally:
             self._in_scheduler = False
 

@@ -147,3 +147,163 @@ def test_pending_events_excludes_cancelled():
     event = sim.schedule(2.0, lambda: None)
     event.cancel()
     assert sim.pending_events == 1
+
+
+def test_pending_events_tracks_schedule_cancel_pop():
+    # Regression for the O(1) tombstone accounting: the count must stay
+    # exact through any interleaving of scheduling, cancellation (before
+    # and after compaction), and event execution.
+    sim = Simulator()
+    events = [sim.schedule(float(i % 7) + 1.0, lambda: None)
+              for i in range(2000)]
+    assert sim.pending_events == 2000
+    for ev in events[::2]:
+        ev.cancel()
+    assert sim.pending_events == 1000
+    # Cancelling twice must not double-decrement.
+    events[0].cancel()
+    assert sim.pending_events == 1000
+    sim.run(max_events=300)
+    assert sim.pending_events == 700
+    extra = sim.schedule(50.0, lambda: None)
+    assert sim.pending_events == 701
+    extra.cancel()
+    assert sim.pending_events == 700
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.events_processed == 1000
+
+
+def test_cancel_after_fire_is_harmless():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, lambda: fired.append(1))
+    later = sim.schedule(2.0, lambda: fired.append(2))
+    sim.run(max_events=1)
+    ev.cancel()  # already fired: must not disturb live bookkeeping
+    assert sim.pending_events == 1
+    sim.run()
+    assert fired == [1, 2]
+
+
+def test_call_at_and_call_later_pass_args():
+    sim = Simulator()
+    seen = []
+    sim.call_at(2.0, lambda a, b: seen.append((sim.now, a, b)), "x", 1)
+    sim.call_later(1.0, seen.append, "first")
+    sim.run()
+    assert seen == ["first", (2.0, "x", 1)]
+
+
+def test_schedule_args_passed_to_callback():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, seen.append, "a")
+    sim.schedule_at(2.0, lambda x, y: seen.append(x + y), 1, 2)
+    sim.run()
+    assert seen == ["a", 3]
+
+
+def test_schedule_many_bulk():
+    sim = Simulator()
+    order = []
+    n = sim.schedule_many(
+        (float(3 - i), lambda i=i: order.append(i)) for i in range(3)
+    )
+    assert n == 3
+    assert sim.pending_events == 3
+    sim.run()
+    assert order == [2, 1, 0]  # delays 3,2,1 -> reverse scheduling order
+    with pytest.raises(SimulationError):
+        sim.schedule_many([(-1.0, lambda: None)])
+
+
+def test_fifo_interleaves_handles_and_fast_path():
+    # Same-time events fire in scheduling order regardless of which
+    # scheduling API queued them.
+    sim = Simulator()
+    order = []
+    sim.schedule(1.0, order.append, "a")
+    sim.call_at(1.0, order.append, "b")
+    sim.call_later(1.0, order.append, "c")
+    sim.schedule_many([(1.0, lambda: order.append("d"))])
+    sim.run()
+    assert order == ["a", "b", "c", "d"]
+
+
+def test_compaction_preserves_order_and_count():
+    # Drive the heap well past the compaction threshold with mostly
+    # cancelled events; survivors must still fire in (time, seq) order.
+    sim = Simulator()
+    order = []
+    keep = []
+    for i in range(3000):
+        ev = sim.schedule(float(i % 11) + 1.0, lambda i=i: order.append(i))
+        if i % 10:
+            ev.cancel()
+        else:
+            keep.append(i)
+    assert sim.pending_events == len(keep)
+    sim.run()
+    expected = sorted(keep, key=lambda i: (float(i % 11) + 1.0, i))
+    assert order == expected
+
+
+def test_until_skips_past_cancelled_head():
+    # A cancelled event inside the horizon must not let a live event
+    # beyond the horizon run.
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, lambda: fired.append("dead"))
+    sim.schedule(10.0, lambda: fired.append("late"))
+    ev.cancel()
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == ["late"]
+
+
+def test_stop_when_with_until_horizon():
+    sim = Simulator()
+    count = []
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda: count.append(1))
+    sim.run(until=20.0, stop_when=lambda: len(count) >= 3)
+    assert len(count) == 3
+    assert sim.now == 3.0
+    sim.run(until=20.0)
+    assert len(count) == 10
+    assert sim.now == 20.0
+
+
+def test_fork_rng_deterministic_per_seed_and_label():
+    def draws(seed, label):
+        return [Simulator(seed=seed).fork_rng(label).random()
+                for _ in range(1)][0]
+
+    assert draws(7, "net") == draws(7, "net")
+    assert draws(7, "net") != draws(8, "net")
+    assert draws(7, "net") != draws(7, "clock")
+
+
+def test_fork_rng_independent_of_fork_order():
+    # A label's stream depends only on (seed, label, occurrence index) --
+    # forking other labels first must not reseed it.
+    a = Simulator(seed=3)
+    a.fork_rng("x")
+    stream_after_x = a.fork_rng("net").random()
+
+    b = Simulator(seed=3)
+    stream_first = b.fork_rng("net").random()
+    assert stream_after_x == stream_first
+
+    # Repeated forks of the same label yield distinct streams, themselves
+    # reproducible by position.
+    c = Simulator(seed=3)
+    first = c.fork_rng("net").random()
+    second = c.fork_rng("net").random()
+    assert first != second
+    d = Simulator(seed=3)
+    d.fork_rng("net")
+    assert d.fork_rng("net").random() == second
