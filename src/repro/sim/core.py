@@ -112,9 +112,10 @@ class Simulator:
                 f"cannot schedule at {time}, current time is {self.now}"
             )
         seq = next(self._seq)
-        heapq.heappush(self._heap, (time, seq, callback, args))
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, callback, args))
         self._alive.add(seq)
-        if len(self._heap) > 512 and len(self._heap) > 2 * len(self._alive):
+        if len(heap) > 512 and len(heap) > 2 * len(self._alive):
             self._compact()
         return Event(time, seq, self)
 
@@ -131,8 +132,11 @@ class Simulator:
                 f"cannot schedule at {time}, current time is {self.now}"
             )
         seq = next(self._seq)
-        heapq.heappush(self._heap, (time, seq, callback, args))
+        heap = self._heap
+        heapq.heappush(heap, (time, seq, callback, args))
         self._alive.add(seq)
+        if len(heap) > 512 and len(heap) > 2 * len(self._alive):
+            self._compact()
 
     def call_later(self, delay: float, callback: Callable[..., None],
                    *args: Any) -> None:
@@ -164,6 +168,8 @@ class Simulator:
             push(heap, (now + delay, seq, callback, ()))
             alive.add(seq)
             n += 1
+        if len(heap) > 512 and len(heap) > 2 * len(alive):
+            self._compact()
         return n
 
     def _compact(self) -> None:
@@ -172,9 +178,16 @@ class Simulator:
         Rebuilding preserves the pop order exactly: ``(time, seq)`` is a
         total order, so heapify of the filtered entries is equivalent to
         lazily discarding the tombstones one pop at a time.
+
+        The sweep mutates ``self._heap`` in place (slice assignment) rather
+        than rebinding it: :meth:`run`/:meth:`step` cache ``heap = self._heap``
+        as a local, and a callback can trigger compaction mid-run (e.g. a
+        crash cancelling many timers followed by a schedule).  Rebinding
+        would strand the running loop on the old list and silently drop
+        every event scheduled afterwards.
         """
         alive = self._alive
-        self._heap = [entry for entry in self._heap if entry[1] in alive]
+        self._heap[:] = [entry for entry in self._heap if entry[1] in alive]
         heapq.heapify(self._heap)
 
     # ------------------------------------------------------------------

@@ -128,6 +128,14 @@ class Network:
         self.category_sent: Counter[str] = Counter()
         self.trace_enabled = trace
         self.trace: list[SentMessage] = []
+        # Adversarial drop rule: ``drop_rule(src, dst, msg, now) -> bool``.
+        # Invariant: from GST onwards, ``self.rng`` is consumed *only* by
+        # post-GST delay draws (which are presampled in chunks; see
+        # _sample_delay).  A drop rule — or any future feature — that needs
+        # randomness must fork its own stream (``sim.fork_rng(...)``), as
+        # the loss-window helpers do; drawing from ``self.rng`` post-GST
+        # would shift the delay draw sequence and break cross-version
+        # determinism.
         self.drop_rule: Optional[Callable[[int, int, Any, float], bool]] = None
         self.fifo = fifo
         self._last_delivery: dict[tuple[int, int], float] = {}

@@ -249,6 +249,49 @@ def test_compaction_preserves_order_and_count():
     assert order == expected
 
 
+def test_compaction_inside_callback_keeps_run_loop_live():
+    # Regression: _compact() must mutate the heap in place, not rebind
+    # self._heap — run() caches the heap list as a local, so a rebind
+    # would strand the loop on the old list and silently drop every event
+    # scheduled after a mid-run compaction (the crash/failure-injection
+    # pattern: a callback cancels a large batch of timers, then the next
+    # schedule trips the tombstone threshold).
+    sim = Simulator()
+    fired = []
+    timers = [sim.schedule(100.0 + i, lambda: fired.append("timer"))
+              for i in range(1500)]
+
+    def crash_and_reschedule():
+        for ev in timers:  # cancel >50% of a >512-entry heap
+            ev.cancel()
+        # This schedule trips the compaction threshold; the follow-up
+        # event must still fire even though run() is mid-loop.
+        sim.schedule(1.0, lambda: fired.append("after-compact"))
+        sim.call_later(2.0, lambda: fired.append("fast-path"))
+
+    sim.schedule(1.0, crash_and_reschedule)
+    sim.run()
+    assert fired == ["after-compact", "fast-path"]
+    assert sim.pending_events == 0
+
+
+def test_fast_paths_trigger_compaction():
+    # call_at and schedule_many must also sweep tombstones once they
+    # dominate the heap, not just schedule_at.
+    for fast_schedule in (
+        lambda sim: sim.call_at(sim.now + 500.0, lambda: None),
+        lambda sim: sim.schedule_many([(500.0, lambda: None)]),
+    ):
+        sim = Simulator()
+        events = [sim.schedule(1000.0 + i, lambda: None) for i in range(1400)]
+        for ev in events:
+            ev.cancel()
+        assert len(sim._heap) == 1400  # tombstones still resident
+        fast_schedule(sim)
+        assert len(sim._heap) == 1  # sweep ran; only the live entry remains
+        assert sim.pending_events == 1
+
+
 def test_until_skips_past_cancelled_head():
     # A cancelled event inside the horizon must not let a live event
     # beyond the horizon run.
