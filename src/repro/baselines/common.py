@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional, Sequence, Type
 
+from ..core.client import ClientSession
+from ..core.messages import ClientReply, ClientRequest
 from ..objects.spec import ObjectSpec, Operation, OpInstance
 from ..sim.clocks import ClockModel
 from ..sim.core import Simulator
@@ -63,6 +65,13 @@ class BaseReplica(Process):
         self.applied_upto = 0  # log entries applied (1-based log positions)
         self.op_futures: dict[tuple[int, int], Future] = {}
         self._op_seq = 0
+        # Client-session reply cache (part of the replicated state
+        # machine, so it survives crashes): latest (seq, response) applied
+        # per session.  Gives retransmitted session requests exactly-once
+        # semantics.
+        self.session_applied: dict[int, tuple[int, Any]] = {}
+        # Chaos-harness fault switches (e.g. "skip_reply_cache").
+        self.bug_switches: set[str] = set()
 
     # ------------------------------------------------------------------
     # Client API
@@ -97,6 +106,34 @@ class BaseReplica(Process):
         future = self.op_futures.get(op_id)
         if future is not None and not future.done:
             future.resolve(value)
+
+    # ------------------------------------------------------------------
+    # Client sessions
+    # ------------------------------------------------------------------
+    def _on_clientrequest(self, src: int, msg: ClientRequest) -> None:
+        """Serve a session request: reply-cache hit, stale drop, or accept.
+
+        Baselines submit *every* session operation (reads included)
+        through their log, matching their "reads go through consensus"
+        semantics.
+        """
+        if "skip_reply_cache" not in self.bug_switches:
+            cached = self.session_applied.get(msg.client_id)
+            if cached is not None:
+                seq, response = cached
+                if seq == msg.seq:
+                    self.send(
+                        msg.client_id,
+                        ClientReply(msg.client_id, msg.seq, response),
+                    )
+                    return
+                if seq > msg.seq:
+                    return  # stale duplicate; already acknowledged
+        self.accept_client_op(OpInstance((msg.client_id, msg.seq), msg.op))
+
+    def accept_client_op(self, instance: OpInstance) -> None:
+        """Admit a fresh session operation.  Subclasses override."""
+        raise NotImplementedError
 
     # ------------------------------------------------------------------
     # Shared wait helper (same semantics as the CHT replica's)
@@ -136,6 +173,7 @@ class BaseCluster:
         post_gst_delay: Optional[DelayModel] = None,
         pre_gst_delay: Optional[DelayModel] = None,
         pre_gst_drop_prob: float = 0.0,
+        num_clients: int = 0,
         **replica_kwargs: Any,
     ) -> None:
         self.spec = spec
@@ -143,7 +181,11 @@ class BaseCluster:
         self.delta = delta
         self.epsilon = epsilon
         self.sim = Simulator(seed=seed)
-        self.clocks = ClockModel(n, epsilon, rng=self.sim.fork_rng("clocks"))
+        # Replica offsets are drawn first from the clock stream, so adding
+        # client sessions never perturbs replica clocks for a given seed.
+        self.clocks = ClockModel(
+            n + num_clients, epsilon, rng=self.sim.fork_rng("clocks")
+        )
         self.net = Network(
             self.sim,
             delta=delta,
@@ -155,6 +197,19 @@ class BaseCluster:
         self.stats = RunStats()
         self.replicas: list[BaseReplica] = [
             self.build_replica(pid, **replica_kwargs) for pid in range(n)
+        ]
+        self.clients: list[ClientSession] = [
+            ClientSession(
+                n + i,
+                self.sim,
+                self.net,
+                self.clocks,
+                spec,
+                n,
+                self.stats,
+                retry_period=2 * delta,
+            )
+            for i in range(num_clients)
         ]
 
     def build_replica(self, pid: int, **kwargs: Any) -> BaseReplica:
@@ -181,7 +236,10 @@ class BaseCluster:
     def execute(self, pid: int, op: Operation, timeout: float = 10_000.0) -> Any:
         future = self.submit(pid, op)
         if not self.run_until(lambda: future.done, timeout):
-            raise TimeoutError(f"operation {op!r} did not complete")
+            raise TimeoutError(
+                f"operation {op!r} did not complete within {timeout}; "
+                f"{self.describe()}"
+            )
         return future.value
 
     def execute_all(
@@ -189,8 +247,24 @@ class BaseCluster:
     ) -> list[Any]:
         futures = [self.submit(pid, op) for pid, op in ops]
         if not self.run_until(lambda: all(f.done for f in futures), timeout):
-            raise TimeoutError("operations did not all complete")
+            stuck = sum(1 for f in futures if not f.done)
+            raise TimeoutError(
+                f"{stuck}/{len(futures)} operations did not complete within "
+                f"{timeout}; {self.describe()}"
+            )
         return [f.value for f in futures]
+
+    def describe(self) -> str:
+        """One-line diagnostic snapshot (alive set + per-replica state),
+        embedded in timeout errors."""
+        alive = [r.pid for r in self.replicas if not r.crashed]
+        parts = [f"alive={alive}"]
+        for r in self.replicas:
+            if r.crashed:
+                parts.append(f"p{r.pid}=crashed")
+            else:
+                parts.append(f"p{r.pid}=applied:{r.applied_upto}")
+        return " ".join(parts)
 
     def history(self, kinds: Sequence[str] = ("read", "rmw")) -> History:
         return History.from_stats(self.stats, kinds=kinds)

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator, Optional
 
+from ..core.messages import ClientReply
 from ..leader.omega import HeartbeatOmega
 from ..objects.spec import OpInstance
 from ..sim.tasks import Future
@@ -151,6 +152,13 @@ class PaxosReplica(BaseReplica):
             return
         self.pending[op_id] = instance
 
+    def accept_client_op(self, instance: OpInstance) -> None:
+        # Session operations join the pending pool like any command; a
+        # retransmission reaching several replicas may get the operation
+        # into more than one slot, which the apply-time session dedupe
+        # collapses back to exactly-once.
+        self._enqueue(instance)
+
     # ------------------------------------------------------------------
     # Leader driver
     # ------------------------------------------------------------------
@@ -252,7 +260,11 @@ class PaxosReplica(BaseReplica):
 
     def _phase2(self, slot: int, value: OpInstance) -> Generator:
         ballot = self.ballot
-        assert ballot is not None
+        if ballot is None:
+            # Leadership was lost — or a sibling slot's phase 2 failed and
+            # reset the ballot — between scheduling this exchange and
+            # running it.  Fail it; the value goes back to pending.
+            return False
         key = (ballot, slot)
         self._p2_acks[key] = set()
         # Accept locally.
@@ -364,9 +376,31 @@ class PaxosReplica(BaseReplica):
         while (self.applied_upto + 1) in self.chosen:
             slot = self.applied_upto + 1
             instance = self.chosen[slot]
-            self.state, response = self.spec.apply_any(self.state, instance.op)
-            if instance.op_id[0] == self.pid:
-                self.resolve_op(instance.op_id, response)
+            pid, seq = instance.op_id
+            if pid >= self.n:
+                # Session operation.  The same command can be chosen in two
+                # slots (two leaderships both admitted a retransmission);
+                # the session table makes the second occurrence a no-op.
+                cached = self.session_applied.get(pid)
+                if cached is None or seq > cached[0]:
+                    self.state, response = self.spec.apply_any(
+                        self.state, instance.op
+                    )
+                    self.session_applied[pid] = (seq, response)
+                    reply = True
+                elif seq == cached[0]:
+                    response = cached[1]
+                    reply = True
+                else:
+                    reply = False  # older than the session's last op
+                if reply and self.omega.leader() == self.pid:
+                    self.send(pid, ClientReply(pid, seq, response))
+            else:
+                self.state, response = self.spec.apply_any(
+                    self.state, instance.op
+                )
+                if pid == self.pid:
+                    self.resolve_op(instance.op_id, response)
             self.applied_upto = slot
 
     def _ensure_catchup(self, target: int) -> None:

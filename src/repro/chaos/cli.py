@@ -1,0 +1,142 @@
+"""Command-line driver for the chaos nemesis.
+
+Two subcommands::
+
+    # soak: run N generated schedules per system; on failure, shrink and
+    # write a repro artifact, then exit 1
+    PYTHONPATH=src python -m repro.chaos soak --schedules 50 \\
+        --systems cht,multipaxos --seed 0 --artifact chaos-repro.json
+
+    # repro: replay an artifact; exit 0 iff the recorded failure reproduces
+    PYTHONPATH=src python -m repro.chaos repro chaos-repro.json
+
+Everything is deterministic for a fixed ``--seed``: the soak explores the
+same schedules, fails the same way, and shrinks to the same artifact on
+every run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from .generator import ScheduleGenerator
+from .nemesis import SYSTEMS, NemesisRunner
+from .shrink import run_artifact, save_artifact, shrink
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="randomized fault-schedule soak testing",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    soak = sub.add_parser("soak", help="run generated schedules")
+    soak.add_argument("--schedules", type=int, default=50,
+                      help="schedules per system (default 50)")
+    soak.add_argument("--systems", default="cht,multipaxos",
+                      help=f"comma-separated subset of {','.join(SYSTEMS)}")
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--n", type=int, default=5, help="replicas")
+    soak.add_argument("--clients", type=int, default=2)
+    soak.add_argument("--ops-per-client", type=int, default=6)
+    soak.add_argument("--horizon", type=float, default=2500.0)
+    soak.add_argument("--bug", default=None,
+                      help="plant a bug switch (e.g. skip_reply_cache)")
+    soak.add_argument("--artifact", default="chaos-repro.json",
+                      help="where to write the shrunken repro on failure")
+    soak.add_argument("--shrink-budget", type=int, default=200)
+
+    repro = sub.add_parser("repro", help="replay a repro artifact")
+    repro.add_argument("artifact")
+    return parser
+
+
+def _soak(args: argparse.Namespace) -> int:
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    for system in systems:
+        if system not in SYSTEMS:
+            print(f"unknown system {system!r}; pick from {SYSTEMS}")
+            return 2
+    started = time.time()
+    total = 0
+    for system in systems:
+        generator = ScheduleGenerator(
+            n=args.n,
+            num_clients=args.clients,
+            horizon=args.horizon,
+            seed=args.seed,
+        )
+        runner = NemesisRunner(
+            system=system,
+            n=args.n,
+            num_clients=args.clients,
+            seed=args.seed,
+            horizon=args.horizon,
+            ops_per_client=args.ops_per_client,
+            bug=args.bug,
+        )
+        for index in range(args.schedules):
+            schedule = generator.generate(index)
+            result = runner.run(schedule)
+            total += 1
+            if result.ok:
+                continue
+            print(
+                f"FAIL system={system} seed={args.seed} schedule={index} "
+                f"kind={result.kind}\n  {result.detail}"
+            )
+            print(
+                f"shrinking ({schedule.fault_count()} fault entries)...",
+                flush=True,
+            )
+            small, small_result = shrink(
+                runner, schedule, result, budget=args.shrink_budget,
+                on_progress=lambda msg: print(f"  {msg}"),
+            )
+            artifact = save_artifact(args.artifact, runner, small, small_result)
+            print(
+                f"shrunk to {artifact['logical_faults']} logical faults "
+                f"({artifact['fault_count']} entries); artifact written to "
+                f"{args.artifact}"
+            )
+            print(f"rerun: {artifact['command']}")
+            return 1
+        print(
+            f"{system}: {args.schedules} schedules passed "
+            f"(lin + invariants + liveness)"
+        )
+    elapsed = time.time() - started
+    print(f"soak passed: {total} runs in {elapsed:.1f}s")
+    return 0
+
+
+def _repro(args: argparse.Namespace) -> int:
+    reproduced, result = run_artifact(args.artifact)
+    if reproduced:
+        print(f"failure reproduced: kind={result.kind}\n  {result.detail}")
+        return 0
+    if result.ok:
+        print("run passed — recorded failure did NOT reproduce")
+    else:
+        print(
+            f"run failed with kind={result.kind}, not the recorded kind\n"
+            f"  {result.detail}"
+        )
+    return 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "soak":
+        return _soak(args)
+    return _repro(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,363 @@
+"""Randomized fault-schedule generation.
+
+:class:`ScheduleGenerator` samples :class:`~repro.sim.failures.FaultSchedule`
+plans from a seeded RNG.  Schedule ``i`` of generator seed ``s`` is a pure
+function of ``(s, i)`` — the soak, the shrinker, and the repro artifact all
+rely on that determinism.
+
+Two structural constraints are enforced at generation time:
+
+* **Majority-correct**: at no point does the plan crash more than
+  ``(n - 1) // 2`` replicas at once, and when the plan contains
+  leader-targeted crashes one crash slot is reserved for them (the
+  runtime guard in :class:`~repro.sim.failures.LeaderCrash` then never
+  has to skip for lack of headroom).
+* **Everything heals**: every partition, window, and desync ends before
+  the horizon and every crashed replica recovers, so liveness-after-heal
+  is a meaningful check for any generated schedule.
+
+Schedules serialize to plain JSON-friendly dicts via
+:func:`schedule_to_dict` / :func:`schedule_from_dict` (used by the repro
+artifact).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import fields
+from typing import Any, Optional
+
+from ..sim.failures import (
+    ClockDesync,
+    Crash,
+    DelayBurstWindow,
+    DuplicationWindow,
+    FaultSchedule,
+    LeaderCrash,
+    LossWindow,
+    OneWayPartitionWindow,
+    PartitionWindow,
+    Recover,
+)
+
+__all__ = ["ScheduleGenerator", "schedule_to_dict", "schedule_from_dict"]
+
+_INF = float("inf")
+
+
+class ScheduleGenerator:
+    """Samples randomized fault schedules for an ``n``-replica cluster.
+
+    ``num_clients`` client-session pids (``n .. n + num_clients - 1``) may
+    be drawn into partition groups, which is what exercises lost client
+    replies and therefore the reply cache.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        num_clients: int = 0,
+        horizon: float = 2500.0,
+        seed: int = 0,
+        delta: float = 10.0,
+        epsilon: float = 2.0,
+    ) -> None:
+        if n < 3:
+            raise ValueError("chaos schedules need n >= 3 replicas")
+        self.n = n
+        self.num_clients = num_clients
+        self.horizon = horizon
+        self.seed = seed
+        self.delta = delta
+        self.epsilon = epsilon
+        self.f_max = (n - 1) // 2
+
+    # ------------------------------------------------------------------
+    def generate(self, index: int) -> FaultSchedule:
+        """The ``index``-th schedule of this generator (deterministic)."""
+        rng = random.Random(f"chaos-schedule:{self.seed}:{index}")
+        horizon = self.horizon
+        # Faults start in the first 70% of the run and heal by 90%, so the
+        # final stretch plus the liveness bound is always fault-free.
+        start_span = 0.7 * horizon
+        heal_by = 0.9 * horizon
+
+        leader_crashes = self._gen_leader_crashes(rng, start_span, heal_by)
+        crashes, recoveries = self._gen_crash_storm(
+            rng, start_span, heal_by, reserved=1 if leader_crashes else 0
+        )
+        partitions = [
+            self._gen_partition(rng, start_span, heal_by, one_way=False)
+            for _ in range(rng.randint(0, 2))
+        ]
+        one_way = [
+            self._gen_partition(rng, start_span, heal_by, one_way=True)
+            for _ in range(rng.randint(0, 2))
+        ]
+        losses = [
+            self._gen_loss(rng, start_span, heal_by)
+            for _ in range(rng.randint(0, 2))
+        ]
+        duplications = [
+            self._gen_duplication(rng, start_span, heal_by)
+            for _ in range(rng.randint(0, 2))
+        ]
+        delay_bursts = [
+            self._gen_delay_burst(rng, start_span, heal_by)
+            for _ in range(rng.randint(0, 2))
+        ]
+        desyncs = [
+            self._gen_desync(rng, start_span, heal_by)
+            for _ in range(rng.randint(0, 2))
+        ]
+
+        schedule = FaultSchedule(
+            crashes=crashes,
+            recoveries=recoveries,
+            leader_crashes=leader_crashes,
+            partitions=partitions,
+            one_way_partitions=one_way,
+            losses=losses,
+            duplications=duplications,
+            delay_bursts=delay_bursts,
+            desyncs=desyncs,
+        )
+        if schedule.fault_count() == 0:
+            # Never emit an empty plan; a loss window is the mildest fault.
+            schedule.losses = [self._gen_loss(rng, start_span, heal_by)]
+        return schedule
+
+    # ------------------------------------------------------------------
+    # Individual fault samplers
+    # ------------------------------------------------------------------
+    def _gen_leader_crashes(
+        self, rng: random.Random, start_span: float, heal_by: float
+    ) -> list[LeaderCrash]:
+        count = rng.choices([0, 1, 2], weights=[3, 3, 1])[0]
+        out = []
+        for _ in range(count):
+            at = rng.uniform(0.0, start_span)
+            downtime = rng.uniform(100.0, 400.0)
+            downtime = min(downtime, max(heal_by - at, 50.0))
+            out.append(LeaderCrash(at=at, downtime=downtime))
+        return out
+
+    def _gen_crash_storm(
+        self,
+        rng: random.Random,
+        start_span: float,
+        heal_by: float,
+        reserved: int,
+    ) -> tuple[list[Crash], list[Recover]]:
+        """Crash/recover pairs whose overlap never exceeds the budget."""
+        budget = self.f_max - reserved
+        crashes: list[Crash] = []
+        recoveries: list[Recover] = []
+        if budget <= 0:
+            return crashes, recoveries
+        intervals: list[tuple[float, float, int]] = []  # (start, end, pid)
+        for _ in range(rng.randint(0, 3)):
+            pid = rng.randrange(self.n)
+            at = rng.uniform(0.0, start_span)
+            end = min(at + rng.uniform(100.0, 500.0), heal_by)
+            if end <= at:
+                continue
+            # Reject overlap with the same pid (recovery order would be
+            # ambiguous) and any point where the storm would exceed the
+            # concurrent-crash budget.
+            same_pid = any(
+                p == pid and s < end and at < e for s, e, p in intervals
+            )
+            concurrent = sum(
+                1 for s, e, _ in intervals if s < end and at < e
+            )
+            if same_pid or concurrent + 1 > budget:
+                continue
+            intervals.append((at, end, pid))
+            crashes.append(Crash(pid=pid, at=at))
+            recoveries.append(Recover(pid=pid, at=end))
+        return crashes, recoveries
+
+    def _split_groups(
+        self, rng: random.Random
+    ) -> tuple[frozenset[int], frozenset[int]]:
+        pids = list(range(self.n))
+        rng.shuffle(pids)
+        cut = rng.randint(1, self.n - 1)
+        group_a, group_b = set(pids[:cut]), set(pids[cut:])
+        # Sometimes drag client sessions into the partition: blocking the
+        # reply path is how retransmission + reply cache get exercised.
+        if self.num_clients and rng.random() < 0.5:
+            for client in range(self.n, self.n + self.num_clients):
+                if rng.random() < 0.5:
+                    (group_a if rng.random() < 0.5 else group_b).add(client)
+        return frozenset(group_a), frozenset(group_b)
+
+    def _window(
+        self, rng: random.Random, start_span: float, heal_by: float,
+        min_len: float, max_len: float,
+    ) -> tuple[float, float]:
+        start = rng.uniform(0.0, start_span)
+        end = min(start + rng.uniform(min_len, max_len), heal_by)
+        return start, max(end, start + min_len / 2)
+
+    def _gen_partition(
+        self, rng: random.Random, start_span: float, heal_by: float,
+        one_way: bool,
+    ) -> Any:
+        group_a, group_b = self._split_groups(rng)
+        start, end = self._window(rng, start_span, heal_by, 100.0, 600.0)
+        if one_way:
+            return OneWayPartitionWindow(
+                from_group=group_a, to_group=group_b, start=start, end=end
+            )
+        return PartitionWindow(
+            group_a=group_a, group_b=group_b, start=start, end=end
+        )
+
+    def _gen_loss(
+        self, rng: random.Random, start_span: float, heal_by: float
+    ) -> LossWindow:
+        start, end = self._window(rng, start_span, heal_by, 50.0, 400.0)
+        return LossWindow(start=start, end=end, prob=rng.uniform(0.05, 0.4))
+
+    def _gen_duplication(
+        self, rng: random.Random, start_span: float, heal_by: float
+    ) -> DuplicationWindow:
+        start, end = self._window(rng, start_span, heal_by, 100.0, 600.0)
+        return DuplicationWindow(
+            start=start, end=end, prob=rng.uniform(0.1, 0.5)
+        )
+
+    def _gen_delay_burst(
+        self, rng: random.Random, start_span: float, heal_by: float
+    ) -> DelayBurstWindow:
+        start, end = self._window(rng, start_span, heal_by, 100.0, 500.0)
+        low = rng.uniform(0.5 * self.delta, self.delta)
+        high = rng.uniform(low, 3.0 * self.delta)
+        return DelayBurstWindow(start=start, end=end, low=low, high=high)
+
+    def _gen_desync(
+        self, rng: random.Random, start_span: float, heal_by: float
+    ) -> ClockDesync:
+        start = rng.uniform(0.0, start_span)
+        end = min(start + rng.uniform(50.0, 300.0), heal_by)
+        return ClockDesync(
+            pid=rng.randrange(self.n),
+            start=start,
+            jump=rng.uniform(self.epsilon, 10.0 * self.epsilon),
+            end=end,
+        )
+
+
+# ----------------------------------------------------------------------
+# Serialization (repro artifacts)
+# ----------------------------------------------------------------------
+
+def _num(value: float) -> Optional[float]:
+    """JSON has no infinity; encode an open-ended window as null."""
+    return None if value == _INF else value
+
+
+def _denum(value: Optional[float]) -> float:
+    return _INF if value is None else value
+
+
+def schedule_to_dict(schedule: FaultSchedule) -> dict:
+    """Encode a schedule as a JSON-serializable dict."""
+    return {
+        "crashes": [{"pid": c.pid, "at": c.at} for c in schedule.crashes],
+        "recoveries": [
+            {"pid": r.pid, "at": r.at} for r in schedule.recoveries
+        ],
+        "leader_crashes": [
+            {"at": lc.at, "downtime": lc.downtime}
+            for lc in schedule.leader_crashes
+        ],
+        "partitions": [
+            {
+                "group_a": sorted(p.group_a),
+                "group_b": sorted(p.group_b),
+                "start": p.start,
+                "end": _num(p.end),
+            }
+            for p in schedule.partitions
+        ],
+        "one_way_partitions": [
+            {
+                "from_group": sorted(p.from_group),
+                "to_group": sorted(p.to_group),
+                "start": p.start,
+                "end": _num(p.end),
+            }
+            for p in schedule.one_way_partitions
+        ],
+        "losses": [
+            {"start": w.start, "end": w.end, "prob": w.prob}
+            for w in schedule.losses
+        ],
+        "duplications": [
+            {"start": w.start, "end": w.end, "prob": w.prob}
+            for w in schedule.duplications
+        ],
+        "delay_bursts": [
+            {"start": w.start, "end": w.end, "low": w.low, "high": w.high}
+            for w in schedule.delay_bursts
+        ],
+        "desyncs": [
+            {"pid": d.pid, "start": d.start, "jump": d.jump, "end": d.end}
+            for d in schedule.desyncs
+        ],
+    }
+
+
+def schedule_from_dict(data: dict) -> FaultSchedule:
+    """Inverse of :func:`schedule_to_dict`."""
+    return FaultSchedule(
+        crashes=[Crash(pid=c["pid"], at=c["at"]) for c in data["crashes"]],
+        recoveries=[
+            Recover(pid=r["pid"], at=r["at"]) for r in data["recoveries"]
+        ],
+        leader_crashes=[
+            LeaderCrash(at=lc["at"], downtime=lc["downtime"])
+            for lc in data["leader_crashes"]
+        ],
+        partitions=[
+            PartitionWindow(
+                group_a=frozenset(p["group_a"]),
+                group_b=frozenset(p["group_b"]),
+                start=p["start"],
+                end=_denum(p["end"]),
+            )
+            for p in data["partitions"]
+        ],
+        one_way_partitions=[
+            OneWayPartitionWindow(
+                from_group=frozenset(p["from_group"]),
+                to_group=frozenset(p["to_group"]),
+                start=p["start"],
+                end=_denum(p["end"]),
+            )
+            for p in data["one_way_partitions"]
+        ],
+        losses=[
+            LossWindow(start=w["start"], end=w["end"], prob=w["prob"])
+            for w in data["losses"]
+        ],
+        duplications=[
+            DuplicationWindow(start=w["start"], end=w["end"], prob=w["prob"])
+            for w in data["duplications"]
+        ],
+        delay_bursts=[
+            DelayBurstWindow(
+                start=w["start"], end=w["end"], low=w["low"], high=w["high"]
+            )
+            for w in data["delay_bursts"]
+        ],
+        desyncs=[
+            ClockDesync(
+                pid=d["pid"], start=d["start"], jump=d["jump"], end=d["end"]
+            )
+            for d in data["desyncs"]
+        ],
+    )

@@ -1,0 +1,257 @@
+"""The nemesis: run one workload + fault schedule and verify everything.
+
+:class:`NemesisRunner` builds a fresh cluster (CHT or the Multi-Paxos
+baseline), arms a :class:`~repro.sim.failures.FaultSchedule`, drives a
+client-session workload through it, and then renders a verdict:
+
+* **invariant** — a monitor tripped during the run (EL1 leader
+  intervals, I1 batch agreement, Paxos slot agreement) or the final
+  I2/I3 cross-replica check failed.
+* **liveness** — some submitted operation failed to complete within
+  ``liveness_bound`` of ``max(horizon, last disruption)``: after every
+  fault has healed, every operation must finish.
+* **linearizability** — the completed operation history (reads and RMWs
+  from every session) is not linearizable against the sequential spec.
+* **exception** — the run crashed outright.
+
+All randomness comes from the simulator's forked streams, so a verdict
+is a deterministic function of ``(system, seed, schedule, workload
+parameters)`` — which is what makes shrinking and repro artifacts work.
+"""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, Optional
+
+from ..baselines.multipaxos import PaxosCluster
+from ..core.client import ChtCluster
+from ..core.config import ChtConfig
+from ..objects.kvstore import KVStoreSpec, delete, get, increment, put
+from ..objects.spec import Operation
+from ..sim.failures import FaultSchedule
+from ..sim.tasks import Future, Sleep
+from ..verify.invariants import check_i2_i3
+from ..verify.linearizability import check_linearizable
+
+__all__ = ["NemesisResult", "NemesisRunner", "last_disruption", "SYSTEMS"]
+
+SYSTEMS = ("cht", "multipaxos")
+
+
+def last_disruption(schedule: FaultSchedule) -> float:
+    """The real time by which every fault in the plan has healed.
+
+    The liveness clock starts at ``max(horizon, last_disruption)``: ops
+    may legitimately stall while faults are active, but not afterwards.
+    """
+    t = 0.0
+    for c in schedule.crashes:
+        t = max(t, c.at)
+    for r in schedule.recoveries:
+        t = max(t, r.at)
+    for lc in schedule.leader_crashes:
+        t = max(t, lc.at + lc.downtime)
+    for p in schedule.partitions:
+        t = max(t, p.start if p.end == float("inf") else p.end)
+    for p in schedule.one_way_partitions:
+        t = max(t, p.start if p.end == float("inf") else p.end)
+    for w in schedule.losses:
+        t = max(t, w.end)
+    for w in schedule.duplications:
+        t = max(t, w.end)
+    for w in schedule.delay_bursts:
+        t = max(t, w.end)
+    for d in schedule.desyncs:
+        end = d.end if d.end is not None else d.start
+        # A resynchronizing clock crawls at 1% speed for about as long as
+        # it had jumped ahead; only after that is the process fully back.
+        t = max(t, end + 1.1 * d.jump)
+    return t
+
+
+@dataclass
+class NemesisResult:
+    """Verdict of one nemesis run."""
+
+    ok: bool
+    kind: Optional[str] = None  # invariant | liveness | linearizability | exception
+    detail: str = ""
+    ops_completed: int = 0
+
+    def __repr__(self) -> str:
+        if self.ok:
+            return f"<NemesisResult ok ops={self.ops_completed}>"
+        return f"<NemesisResult FAIL {self.kind}: {self.detail[:120]}>"
+
+
+class NemesisRunner:
+    """Runs workload + schedule through one system and checks the history."""
+
+    def __init__(
+        self,
+        system: str = "cht",
+        n: int = 5,
+        num_clients: int = 2,
+        seed: int = 0,
+        horizon: float = 2500.0,
+        ops_per_client: int = 6,
+        liveness_bound: float = 3000.0,
+        bug: Optional[str] = None,
+    ) -> None:
+        if system not in SYSTEMS:
+            raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}")
+        self.system = system
+        self.n = n
+        self.num_clients = num_clients
+        self.seed = seed
+        self.horizon = horizon
+        self.ops_per_client = ops_per_client
+        self.liveness_bound = liveness_bound
+        self.bug = bug
+
+    # ------------------------------------------------------------------
+    def run(self, schedule: FaultSchedule) -> NemesisResult:
+        """Execute one run; never raises — failures become results."""
+        try:
+            return self._run_checked(schedule)
+        except AssertionError as exc:  # includes InvariantViolation
+            detail = str(exc)
+            if not detail:
+                # A bare assert carries no message; name the site instead.
+                tb = traceback.extract_tb(exc.__traceback__)
+                if tb:
+                    frame = tb[-1]
+                    detail = (
+                        f"assert failed at {frame.filename}:{frame.lineno}"
+                        f" ({frame.line})"
+                    )
+            return NemesisResult(False, "invariant", detail)
+        except Exception as exc:  # noqa: BLE001 — verdict, not crash
+            return NemesisResult(
+                False, "exception", f"{type(exc).__name__}: {exc}"
+            )
+
+    def _run_checked(self, schedule: FaultSchedule) -> NemesisResult:
+        spec = KVStoreSpec()
+        cluster, probe = self._build(spec)
+        if self.bug:
+            for replica in cluster.replicas:
+                replica.bug_switches.add(self.bug)
+        cluster.start()
+        schedule.arm(
+            cluster.sim,
+            cluster.net,
+            list(cluster.replicas) + list(cluster.clients),
+            clocks=cluster.clocks,
+            leader_probe=probe,
+        )
+
+        futures: list[Future] = []
+        expected = self.num_clients * self.ops_per_client
+        for i, session in enumerate(cluster.clients):
+            ops = self._client_ops(cluster.sim.fork_rng(f"chaos-ops-{i}"))
+            think_rng = cluster.sim.fork_rng(f"chaos-think-{i}")
+            session.spawn(
+                self._workload(session, ops, think_rng, futures),
+                name=f"workload{i}",
+            )
+
+        # Phase 1: play the entire schedule out (no early stop), so the
+        # invariant monitors observe every fault even if the workload
+        # finishes early.
+        settle = max(self.horizon, last_disruption(schedule))
+        cluster.sim.run(until=settle)
+
+        # Phase 2: liveness-after-heal — every operation must complete
+        # within the bound of the last heal.
+        def all_done() -> bool:
+            return len(futures) == expected and all(f.done for f in futures)
+
+        cluster.sim.run(until=settle + self.liveness_bound, stop_when=all_done)
+
+        if self.system == "cht":
+            check_i2_i3(cluster.replicas)
+
+        if not all_done():
+            completed = sum(1 for f in futures if f.done)
+            return NemesisResult(
+                False,
+                "liveness",
+                f"{completed}/{expected} ops completed within "
+                f"{self.liveness_bound} of last heal (t={settle}); "
+                f"{cluster.describe()}",
+                ops_completed=completed,
+            )
+        history = cluster.history()
+        result = check_linearizable(spec, history, partition_by_key=True)
+        if not result.ok:
+            return NemesisResult(
+                False, "linearizability", str(result.reason),
+                ops_completed=expected,
+            )
+        return NemesisResult(True, ops_completed=expected)
+
+    # ------------------------------------------------------------------
+    def _build(self, spec: KVStoreSpec) -> tuple[Any, Callable[[], Optional[int]]]:
+        if self.system == "cht":
+            cluster = ChtCluster(
+                spec,
+                ChtConfig(n=self.n),
+                seed=self.seed,
+                num_clients=self.num_clients,
+            )
+
+            def probe() -> Optional[int]:
+                leader = cluster.leader()
+                if leader is not None:
+                    return leader.pid
+                for replica in cluster.replicas:
+                    if not replica.crashed:
+                        return replica.leader_service.believed_leader()
+                return None
+
+            return cluster, probe
+
+        cluster = PaxosCluster(
+            spec, n=self.n, seed=self.seed, num_clients=self.num_clients
+        )
+
+        def paxos_probe() -> Optional[int]:
+            for replica in cluster.replicas:
+                if not replica.crashed:
+                    return replica.omega.leader()
+            return None
+
+        return cluster, paxos_probe
+
+    def _client_ops(self, rng: Any) -> list[Operation]:
+        """A single-key workload mix (ints only, so increment composes
+        with put; single-key ops keep the linearizability check
+        P-compositional)."""
+        keys = ("a", "b")
+        ops: list[Operation] = []
+        for _ in range(self.ops_per_client):
+            key = rng.choice(keys)
+            roll = rng.random()
+            if roll < 0.30:
+                ops.append(put(key, rng.randrange(100)))
+            elif roll < 0.60:
+                ops.append(increment(key))
+            elif roll < 0.72:
+                ops.append(delete(key))
+            else:
+                ops.append(get(key))
+        return ops
+
+    @staticmethod
+    def _workload(
+        session: Any, ops: list[Operation], rng: Any, futures: list[Future]
+    ) -> Generator:
+        """One session's closed-loop client: think, submit, await."""
+        for op in ops:
+            yield Sleep(rng.uniform(20.0, 200.0))
+            future = session.submit(op)
+            futures.append(future)
+            yield future

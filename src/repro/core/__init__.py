@@ -9,11 +9,13 @@ Public entry points:
 * :class:`ChtReplica` — a single process, for fine-grained control.
 """
 
-from .client import ChtCluster
+from .client import ChtCluster, ClientSession
 from .config import ChtConfig
 from .messages import (
     BatchReply,
     BatchRequest,
+    ClientReply,
+    ClientRequest,
     Commit,
     EstReply,
     EstReq,
@@ -31,11 +33,14 @@ __all__ = [
     "ChtCluster",
     "ChtConfig",
     "ChtReplica",
+    "ClientSession",
     "CommitRecord",
     "ReadLease",
     "Tenure",
     "BatchReply",
     "BatchRequest",
+    "ClientReply",
+    "ClientRequest",
     "Commit",
     "EstReply",
     "EstReq",

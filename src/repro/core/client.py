@@ -8,26 +8,128 @@ examples, and experiments::
     cluster.start()
     cluster.execute(0, put("x", 1))      # runs the simulation until done
     assert cluster.execute(3, get("x")) == 1
+
+:class:`ClientSession` is the external-client counterpart to the
+replica-local ``submit`` API: a separate simulated process (pid >= n)
+that retransmits each request — rotating replicas — until the matching
+reply arrives, relying on the replicas' reply cache for exactly-once
+semantics.  Sessions are what make operations survive leader crashes
+(a replica-local future dies with its replica's volatile state); the
+chaos nemesis (:mod:`repro.chaos`) drives all its workloads through
+sessions for exactly that reason.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Generator, Iterable, Optional, Sequence
 
 from ..objects.spec import ObjectSpec, Operation
 from ..sim.clocks import ClockModel
 from ..sim.core import Simulator
 from ..sim.latency import DelayModel
 from ..sim.network import Network
-from ..sim.tasks import Future
+from ..sim.process import Process
+from ..sim.tasks import Future, Until
 from ..sim.trace import RunStats
 from ..leader.omega import OmegaDetector, OracleOmega
 from ..verify.history import History
 from ..verify.invariants import BatchMonitor, LeaderIntervalMonitor
 from .config import ChtConfig
+from .messages import ClientReply, ClientRequest
 from .replica import ChtReplica
 
-__all__ = ["ChtCluster"]
+__all__ = ["ChtCluster", "ClientSession"]
+
+
+class ClientSession(Process):
+    """An external client: per-session sequence numbers + retransmission.
+
+    One session models one client conversation with the replicated
+    object.  Each operation gets the next sequence number; the request
+    ``(client_id, seq, op)`` is retransmitted every ``retry_period``
+    (rotating through the replicas) until the matching
+    :class:`ClientReply` arrives.  At most one RMW may be outstanding at
+    a time — that is what lets the replicas' reply cache hold only the
+    latest ``(seq, response)`` per session and still give exactly-once
+    semantics.
+
+    Sessions share the cluster's network, so they also receive protocol
+    broadcasts (heartbeats, Prepare/Commit, lease grants); everything
+    except a :class:`ClientReply` addressed to this session is ignored.
+    """
+
+    def __init__(
+        self,
+        pid: int,
+        sim: Simulator,
+        net: Network,
+        clocks: ClockModel,
+        spec: ObjectSpec,
+        n: int,
+        stats: RunStats,
+        retry_period: float,
+    ) -> None:
+        if pid < n:
+            raise ValueError("client session pids must lie above the replicas")
+        super().__init__(pid, sim, net, clocks)
+        self.spec = spec
+        self.n = n
+        self.stats = stats
+        self.retry_period = retry_period
+        self._seq = 0
+        self._futures: dict[int, Future] = {}
+        self._outstanding_rmw: Optional[Future] = None
+        self._target = pid % n  # spread initial targets across replicas
+
+    def submit(self, op: Operation) -> Future:
+        """Submit ``op``; the future resolves with the response."""
+        kind = "read" if self.spec.is_read(op) else "rmw"
+        if kind == "rmw":
+            if self._outstanding_rmw is not None and not self._outstanding_rmw.done:
+                raise RuntimeError(
+                    f"session {self.pid} already has an outstanding RMW; "
+                    "exactly-once needs one RMW in flight per session"
+                )
+        self._seq += 1
+        seq = self._seq
+        op_id = (self.pid, seq)
+        future = Future()
+        self._futures[seq] = future
+        if kind == "rmw":
+            self._outstanding_rmw = future
+        self.stats.invoke(op_id, self.pid, kind, op, self.sim.now)
+        future.on_resolve(
+            lambda value: self.stats.respond(op_id, value, self.sim.now)
+        )
+        self.spawn(self._request_task(seq, op, future), name=f"req{seq}")
+        return future
+
+    def _request_task(
+        self, seq: int, op: Operation, future: Future
+    ) -> Generator:
+        msg = ClientRequest(self.pid, seq, op)
+        while not future.done:
+            self.send(self._target, msg)
+            deadline = self.local_time + self.retry_period
+            self.set_timer(self.retry_period, _session_noop)
+            yield Until(
+                lambda: future.done or self.local_time >= deadline
+            )
+            if not future.done:
+                self._target = (self._target + 1) % self.n
+        self._futures.pop(seq, None)
+
+    def on_message(self, src: int, msg: Any) -> None:
+        if isinstance(msg, ClientReply) and msg.client_id == self.pid:
+            future = self._futures.get(msg.seq)
+            if future is not None and not future.done:
+                future.resolve(msg.value)
+        # Anything else is replica-to-replica protocol traffic that the
+        # broadcast primitive also delivered here; sessions ignore it.
+
+
+def _session_noop() -> None:
+    """Shared wake-up timer callback for session retransmission waits."""
 
 
 class ChtCluster:
@@ -46,12 +148,18 @@ class ChtCluster:
         oracle_leader: Optional[Callable[[], int]] = None,
         omega_factory: Optional[Callable[["ChtReplica"], Any]] = None,
         monitors: bool = True,
+        num_clients: int = 0,
     ) -> None:
         self.spec = spec
         self.config = config or ChtConfig()
         self.sim = Simulator(seed=seed)
+        # Client sessions get clocks too (pids n..n+num_clients-1).  The
+        # replica offsets are drawn first from the same stream, so adding
+        # clients never perturbs the replicas' clocks for a given seed.
+        if clock_offsets is not None and num_clients:
+            clock_offsets = list(clock_offsets) + [0.0] * num_clients
         self.clocks = ClockModel(
-            self.config.n,
+            self.config.n + num_clients,
             self.config.epsilon,
             rng=self.sim.fork_rng("clocks"),
             offsets=clock_offsets,
@@ -71,6 +179,19 @@ class ChtCluster:
         self._omega_factory = omega_factory
         self.replicas: list[ChtReplica] = [
             self._build_replica(pid) for pid in range(self.config.n)
+        ]
+        self.clients: list[ClientSession] = [
+            ClientSession(
+                self.config.n + i,
+                self.sim,
+                self.net,
+                self.clocks,
+                self.spec,
+                self.config.n,
+                self.stats,
+                retry_period=self.config.retry_period,
+            )
+            for i in range(num_clients)
         ]
 
     def _build_replica(self, pid: int) -> ChtReplica:
@@ -140,7 +261,10 @@ class ChtCluster:
         """Submit ``op`` at ``pid`` and run the simulation to completion."""
         future = self.submit(pid, op)
         if not self.run_until(lambda: future.done, timeout):
-            raise TimeoutError(f"operation {op!r} did not complete")
+            raise TimeoutError(
+                f"operation {op!r} did not complete within {timeout}; "
+                f"{self.describe()}"
+            )
         return future.value
 
     def execute_all(
@@ -152,8 +276,36 @@ class ChtCluster:
             lambda: all(f.done for f in futures), timeout
         )
         if not done:
-            raise TimeoutError("operations did not all complete")
+            stuck = sum(1 for f in futures if not f.done)
+            raise TimeoutError(
+                f"{stuck}/{len(futures)} operations did not complete within "
+                f"{timeout}; {self.describe()}"
+            )
         return [f.value for f in futures]
+
+    def describe(self) -> str:
+        """A one-line diagnostic snapshot of the cluster: alive set, and
+        per replica its believed leader, tenure state, applied prefix, and
+        pending (uncommitted) batch ids.  Embedded in timeout errors so a
+        failed chaos run is debuggable from the message alone."""
+        alive = [r.pid for r in self.replicas if not r.crashed]
+        parts = [f"alive={alive}"]
+        for r in self.replicas:
+            if r.crashed:
+                parts.append(f"p{r.pid}=crashed")
+                continue
+            tenure = r.tenure
+            if tenure is None:
+                role = "follower"
+            else:
+                phase = "leader" if tenure.ready else "electing"
+                role = f"{phase}(k={tenure.k})"
+            pending = sorted(r.pending_batches)
+            parts.append(
+                f"p{r.pid}={role} believes={r.leader_service.believed_leader()} "
+                f"applied={r.applied_upto} pending={pending}"
+            )
+        return " ".join(parts)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -15,12 +15,14 @@ accounting.  The split mirrors the paper's two-colour presentation:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 from ..objects.spec import Operation, OpInstance
 
 __all__ = [
     "SubmitOp",
+    "ClientRequest",
+    "ClientReply",
     "EstReq",
     "EstReply",
     "Prepare",
@@ -58,6 +60,39 @@ class SubmitOp:
     """A process submits a RMW operation to the (believed) leader."""
 
     instance: OpInstance
+
+    category = "client"
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """A client session asks a replica to execute an operation.
+
+    ``(client_id, seq)`` identifies the operation across retransmissions:
+    the client resends the same request (rotating replicas) until it
+    receives the matching :class:`ClientReply`, and the replicated state
+    machine's reply cache guarantees the operation takes effect exactly
+    once no matter how many copies arrive.  ``forwarded`` marks a request
+    relayed by a non-leader replica towards its believed leader; relayed
+    requests are never forwarded a second time, so misrouted requests
+    cannot ping-pong.
+    """
+
+    client_id: int
+    seq: int
+    op: Operation
+    forwarded: bool = False
+
+    category = "client"
+
+
+@dataclass(frozen=True)
+class ClientReply:
+    """The response to ``(client_id, seq)``, sent back to the session."""
+
+    client_id: int
+    seq: int
+    value: Any
 
     category = "client"
 

@@ -25,6 +25,7 @@ volatile and reset by :meth:`on_crash`.
 from __future__ import annotations
 
 import math
+from dataclasses import replace
 from typing import Any, Generator, Iterable, Optional
 
 from ..objects.spec import NOOP, ObjectSpec, Operation, OpInstance
@@ -41,6 +42,8 @@ from .config import ChtConfig
 from .messages import (
     BatchReply,
     BatchRequest,
+    ClientReply,
+    ClientRequest,
     Commit,
     EstReply,
     EstReq,
@@ -142,6 +145,11 @@ class ChtReplica(Process):
         self._catchup_target: int = 0
         self._fetching: bool = False
         self._op_seq = 0
+        self._client_read_tasks: set[tuple[int, int]] = set()
+        # Fault-injection switches for the chaos harness: names of
+        # deliberately disabled mechanisms (e.g. "skip_reply_cache").
+        # Empty in normal operation.
+        self.bug_switches: set[str] = set()
 
         # Experiment instrumentation.
         self.commit_log: list[CommitRecord] = []
@@ -174,6 +182,7 @@ class ChtReplica(Process):
         self._last_commit = None
         self._catchup_target = 0
         self._fetching = False
+        self._client_read_tasks = set()
 
     def on_recover(self) -> None:
         self.leader_service.on_recover()
@@ -591,6 +600,62 @@ class ChtReplica(Process):
     def _on_submit(self, src: int, msg: SubmitOp) -> None:
         self._enqueue_submission(msg.instance)
 
+    def _on_client_request(self, src: int, msg: ClientRequest) -> None:
+        """Serve a client-session operation (exactly-once for RMWs).
+
+        Reads are idempotent and served locally through the ordinary
+        lease-based read path.  RMW requests first consult the reply
+        cache (``last_applied``, part of the replicated state machine):
+        a retransmission of an already-applied operation is answered
+        from the cache instead of being executed again, and a stale
+        duplicate of an acknowledged older operation is dropped.  Fresh
+        operations are enqueued when this replica leads, or forwarded
+        once towards the believed leader otherwise.
+        """
+        if self.spec.is_read(msg.op):
+            key = (msg.client_id, msg.seq)
+            if key not in self._client_read_tasks:
+                self._client_read_tasks.add(key)
+                self.spawn(
+                    self._client_read_task(msg.client_id, msg.seq, msg.op),
+                    name=f"cread{key}",
+                )
+            return
+        if "skip_reply_cache" not in self.bug_switches:
+            cached = self.last_applied.get(msg.client_id)
+            if cached is not None:
+                seq, response = cached
+                if seq == msg.seq:
+                    self.send(
+                        msg.client_id,
+                        ClientReply(msg.client_id, msg.seq, response),
+                    )
+                    return
+                if seq > msg.seq:
+                    return  # stale duplicate; the client moved on already
+        if self.tenure is not None:
+            self._enqueue_submission(
+                OpInstance((msg.client_id, msg.seq), msg.op)
+            )
+        elif not msg.forwarded:
+            target = self.leader_service.believed_leader()
+            if target != self.pid:
+                self.send(target, replace(msg, forwarded=True))
+
+    def _client_read_task(
+        self, client_id: int, seq: int, op: Operation
+    ) -> Generator:
+        """Serve a session read from local state (same basis rules as
+        :meth:`_read_task`) and send the value back."""
+        if not self._read_basis_available():
+            yield Until(self._read_basis_available)
+        k_hat = self._compute_k_hat(op)
+        if self.applied_upto < k_hat:
+            yield Until(lambda: self.applied_upto >= k_hat)
+        _, value = self.spec.apply_any(self.state, op)
+        self._client_read_tasks.discard((client_id, seq))
+        self.send(client_id, ClientReply(client_id, seq, value))
+
     def _on_est_req(self, src: int, msg: EstReq) -> None:
         # Promise: once we answer a leader with time t we must never accept
         # Prepares from older leaders, or estimate transfer breaks.
@@ -672,6 +737,7 @@ class ChtReplica(Process):
 
     _HANDLERS = {
         "SubmitOp": _on_submit,
+        "ClientRequest": _on_client_request,
         "EstReq": _on_est_req,
         "EstReply": _on_est_reply,
         "Prepare": _on_prepare,
@@ -730,6 +796,12 @@ class ChtReplica(Process):
                     future = self.op_futures.get(instance.op_id)
                     if future is not None and not future.done:
                         future.resolve(response)
+                elif pid >= self.config.n and self.tenure is not None:
+                    # A client-session operation applied while we lead:
+                    # send the response.  Followers stay silent — the
+                    # session retransmits and hits the reply cache if
+                    # this (or any later) reply is lost.
+                    self.send(pid, ClientReply(pid, seq, response))
             self.applied_upto = j
             j += 1
         self._maybe_compact()

@@ -11,13 +11,17 @@ from .core import Event, SimulationError, Simulator
 from .failures import (
     ClockDesync,
     Crash,
+    DelayBurstWindow,
+    DuplicationWindow,
     FaultSchedule,
+    LeaderCrash,
     LossWindow,
+    OneWayPartitionWindow,
     PartitionWindow,
     Recover,
 )
 from .latency import DelayModel, FixedDelay, GeoDelay, SpikeDelay, UniformDelay
-from .network import Network, Partition, SentMessage
+from .network import DelayBurst, Network, Partition, SentMessage
 from .process import Process
 from .tasks import Future, Sleep, Task, TaskCancelled, Until
 from .trace import OpRecord, RunStats, percentile, summarize
@@ -31,8 +35,13 @@ __all__ = [
     "Simulator",
     "ClockDesync",
     "Crash",
+    "DelayBurst",
+    "DelayBurstWindow",
+    "DuplicationWindow",
     "FaultSchedule",
+    "LeaderCrash",
     "LossWindow",
+    "OneWayPartitionWindow",
     "PartitionWindow",
     "Recover",
     "DelayModel",

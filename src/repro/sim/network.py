@@ -9,8 +9,12 @@ Implements the paper's partially synchronous communication model:
   time units (we enforce the bound on the real-time delay; with rate-1
   clocks the two coincide).
 
-Messages are never corrupted, never duplicated spontaneously, and no
-spurious messages are generated, matching the model.
+Messages are never corrupted and no spurious messages are generated.
+Duplication *is* possible when a duplication rule is armed (fault
+injection for at-most-once delivery bugs): a duplicated message is
+delivered a second time with an independent delay, though never before
+the original on a FIFO link.  Without a duplication rule the network
+never duplicates, matching the paper's base model.
 
 The network also keeps the accounting the experiments rely on: per-type
 message counters and an optional full trace.  Each message class may define
@@ -32,7 +36,7 @@ from .latency import DelayModel, FixedDelay, UniformDelay
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from .process import Process
 
-__all__ = ["Network", "SentMessage", "Partition"]
+__all__ = ["Network", "SentMessage", "Partition", "DelayBurst"]
 
 
 @dataclass
@@ -48,23 +52,54 @@ class SentMessage:
 
 @dataclass
 class Partition:
-    """A symmetric network partition between two groups of processes.
+    """A network partition between two groups of processes.
 
     While active, messages between the groups are dropped.  Messages inside
-    a group are unaffected.
+    a group are unaffected.  The default is symmetric; with
+    ``bidirectional=False`` only the ``group_a -> group_b`` direction is
+    blocked (an asymmetric link failure: A's messages to B vanish while
+    B still reaches A).
     """
 
     group_a: frozenset[int]
     group_b: frozenset[int]
     start: float
     end: float = field(default=float("inf"))
+    bidirectional: bool = True
 
     def blocks(self, src: int, dst: int, now: float) -> bool:
         if not self.start <= now < self.end:
             return False
-        return (src in self.group_a and dst in self.group_b) or (
+        if src in self.group_a and dst in self.group_b:
+            return True
+        return self.bidirectional and (
             src in self.group_b and dst in self.group_a
         )
+
+
+@dataclass
+class DelayBurst:
+    """A slow-link window: delays drawn from ``[low, high]`` during
+    ``[start, end)``.
+
+    Post-GST the draw is additionally clamped to the network's ``delta``,
+    so a burst can push every message to the bound but can never violate
+    the model's post-stabilization guarantee.
+    """
+
+    start: float
+    end: float
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.low <= self.high:
+            raise ValueError("need 0 <= low <= high")
+        if self.end < self.start:
+            raise ValueError("burst window ends before it starts")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
 
 
 class Network:
@@ -125,6 +160,7 @@ class Network:
         self.messages_sent: Counter[str] = Counter()
         self.messages_delivered: Counter[str] = Counter()
         self.messages_dropped: Counter[str] = Counter()
+        self.messages_duplicated: Counter[str] = Counter()
         self.category_sent: Counter[str] = Counter()
         self.trace_enabled = trace
         self.trace: list[SentMessage] = []
@@ -137,6 +173,18 @@ class Network:
         # would shift the delay draw sequence and break cross-version
         # determinism.
         self.drop_rule: Optional[Callable[[int, int, Any, float], bool]] = None
+        # Duplication rule: ``dup_rule(src, dst, msg, now) -> bool``.  When
+        # it returns True the message is delivered a second time with an
+        # independently sampled delay.  Like drop rules, a randomized rule
+        # must draw from its own forked stream, never from ``self.rng``.
+        self.dup_rule: Optional[Callable[[int, int, Any, float], bool]] = None
+        # Slow-link windows; draws come from a dedicated forked stream so
+        # arming a burst never shifts the main post-GST delay sequence.
+        self.delay_bursts: list[DelayBurst] = []
+        self._burst_rng = None
+        # Earliest end among current partitions; lets the send path prune
+        # expired entries instead of scanning them forever.
+        self._next_partition_expiry = float("inf")
         self.fifo = fifo
         self._last_delivery: dict[tuple[int, int], float] = {}
         # Post-GST delay draws are consumed in send order by a single rng,
@@ -158,14 +206,23 @@ class Network:
 
     def add_partition(
         self, group_a: frozenset[int], group_b: frozenset[int], start: float,
-        end: float = float("inf"),
+        end: float = float("inf"), bidirectional: bool = True,
     ) -> Partition:
         overlap = group_a & group_b
         if overlap:
             raise ValueError(f"partition groups overlap: {sorted(overlap)}")
-        part = Partition(group_a, group_b, start, end)
+        part = Partition(group_a, group_b, start, end, bidirectional)
         self.partitions.append(part)
+        self._next_partition_expiry = min(self._next_partition_expiry, part.end)
         return part
+
+    def add_one_way_partition(
+        self, from_group: frozenset[int], to_group: frozenset[int],
+        start: float, end: float = float("inf"),
+    ) -> Partition:
+        """Block only the ``from_group -> to_group`` direction."""
+        return self.add_partition(from_group, to_group, start, end,
+                                  bidirectional=False)
 
     def isolate(self, pid: int, start: float, end: float = float("inf")) -> Partition:
         """Partition a single process away from everyone else."""
@@ -173,9 +230,34 @@ class Network:
         return self.add_partition(frozenset({pid}), others, start, end)
 
     def heal_all(self) -> None:
-        """End every active partition now."""
-        for part in self.partitions:
-            part.end = min(part.end, self.sim.now)
+        """End every partition now and drop them from the scan list.
+
+        A partition that has ended can never block again, so keeping it
+        around only slows down every subsequent send; healing discards
+        them outright (in-flight messages sent before the heal are
+        delivered, since delivery re-checks the — now empty — list).
+        """
+        self.partitions.clear()
+        self._next_partition_expiry = float("inf")
+
+    def add_delay_burst(
+        self, start: float, end: float, low: float, high: float,
+    ) -> DelayBurst:
+        """Arm a slow-link window (see :class:`DelayBurst`)."""
+        burst = DelayBurst(start, end, low, high)
+        if self._burst_rng is None:
+            self._burst_rng = self.sim.fork_rng("delay-bursts")
+        self.delay_bursts.append(burst)
+        return burst
+
+    def _prune_partitions(self, now: float) -> None:
+        """Drop expired partitions; long chaos runs would otherwise scan
+        an ever-growing list on every send."""
+        live = [p for p in self.partitions if p.end > now]
+        self.partitions[:] = live
+        self._next_partition_expiry = min(
+            (p.end for p in live), default=float("inf")
+        )
 
     # ------------------------------------------------------------------
     # Sending
@@ -209,20 +291,26 @@ class Network:
                 self.trace.append(SentMessage(src, dst, msg, now, None))
             return
 
-        delay = self._sample_delay(src, dst, now)
-        deliver_at = now + delay
-        if self.fifo:
-            # FIFO links: never deliver before an earlier message on the
-            # same (src, dst) pair.  The clamp preserves the delta bound:
-            # the earlier message already respected it at a smaller send
-            # time.
-            floor = self._last_delivery.get((src, dst), 0.0)
-            deliver_at = max(deliver_at, floor)
-            self._last_delivery[(src, dst)] = deliver_at
-        if self.trace_enabled:
-            self.trace.append(SentMessage(src, dst, msg, now, deliver_at))
+        copies = 1
+        if self.dup_rule is not None and self.dup_rule(src, dst, msg, now):
+            copies = 2
+            self.messages_duplicated[mtype] += 1
+        for _ in range(copies):
+            delay = self._sample_delay(src, dst, now)
+            deliver_at = now + delay
+            if self.fifo:
+                # FIFO links: never deliver before an earlier message on the
+                # same (src, dst) pair.  The clamp preserves the delta bound:
+                # the earlier message already respected it at a smaller send
+                # time.  A duplicate goes through the same clamp, so it can
+                # never overtake the original.
+                floor = self._last_delivery.get((src, dst), 0.0)
+                deliver_at = max(deliver_at, floor)
+                self._last_delivery[(src, dst)] = deliver_at
+            if self.trace_enabled:
+                self.trace.append(SentMessage(src, dst, msg, now, deliver_at))
 
-        self.sim.call_at(deliver_at, self._deliver, src, dst, msg, mtype)
+            self.sim.call_at(deliver_at, self._deliver, src, dst, msg, mtype)
 
     def _deliver(self, src: int, dst: int, msg: Any, mtype: str) -> None:
         # Partitions that begin after the send can still cut the message
@@ -246,6 +334,8 @@ class Network:
     # Internals
     # ------------------------------------------------------------------
     def _partition_blocks(self, src: int, dst: int, now: float) -> bool:
+        if now >= self._next_partition_expiry:
+            self._prune_partitions(now)
         return any(p.blocks(src, dst, now) for p in self.partitions)
 
     def _should_drop(self, src: int, dst: int, msg: Any, now: float) -> bool:
@@ -258,6 +348,19 @@ class Network:
         return False
 
     def _sample_delay(self, src: int, dst: int, now: float) -> float:
+        if self.delay_bursts:
+            burst = next(
+                (b for b in self.delay_bursts if b.active(now)), None
+            )
+            if burst is not None:
+                high = burst.high
+                if now >= self.gst:
+                    # The model's post-stabilization bound always wins.
+                    high = min(high, self.delta)
+                draw = self._burst_rng.uniform(min(burst.low, high), high)
+                if now < self.gst:
+                    draw = min(draw, (self.gst - now) + self.delta)
+                return draw
         if now < self.gst:
             delay = self.pre_gst_delay.sample(src, dst, self.rng)
             # A message sent just before GST must still respect the bound
@@ -294,5 +397,6 @@ class Network:
         self.messages_sent.clear()
         self.messages_delivered.clear()
         self.messages_dropped.clear()
+        self.messages_duplicated.clear()
         self.category_sent.clear()
         self.trace.clear()

@@ -1,0 +1,101 @@
+"""Counterexample shrinking and repro artifacts, end to end."""
+
+import json
+
+from repro.chaos.cli import main
+from repro.chaos.generator import ScheduleGenerator, schedule_to_dict
+from repro.chaos.nemesis import NemesisRunner
+from repro.chaos.shrink import (
+    logical_faults,
+    run_artifact,
+    save_artifact,
+    shrink,
+)
+from repro.sim.failures import Crash, FaultSchedule, LossWindow, Recover
+
+
+def test_logical_faults_pair_crash_with_recovery():
+    schedule = FaultSchedule(
+        crashes=[Crash(pid=1, at=10.0), Crash(pid=2, at=50.0)],
+        recoveries=[Recover(pid=1, at=30.0), Recover(pid=2, at=90.0),
+                    Recover(pid=0, at=5.0)],
+        losses=[LossWindow(start=0.0, end=40.0, prob=0.3)],
+    )
+    units = logical_faults(schedule)
+    paired = [entries for name, entries in units if name == "crashes"]
+    assert sorted(len(e) for e in paired) == [2, 2]
+    for entries in paired:
+        crash, recover = entries
+        assert crash.pid == recover.pid and recover.at >= crash.at
+    # The unpaired recovery and the loss window are their own units.
+    assert ("recoveries", (Recover(pid=0, at=5.0),)) in units
+    assert len(units) == 4
+
+
+def test_shrink_respects_zero_budget():
+    runner = NemesisRunner(system="cht", n=3, num_clients=1, ops_per_client=2)
+    schedule = ScheduleGenerator(n=3, num_clients=1).generate(0)
+    failure_stub = runner.run(FaultSchedule())  # ok result; kind None
+    small, result = shrink(runner, schedule, failure_stub, budget=0)
+    assert schedule_to_dict(small) == schedule_to_dict(schedule)
+    assert result is failure_stub
+
+
+def _first_failure(runner, generator, limit=5):
+    for index in range(limit):
+        schedule = generator.generate(index)
+        result = runner.run(schedule)
+        if not result.ok:
+            return schedule, result
+    raise AssertionError("planted bug was not caught")
+
+
+def test_planted_bug_shrinks_small_and_reproduces(tmp_path):
+    runner = NemesisRunner(system="cht", n=5, num_clients=2, seed=0,
+                           bug="skip_reply_cache")
+    generator = ScheduleGenerator(n=5, num_clients=2, seed=0)
+    schedule, failure = _first_failure(runner, generator)
+
+    small, small_result = shrink(runner, schedule, failure, budget=150)
+    assert not small_result.ok and small_result.kind == failure.kind
+    assert len(logical_faults(small)) <= 5
+    assert small.fault_count() <= schedule.fault_count()
+
+    path = str(tmp_path / "repro.json")
+    artifact = save_artifact(path, runner, small, small_result)
+    assert artifact["bug"] == "skip_reply_cache"
+    assert artifact["command"].endswith(f"repro {path}")
+    on_disk = json.loads(open(path).read())
+    assert on_disk["schedule"] == schedule_to_dict(small)
+
+    reproduced, replay = run_artifact(path)
+    assert reproduced and replay.kind == failure.kind
+
+    # The CLI replay agrees: exit 0 iff the recorded failure reproduces.
+    assert main(["repro", path]) == 0
+
+
+def test_artifact_of_passing_schedule_does_not_reproduce(tmp_path):
+    runner = NemesisRunner(system="cht", n=3, num_clients=1, ops_per_client=2)
+    schedule = FaultSchedule(losses=[LossWindow(0.0, 100.0, 0.2)])
+    failing = runner.run(schedule)
+    assert failing.ok
+    path = str(tmp_path / "clean.json")
+    # Hand-craft an artifact claiming a liveness failure that is not there.
+    from repro.chaos.nemesis import NemesisResult
+
+    save_artifact(path, runner, schedule,
+                  NemesisResult(False, "liveness", "fabricated"))
+    reproduced, result = run_artifact(path)
+    assert not reproduced and result.ok
+    assert main(["repro", path]) == 1
+
+
+def test_soak_cli_passes_clean(capsys):
+    code = main([
+        "soak", "--schedules", "2", "--systems", "cht", "--n", "3",
+        "--clients", "1", "--ops-per-client", "2", "--seed", "4",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 schedules passed" in out

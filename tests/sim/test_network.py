@@ -197,3 +197,108 @@ def test_duplicate_registration_rejected():
     sim, net, procs = build(delta=10.0)
     with pytest.raises(SimulationError):
         net.register(procs[0])
+
+
+def test_no_duplication_without_rule():
+    sim, net, procs = build(delta=10.0)
+    for i in range(20):
+        net.send(0, 1, Ping(i))
+    sim.run()
+    assert len(procs[1].received) == 20
+    assert net.messages_duplicated == {}
+
+
+def test_duplication_preserves_fifo_pair_order():
+    sim, net, procs = build(delta=10.0)  # UniformDelay default: delays vary
+    net.dup_rule = lambda src, dst, msg, now: True
+    for i in range(25):
+        net.send(0, 1, Ping(i))
+    sim.run()
+    payloads = [m.payload for (_, m, _) in procs[1].received]
+    # Every message delivered twice, and on a FIFO link a duplicate never
+    # overtakes the original nor any earlier message on the pair.
+    assert payloads == sorted(payloads)
+    assert len(payloads) == 50
+    assert net.messages_duplicated["Ping"] == 25
+
+
+def test_duplicates_respect_delta():
+    sim, net, procs = build(delta=10.0)
+    net.dup_rule = lambda src, dst, msg, now: True
+    net.send(0, 1, Ping())
+    sim.run()
+    assert len(procs[1].received) == 2
+    assert all(t <= 10.0 for (_, _, t) in procs[1].received)
+
+
+def test_one_way_partition_blocks_single_direction():
+    sim, net, procs = build(delta=10.0)
+    net.add_one_way_partition(frozenset({0}), frozenset({1}), start=0.0)
+    net.send(0, 1, Ping(1))  # blocked direction
+    net.send(1, 0, Ping(2))  # reverse still works
+    sim.run()
+    assert procs[1].received == []
+    assert [m.payload for (_, m, _) in procs[0].received] == [2]
+
+
+def test_delay_burst_window_slows_messages():
+    sim, net, procs = build(
+        delta=10.0, post_gst_delay=FixedDelay(1.0),
+    )
+    net.add_delay_burst(start=0.0, end=100.0, low=5.0, high=8.0)
+    net.send(0, 1, Ping(1))
+    sim.run_for(200.0)
+    net.send(0, 1, Ping(2))  # after the window: back to the base model
+    sim.run()
+    times = {m.payload: t for (_, m, t) in procs[1].received}
+    assert 5.0 <= times[1] <= 8.0
+    assert times[2] == 201.0
+
+
+def test_delay_burst_clamped_to_delta_post_gst():
+    sim, net, procs = build(delta=10.0)
+    net.add_delay_burst(start=0.0, end=1000.0, low=5.0, high=500.0)
+    for i in range(100):
+        net.send(0, 1, Ping(i))
+    sim.run()
+    assert len(procs[1].received) == 100
+    assert all(t <= 10.0 for (_, _, t) in procs[1].received)
+
+
+def test_expired_partitions_are_pruned():
+    sim, net, procs = build(delta=10.0)
+    net.add_partition(frozenset({0}), frozenset({1}), start=0.0, end=50.0)
+    net.add_partition(frozenset({0}), frozenset({2}), start=0.0, end=500.0)
+    assert len(net.partitions) == 2
+    sim.run_for(60.0)
+    net.send(0, 1, Ping())  # first send past an expiry prunes the list
+    assert len(net.partitions) == 1
+    assert net.partitions[0].end == 500.0
+
+
+def test_heal_all_drops_partitions_outright():
+    sim, net, procs = build(delta=10.0)
+    net.add_partition(frozenset({0}), frozenset({1}), start=0.0)
+    net.add_partition(frozenset({1}), frozenset({2}), start=0.0, end=90.0)
+    net.heal_all()
+    assert net.partitions == []
+    net.send(0, 1, Ping())
+    sim.run()
+    assert len(procs[1].received) == 1
+
+
+def test_overlapping_partition_groups_rejected():
+    sim, net, procs = build(delta=10.0)
+    with pytest.raises(ValueError):
+        net.add_partition(frozenset({0, 1}), frozenset({1, 2}), start=0.0)
+
+
+def test_delay_burst_validates_window():
+    with pytest.raises(ValueError):
+        Network(Simulator(), delta=10.0).add_delay_burst(
+            start=10.0, end=5.0, low=1.0, high=2.0
+        )
+    with pytest.raises(ValueError):
+        Network(Simulator(), delta=10.0).add_delay_burst(
+            start=0.0, end=5.0, low=3.0, high=2.0
+        )

@@ -44,6 +44,8 @@ def test_fault_injection_tour():
     out = run_example("fault_injection_tour.py")
     assert "total money: 252" in out
     assert "linearizable: True" in out
+    assert "chaos nemesis" in out
+    assert "schedule 2" in out
 
 
 @pytest.mark.slow
