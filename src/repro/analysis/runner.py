@@ -59,16 +59,22 @@ def build_cluster(
     delta: float = 10.0,
     epsilon: float = 2.0,
     seed: int = 0,
+    obs: bool = False,
     **kwargs: Any,
 ) -> Any:
-    """Build and start a cluster of the named system."""
+    """Build and start a cluster of the named system.
+
+    ``obs=True`` attaches a :class:`repro.obs.ObsContext` (every system
+    supports it); the started cluster then exposes it as ``cluster.obs``
+    for trace export and metrics snapshots.
+    """
     try:
         factory = SYSTEMS[system]
     except KeyError:
         raise ValueError(
             f"unknown system {system!r}; known: {sorted(SYSTEMS)}"
         ) from None
-    cluster = factory(spec, n, delta, epsilon, seed, **kwargs)
+    cluster = factory(spec, n, delta, epsilon, seed, obs=obs, **kwargs)
     cluster.start()
     return cluster
 

@@ -19,6 +19,7 @@ from typing import Any, Callable, Generator, Iterable, Optional, Sequence, Type
 from ..core.client import ClientSession
 from ..core.messages import ClientReply, ClientRequest
 from ..objects.spec import ObjectSpec, Operation, OpInstance
+from ..obs.spans import ObsContext
 from ..sim.clocks import ClockModel
 from ..sim.core import Simulator
 from ..sim.latency import DelayModel
@@ -93,6 +94,17 @@ class BaseReplica(Process):
         future.on_resolve(
             lambda value: self.stats.respond(op_id, value, self.sim.now)
         )
+        obs = self.obs
+        if obs is not None:
+            span = obs.tracer.begin(
+                "op", "baseline", self.pid, kind=kind, op=op.name
+            )
+            obs.registry.counter(
+                "baseline_ops_total", pid=self.pid, kind=kind
+            ).inc()
+            future.on_resolve(
+                lambda _value: obs.tracer.close(span, "served")
+            )
         self.start_operation(instance, kind, future)
         return future
 
@@ -174,6 +186,7 @@ class BaseCluster:
         pre_gst_delay: Optional[DelayModel] = None,
         pre_gst_drop_prob: float = 0.0,
         num_clients: int = 0,
+        obs: bool = False,
         **replica_kwargs: Any,
     ) -> None:
         self.spec = spec
@@ -193,6 +206,11 @@ class BaseCluster:
             post_gst_delay=post_gst_delay,
             pre_gst_delay=pre_gst_delay,
             pre_gst_drop_prob=pre_gst_drop_prob,
+        )
+        # As in ChtCluster: the context must exist before the replicas,
+        # which cache ``sim.obs`` at construction.
+        self.obs: Optional[ObsContext] = (
+            ObsContext(self.sim, net=self.net) if obs else None
         )
         self.stats = RunStats()
         self.replicas: list[BaseReplica] = [

@@ -65,6 +65,7 @@ def _soak(args: argparse.Namespace) -> int:
             return 2
     started = time.time()
     total = 0
+    total_ops = 0
     for system in systems:
         generator = ScheduleGenerator(
             n=args.n,
@@ -85,6 +86,7 @@ def _soak(args: argparse.Namespace) -> int:
             schedule = generator.generate(index)
             result = runner.run(schedule)
             total += 1
+            total_ops += result.ops_completed
             if result.ok:
                 continue
             print(
@@ -105,6 +107,8 @@ def _soak(args: argparse.Namespace) -> int:
                 f"({artifact['fault_count']} entries); artifact written to "
                 f"{args.artifact}"
             )
+            if artifact["metrics_path"]:
+                print(f"metrics snapshot: {artifact['metrics_path']}")
             print(f"rerun: {artifact['command']}")
             return 1
         print(
@@ -112,7 +116,13 @@ def _soak(args: argparse.Namespace) -> int:
             f"(lin + invariants + liveness)"
         )
     elapsed = time.time() - started
-    print(f"soak passed: {total} runs in {elapsed:.1f}s")
+    # A schedule is one whole nemesis run; each drives many client ops.
+    # Reporting both keeps the workload volume honest — 50 schedules at
+    # 2 clients x 6 ops is 600 checked operations, not 50.
+    print(
+        f"soak passed: {total} schedules, {total_ops} client ops "
+        f"in {elapsed:.1f}s"
+    )
     return 0
 
 

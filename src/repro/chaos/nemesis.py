@@ -79,6 +79,10 @@ class NemesisResult:
     kind: Optional[str] = None  # invariant | liveness | linearizability | exception
     detail: str = ""
     ops_completed: int = 0
+    # Metrics snapshot (repro.obs) of the run that produced the verdict;
+    # None when the runner was built with obs=False or the run died
+    # before the cluster existed.
+    metrics: Optional[dict] = None
 
     def __repr__(self) -> str:
         if self.ok:
@@ -99,6 +103,7 @@ class NemesisRunner:
         ops_per_client: int = 6,
         liveness_bound: float = 3000.0,
         bug: Optional[str] = None,
+        obs: bool = True,
     ) -> None:
         if system not in SYSTEMS:
             raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}")
@@ -110,12 +115,21 @@ class NemesisRunner:
         self.ops_per_client = ops_per_client
         self.liveness_bound = liveness_bound
         self.bug = bug
+        # Observability is on by default: attaching an ObsContext never
+        # schedules events or consumes randomness, so verdicts are
+        # bit-identical with or without it — and failures then carry a
+        # metrics snapshot for free.
+        self.obs = obs
+        # The most recent run's ObsContext (tracer + registry), for
+        # callers that want more than the snapshot (property tests).
+        self.last_obs: Optional[Any] = None
 
     # ------------------------------------------------------------------
     def run(self, schedule: FaultSchedule) -> NemesisResult:
         """Execute one run; never raises — failures become results."""
+        self.last_obs = None
         try:
-            return self._run_checked(schedule)
+            result = self._run_checked(schedule)
         except AssertionError as exc:  # includes InvariantViolation
             detail = str(exc)
             if not detail:
@@ -127,11 +141,14 @@ class NemesisRunner:
                         f"assert failed at {frame.filename}:{frame.lineno}"
                         f" ({frame.line})"
                     )
-            return NemesisResult(False, "invariant", detail)
+            result = NemesisResult(False, "invariant", detail)
         except Exception as exc:  # noqa: BLE001 — verdict, not crash
-            return NemesisResult(
+            result = NemesisResult(
                 False, "exception", f"{type(exc).__name__}: {exc}"
             )
+        if self.last_obs is not None:
+            result.metrics = self.last_obs.snapshot()
+        return result
 
     def _run_checked(self, schedule: FaultSchedule) -> NemesisResult:
         spec = KVStoreSpec()
@@ -201,7 +218,9 @@ class NemesisRunner:
                 ChtConfig(n=self.n),
                 seed=self.seed,
                 num_clients=self.num_clients,
+                obs=self.obs,
             )
+            self.last_obs = cluster.obs
 
             def probe() -> Optional[int]:
                 leader = cluster.leader()
@@ -215,8 +234,13 @@ class NemesisRunner:
             return cluster, probe
 
         cluster = PaxosCluster(
-            spec, n=self.n, seed=self.seed, num_clients=self.num_clients
+            spec,
+            n=self.n,
+            seed=self.seed,
+            num_clients=self.num_clients,
+            obs=self.obs,
         )
+        self.last_obs = cluster.obs
 
         def paxos_probe() -> Optional[int]:
             for replica in cluster.replicas:

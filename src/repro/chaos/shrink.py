@@ -200,7 +200,21 @@ def save_artifact(
     schedule: FaultSchedule,
     failure: NemesisResult,
 ) -> dict:
-    """Write a self-contained, deterministic repro artifact as JSON."""
+    """Write a self-contained, deterministic repro artifact as JSON.
+
+    When the failure carries a metrics snapshot (the runner had
+    observability on), the snapshot is written next to the artifact as
+    ``<path minus .json>.metrics.json`` and referenced from the
+    artifact's ``metrics_path`` key — kept separate so the artifact
+    itself stays a small, diffable repro recipe.
+    """
+    metrics_path = None
+    if failure.metrics is not None:
+        stem = path[:-5] if path.endswith(".json") else path
+        metrics_path = f"{stem}.metrics.json"
+        with open(metrics_path, "w") as fh:
+            json.dump(failure.metrics, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     artifact = {
         "version": ARTIFACT_VERSION,
         "system": runner.system,
@@ -215,6 +229,7 @@ def save_artifact(
         "logical_faults": len(logical_faults(schedule)),
         "schedule": schedule_to_dict(schedule),
         "failure": {"kind": failure.kind, "detail": failure.detail},
+        "metrics_path": metrics_path,
         "command": (
             f"PYTHONPATH=src python -m repro.chaos repro {path}"
         ),

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Any, Callable, Generator, Iterable, Optional, Sequence
 
 from ..objects.spec import ObjectSpec, Operation
+from ..obs.spans import ObsContext
 from ..sim.clocks import ClockModel
 from ..sim.core import Simulator
 from ..sim.latency import DelayModel
@@ -149,6 +150,7 @@ class ChtCluster:
         omega_factory: Optional[Callable[["ChtReplica"], Any]] = None,
         monitors: bool = True,
         num_clients: int = 0,
+        obs: bool = False,
     ) -> None:
         self.spec = spec
         self.config = config or ChtConfig()
@@ -171,6 +173,12 @@ class ChtCluster:
             post_gst_delay=post_gst_delay,
             pre_gst_delay=pre_gst_delay,
             pre_gst_drop_prob=pre_gst_drop_prob,
+        )
+        # Observability opts in per cluster (``obs=True``).  The context
+        # must be attached before the replicas are constructed — each
+        # Process caches ``sim.obs`` once at build time.
+        self.obs: Optional[ObsContext] = (
+            ObsContext(self.sim, net=self.net) if obs else None
         )
         self.stats = RunStats()
         self.leader_monitor = LeaderIntervalMonitor() if monitors else None

@@ -146,6 +146,11 @@ class ChtReplica(Process):
         self._fetching: bool = False
         self._op_seq = 0
         self._client_read_tasks: set[tuple[int, int]] = set()
+        # Observability: submission timestamps (sim time) for the
+        # commit-latency queue-wait phase.  Only populated when an
+        # ObsContext is attached (self.obs, cached by Process.__init__);
+        # stays empty — and costs nothing — otherwise.
+        self._submit_times: dict[tuple[int, int], float] = {}
         # Fault-injection switches for the chaos harness: names of
         # deliberately disabled mechanisms (e.g. "skip_reply_cache").
         # Empty in normal operation.
@@ -183,6 +188,7 @@ class ChtReplica(Process):
         self._catchup_target = 0
         self._fetching = False
         self._client_read_tasks = set()
+        self._submit_times = {}
 
     def on_recover(self) -> None:
         self.leader_service.on_recover()
@@ -246,6 +252,8 @@ class ChtReplica(Process):
         if op_id in self.committed_op_ids or op_id in self.submit_queue:
             return  # duplicate (invariant I1: never commit an op twice)
         self.submit_queue[op_id] = instance
+        if self.obs is not None:
+            self._submit_times[op_id] = self.sim.now
 
     # ------------------------------------------------------------------
     # Read path (red code; paper lines 7-19)
@@ -254,30 +262,58 @@ class ChtReplica(Process):
                    future: Future) -> Generator:
         invoked_local = self.local_time
         blocked = False
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin("read", "read", self.pid, op=op.name)
+            obs.registry.counter("reads_total", pid=self.pid).inc()
+        try:
+            # Wait until this process can anchor the read: either it is
+            # the (initialized) leader — which needs no lease — or it
+            # holds a valid read lease (paper lines 10-13).
+            if not self._read_basis_available():
+                blocked = True
+                wait_from = self.sim.now
+                yield Until(self._read_basis_available)
+                if span is not None:
+                    span.mark("basis_wait", self.sim.now - wait_from)
 
-        # Wait until this process can anchor the read: either it is the
-        # (initialized) leader — which needs no lease — or it holds a valid
-        # read lease (paper lines 10-13).
-        if not self._read_basis_available():
-            blocked = True
-            yield Until(self._read_basis_available)
+            # Determine the batch after which to linearize the read
+            # (line 15).
+            k_hat = self._compute_k_hat(op)
 
-        # Determine the batch after which to linearize the read (line 15).
-        k_hat = self._compute_k_hat(op)
+            # Wait until all batches up to k_hat are known and applied
+            # (line 16).  No message is ever sent on this path —
+            # locality — lost Commits are repaired by the leader's lazy
+            # rebroadcast and the lease-triggered catch-up, whose rates
+            # are read-independent.
+            if self.applied_upto < k_hat:
+                blocked = True
+                wait_from = self.sim.now
+                yield Until(lambda: self.applied_upto >= k_hat)
+                if span is not None:
+                    span.mark("conflict_wait", self.sim.now - wait_from)
 
-        # Wait until all batches up to k_hat are known and applied
-        # (line 16).  No message is ever sent on this path — locality —
-        # lost Commits are repaired by the leader's lazy rebroadcast and
-        # the lease-triggered catch-up, whose rates are read-independent.
-        if self.applied_upto < k_hat:
-            blocked = True
-            yield Until(lambda: self.applied_upto >= k_hat)
-
-        _, value = self.spec.apply_any(self.state, op)
-        if blocked:
-            self.stats.mark_blocked(op_id, self.local_time - invoked_local)
-        self.stats.respond(op_id, value, self.sim.now)
-        future.resolve(value)
+            _, value = self.spec.apply_any(self.state, op)
+            if blocked:
+                self.stats.mark_blocked(op_id, self.local_time - invoked_local)
+            if span is not None:
+                obs.tracer.close(span, "served", k_hat=k_hat)
+                if blocked:
+                    obs.registry.counter(
+                        "reads_blocked_total", pid=self.pid
+                    ).inc()
+                    obs.registry.histogram("read_block_ms").observe(
+                        span.attrs.get("basis_wait", 0.0)
+                        + span.attrs.get("conflict_wait", 0.0)
+                    )
+            self.stats.respond(op_id, value, self.sim.now)
+            future.resolve(value)
+        finally:
+            # A crash cancels the task (TaskCancelled unwinds through
+            # here); never leave the span dangling.
+            if span is not None and span.open:
+                obs.tracer.close(span, "cancelled")
 
     def _read_basis_available(self) -> bool:
         return self._leader_lease_valid() or self._lease_valid()
@@ -342,11 +378,21 @@ class ChtReplica(Process):
         cfg = self.config
         self.tenure = Tenure(t=t, leaseholders=self._all_others())
         self.tenure_history.append(t)
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin("tenure", "leader", self.pid, t=t)
+            obs.registry.counter("tenures_total", pid=self.pid).inc()
         try:
             # --- initialization (lines 26-36) -------------------------
             replies = yield from self._collect_estimates(t)
             if replies is None:
                 return
+            if obs is not None:
+                obs.tracer.instant(
+                    "estimates.collected", "leader", self.pid,
+                    t=t, replies=len(replies),
+                )
             best = self._freshest_estimate(replies)
             if best is None:
                 ops_star: frozenset = frozenset()
@@ -361,6 +407,11 @@ class ChtReplica(Process):
             if not ok:
                 return
             self.tenure.ready = True
+            if span is not None:
+                span.mark("ready_at", self.sim.now)
+                obs.tracer.instant(
+                    "leader.ready", "leader", self.pid, t=t, k_star=k_star
+                )
             # A NoOp keeps reads live even with no further RMW traffic.
             self._enqueue_submission(OpInstance(self._next_op_id(), NOOP))
 
@@ -369,7 +420,23 @@ class ChtReplica(Process):
         finally:
             self._acks.clear()
             self._est_replies.pop(t, None)
+            was_ready = self.tenure is not None and self.tenure.ready
             self.tenure = None
+            self._submit_times.clear()
+            if span is not None and span.open:
+                # Crash-cancellation also unwinds through here, so a
+                # tenure span can never leak open.
+                if self.crashed:
+                    status = "crashed"
+                elif was_ready:
+                    status = "lost"
+                else:
+                    status = "aborted"
+                obs.tracer.close(span, status)
+                obs.registry.histogram(
+                    "leader_dwell_ms",
+                    buckets=(10.0, 100.0, 1_000.0, 10_000.0, 100_000.0),
+                ).observe(span.end - span.start)
 
     def _collect_estimates(
         self, t: float
@@ -499,81 +566,134 @@ class ChtReplica(Process):
             return False
         self.max_leader_ts_seen = t
 
-        # Line 53: adopt the batch as our own estimate.
-        self.estimate = Estimate(ops, t, j)
-        self.pending_batches[j] = ops
-        prev = self.batches.get(j - 1)
-        assert prev is not None or j == 1 or self.applied_upto >= j - 1, (
-            f"leader missing batch {j - 1}"
-        )
+        obs = self.obs
+        span = None
+        if obs is not None:
+            # Queue wait: how long the oldest op of this batch sat in the
+            # submit queue before DoOps picked it up (0 for estimate
+            # transfers, whose ops were never locally enqueued).
+            now = self.sim.now
+            queue_wait = 0.0
+            if self._submit_times:
+                for instance in ops:
+                    enqueued = self._submit_times.pop(instance.op_id, None)
+                    if enqueued is not None and now - enqueued > queue_wait:
+                        queue_wait = now - enqueued
+            span = obs.tracer.begin(
+                "batch.commit", "batch", self.pid,
+                j=j, t=t, size=len(ops), queue_wait=queue_wait,
+            )
+        committed = False
+        try:
+            # Line 53: adopt the batch as our own estimate.
+            self.estimate = Estimate(ops, t, j)
+            self.pending_batches[j] = ops
+            prev = self.batches.get(j - 1)
+            assert prev is not None or j == 1 or self.applied_upto >= j - 1, (
+                f"leader missing batch {j - 1}"
+            )
 
-        key = (t, j)
-        self._acks[key] = {self.pid}
-        acks = self._acks[key]
-        prepare_start = self.local_time
+            key = (t, j)
+            self._acks[key] = {self.pid}
+            acks = self._acks[key]
+            prepare_start = self.local_time
 
-        # Lines 54-58: Prepare until a majority (including us) acknowledges.
-        def majority_acked() -> bool:
-            return len(acks) >= cfg.majority
+            # Lines 54-58: Prepare until a majority (incl. us) acknowledges.
+            def majority_acked() -> bool:
+                return len(acks) >= cfg.majority
 
-        while not majority_acked():
+            while not majority_acked():
+                if not self.leader_service.am_leader(t, self.local_time):
+                    return False
+                self.broadcast(Prepare(ops, t, j, prev))
+                yield from self._wait(majority_acked, timeout=cfg.retry_period)
+
+            if span is not None:
+                span.mark("acked_at", self.sim.now)
+
+            # Lines 59-62: the leaseholder mechanism.  Wait for every current
+            # leaseholder to acknowledge, or for 2*delta since the Prepares
+            # started; a leaseholder that missed the round-trip window forces
+            # us to wait out every lease ever issued, and is then dropped.
+            # The paper's footnote allows 2*delta + beta, with beta the Prepare
+            # processing time; the beta slack also keeps acks that land exactly
+            # at the deadline from being miscounted as missing.
+            holders = frozenset(tenure.leaseholders)
+            beta = 0.01 * cfg.delta
+            two_delta_deadline = prepare_start + 2 * cfg.delta + beta
+
+            def holders_acked() -> bool:
+                return holders <= acks
+
+            if not holders_acked():
+                yield from self._wait(
+                    holders_acked,
+                    timeout=max(two_delta_deadline - self.local_time, beta),
+                )
+            expiry_wait = False
+            if not holders_acked():
+                expiry_wait = True
+                tenure.lease_expiry_waits += 1
+                last_ts = tenure.last_lease_ts if tenure.last_lease_ts is not None else t
+                expiry = max(t, last_ts) + cfg.lease_period + cfg.epsilon
+                if self.local_time <= expiry:
+                    yield from self._wait(
+                        lambda: self.local_time > expiry,
+                        timeout=expiry - self.local_time + cfg.leader_loop_period,
+                    )
+            tenure.leaseholders = set(acks) - {self.pid}
+            if obs is not None:
+                span.mark("holders_done_at", self.sim.now)
+                if expiry_wait:
+                    span.mark("expiry_wait", True)
+                    obs.registry.counter("lease_expiry_waits_total").inc()
+                dropped = holders - acks
+                if dropped:
+                    obs.tracer.instant(
+                        "leaseholders.shrunk", "lease", self.pid,
+                        j=j, dropped=sorted(dropped),
+                        remaining=len(tenure.leaseholders),
+                    )
+                    obs.registry.counter(
+                        "leaseholders_dropped_total"
+                    ).inc(len(dropped))
+
+            # Lines 63-64: verify uninterrupted leadership before committing.
             if not self.leader_service.am_leader(t, self.local_time):
                 return False
-            self.broadcast(Prepare(ops, t, j, prev))
-            yield from self._wait(majority_acked, timeout=cfg.retry_period)
 
-        # Lines 59-62: the leaseholder mechanism.  Wait for every current
-        # leaseholder to acknowledge, or for 2*delta since the Prepares
-        # started; a leaseholder that missed the round-trip window forces
-        # us to wait out every lease ever issued, and is then dropped.
-        # The paper's footnote allows 2*delta + beta, with beta the Prepare
-        # processing time; the beta slack also keeps acks that land exactly
-        # at the deadline from being miscounted as missing.
-        holders = frozenset(tenure.leaseholders)
-        beta = 0.01 * cfg.delta
-        two_delta_deadline = prepare_start + 2 * cfg.delta + beta
-
-        def holders_acked() -> bool:
-            return holders <= acks
-
-        if not holders_acked():
-            yield from self._wait(
-                holders_acked,
-                timeout=max(two_delta_deadline - self.local_time, beta),
-            )
-        expiry_wait = False
-        if not holders_acked():
-            expiry_wait = True
-            tenure.lease_expiry_waits += 1
-            last_ts = tenure.last_lease_ts if tenure.last_lease_ts is not None else t
-            expiry = max(t, last_ts) + cfg.lease_period + cfg.epsilon
-            if self.local_time <= expiry:
-                yield from self._wait(
-                    lambda: self.local_time > expiry,
-                    timeout=expiry - self.local_time + cfg.leader_loop_period,
+            # Lines 65-70: commit.
+            self._store_batch(j, ops)
+            self._apply_ready()
+            tenure.k = j
+            self._last_commit = Commit(ops, j)
+            self.broadcast(self._last_commit)
+            self.commit_log.append(
+                CommitRecord(
+                    j=j,
+                    size=len(ops),
+                    started_local=prepare_start,
+                    committed_local=self.local_time,
+                    expiry_wait=expiry_wait,
                 )
-        tenure.leaseholders = set(acks) - {self.pid}
-
-        # Lines 63-64: verify uninterrupted leadership before committing.
-        if not self.leader_service.am_leader(t, self.local_time):
-            return False
-
-        # Lines 65-70: commit.
-        self._store_batch(j, ops)
-        self._apply_ready()
-        tenure.k = j
-        self._last_commit = Commit(ops, j)
-        self.broadcast(self._last_commit)
-        self.commit_log.append(
-            CommitRecord(
-                j=j,
-                size=len(ops),
-                started_local=prepare_start,
-                committed_local=self.local_time,
-                expiry_wait=expiry_wait,
             )
-        )
-        return True
+            committed = True
+            return True
+        finally:
+            # Runs on every exit: success, leadership loss, and the
+            # TaskCancelled a crash throws into the generator.  A
+            # "batch.commit" span therefore always terminates as either
+            # committed or superseded (the property test pins this).
+            if span is not None:
+                obs.tracer.close(
+                    span, "committed" if committed else "superseded"
+                )
+                if committed:
+                    obs.registry.counter("commits_total", pid=self.pid).inc()
+                    obs.registry.counter("committed_ops_total").inc(len(ops))
+                    obs.registry.histogram("commit_latency_ms").observe(
+                        span.end - span.start
+                    )
 
     # ------------------------------------------------------------------
     # Read-lease issuance (red code; paper lines 42-46)
@@ -785,6 +905,7 @@ class ChtReplica(Process):
         apply_any = self.spec.apply_any
         last_applied = self.last_applied
         my_pid = self.pid
+        obs = self.obs
         while j in batches:
             for instance in sorted(batches[j]):
                 self.state, response = apply_any(self.state, instance.op)
@@ -803,7 +924,13 @@ class ChtReplica(Process):
                     # this (or any later) reply is lost.
                     self.send(pid, ClientReply(pid, seq, response))
             self.applied_upto = j
+            if obs is not None:
+                obs.tracer.instant("batch.applied", "batch", my_pid, j=j)
             j += 1
+        if obs is not None:
+            obs.registry.gauge("applied_upto", pid=my_pid).set(
+                self.applied_upto
+            )
         self._maybe_compact()
 
     def _maybe_compact(self) -> None:

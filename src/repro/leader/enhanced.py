@@ -156,6 +156,20 @@ class EnhancedLeaderService:
         believed = self.omega.leader()
         now = self.host.local_time
         if believed != self._state["last_leader"]:
+            obs = self.host.obs
+            if obs is not None:
+                # One EL epoch edge per support switch: this process
+                # stopped backing last_leader and started backing
+                # ``believed`` under a fresh counter (EL1's interval
+                # boundary, and — once switches stop — EL2's quiescence).
+                obs.tracer.instant(
+                    "leader.change", "leader", self.host.pid,
+                    prev=self._state["last_leader"], now=believed,
+                    counter=self._state["counter"] + 1,
+                )
+                obs.registry.counter(
+                    "leader_changes_total", pid=self.host.pid
+                ).inc()
             self._state["counter"] += 1
             self._state["last_leader"] = believed
         # A new grant may never overlap an interval granted to a previous

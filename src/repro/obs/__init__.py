@@ -1,0 +1,42 @@
+"""Observability: structured tracing, metrics, and protocol timelines.
+
+The instrumentation layer every run (benchmarks, experiments, chaos
+soaks) can opt into:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of counters,
+  gauges, and fixed-bucket histograms.
+* :mod:`repro.obs.spans` — buffered trace spans and instants on sim
+  time, bundled with the registry into an :class:`ObsContext`.
+* :mod:`repro.obs.export` — JSONL (round-trippable) and Chrome/Perfetto
+  ``trace_event`` exports.
+* :mod:`repro.obs.timeline` — derived protocol timelines
+  (commit-latency-by-phase, read blocking, messages per committed op,
+  leader dwell).  Imported lazily: it pulls in the analysis layer.
+* ``python -m repro.obs`` — the ``report`` / ``demo`` CLI.
+
+Design contract: a run without an attached :class:`ObsContext` executes
+**zero** observability code — every instrumentation site in the protocol
+is guarded by ``if obs is not None`` (pinned by
+``tests/obs/test_zero_overhead.py``).
+"""
+
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .spans import Instant, ObsContext, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "Span",
+    "Instant",
+    "Tracer",
+    "ObsContext",
+]

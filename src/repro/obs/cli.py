@@ -1,0 +1,139 @@
+"""Command-line driver for the observability layer.
+
+Two subcommands::
+
+    # render the derived timelines from a JSONL trace
+    PYTHONPATH=src python -m repro.obs report trace.jsonl
+
+    # run a small traced 5-replica steady-write CHT scenario and export
+    # the trace (JSONL + optional Perfetto trace_event JSON)
+    PYTHONPATH=src python -m repro.obs demo --out trace.jsonl \\
+        --perfetto trace.perfetto.json
+
+``report`` exits non-zero when the trace contains no committed batches —
+that makes "the commit-latency table is non-empty" a one-line CI
+assertion on top of any traced run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .export import load_jsonl
+from .timeline import commit_breakdown, render_report
+
+__all__ = ["main", "run_demo"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="protocol traces, metrics, and derived timelines",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="render timelines from a trace")
+    report.add_argument("trace", help="JSONL trace file")
+
+    demo = sub.add_parser(
+        "demo", help="run a traced steady-write CHT scenario"
+    )
+    demo.add_argument("--out", default="trace.jsonl",
+                      help="JSONL trace output path (default trace.jsonl)")
+    demo.add_argument("--perfetto", default=None,
+                      help="also write a Perfetto trace_event JSON here")
+    demo.add_argument("--seed", type=int, default=1)
+    demo.add_argument("--n", type=int, default=5, help="replicas")
+    demo.add_argument("--rounds", type=int, default=40,
+                      help="write rounds (1 write + n-1 reads each)")
+    return parser
+
+
+def run_demo(
+    seed: int = 1,
+    n: int = 5,
+    rounds: int = 40,
+    out: str = "trace.jsonl",
+    perfetto: Optional[str] = None,
+) -> dict:
+    """The acceptance scenario: a traced n-replica steady-write run.
+
+    Returns a small result dict (paths + record counts) so tests and CI
+    can assert on it without re-parsing stdout.
+    """
+    from ..core.client import ChtCluster
+    from ..core.config import ChtConfig
+    from ..objects.kvstore import KVStoreSpec, get, put
+
+    cluster = ChtCluster(
+        KVStoreSpec(), ChtConfig(n=n), seed=seed, obs=True
+    )
+    cluster.start()
+    cluster.run(800.0)  # leader election + first leases
+    futures = []
+    for i in range(rounds):
+        futures.append(cluster.submit(0, put("hot", i)))
+        for pid in range(1, n):
+            futures.append(cluster.submit(pid, get("hot")))
+        cluster.run(10.0)
+    if not cluster.run_until(lambda: all(f.done for f in futures),
+                             timeout=60_000.0):
+        raise RuntimeError(f"demo workload stalled; {cluster.describe()}")
+    obs = cluster.obs
+    assert obs is not None
+    obs.tracer.finalize(status="open-at-export")
+    records = obs.export_jsonl(out)
+    result = {
+        "trace": out,
+        "records": records,
+        "spans": len(obs.tracer.spans),
+        "committed_batches": len([
+            s for s in obs.tracer.spans
+            if s.name == "batch.commit" and s.status == "committed"
+        ]),
+    }
+    if perfetto:
+        result["perfetto"] = perfetto
+        result["perfetto_events"] = obs.export_perfetto(perfetto)
+    return result
+
+
+def _report(args: argparse.Namespace) -> int:
+    trace = load_jsonl(args.trace)
+    print(render_report(trace))
+    committed = commit_breakdown(trace)["total"].count
+    if committed == 0:
+        print("\nERROR: no committed batches in this trace", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _demo(args: argparse.Namespace) -> int:
+    result = run_demo(
+        seed=args.seed, n=args.n, rounds=args.rounds,
+        out=args.out, perfetto=args.perfetto,
+    )
+    print(
+        f"wrote {result['records']} trace records "
+        f"({result['committed_batches']} committed batches) to "
+        f"{result['trace']}"
+    )
+    if args.perfetto:
+        print(
+            f"wrote {result['perfetto_events']} Perfetto events to "
+            f"{result['perfetto']}"
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "report":
+        return _report(args)
+    return _demo(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

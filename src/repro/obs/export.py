@@ -1,0 +1,194 @@
+"""Trace export and import.
+
+Two on-disk formats:
+
+* **JSONL** — one self-describing JSON object per line, ``type`` keyed:
+  ``span`` / ``instant`` records plus one trailing ``metrics`` record
+  carrying the registry snapshot.  This is the canonical format: it
+  round-trips losslessly (:func:`load_jsonl`) and is what
+  ``python -m repro.obs report`` consumes.
+* **Perfetto / Chrome trace_event JSON** — the ``traceEvents`` array
+  format loadable in ``ui.perfetto.dev`` or ``chrome://tracing``.
+  Spans become complete (``"ph": "X"``) events, instants become
+  ``"ph": "i"`` events; each simulated process renders as one track
+  (``tid``).  Sim time is milliseconds; trace_event wants microseconds,
+  so timestamps are multiplied by 1000.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Union
+
+from .spans import Instant, ObsContext, Span, Tracer
+
+__all__ = ["TraceData", "export_jsonl", "load_jsonl", "export_perfetto"]
+
+_SOURCE = Union[ObsContext, Tracer]
+
+
+@dataclass
+class TraceData:
+    """An in-memory trace: what :func:`load_jsonl` returns and what the
+    timeline derivations consume (a live :class:`ObsContext` coerces to
+    this via :meth:`from_obs`)."""
+
+    spans: list[Span] = field(default_factory=list)
+    instants: list[Instant] = field(default_factory=list)
+    metrics: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_obs(cls, obs: ObsContext) -> "TraceData":
+        return cls(
+            spans=list(obs.tracer.spans),
+            instants=list(obs.tracer.instants),
+            metrics=obs.snapshot(),
+        )
+
+
+def _span_record(span: Span) -> dict[str, Any]:
+    return {
+        "type": "span",
+        "name": span.name,
+        "cat": span.cat,
+        "pid": span.pid,
+        "start": span.start,
+        "end": span.end,
+        "status": span.status,
+        "attrs": span.attrs,
+    }
+
+
+def _instant_record(event: Instant) -> dict[str, Any]:
+    return {
+        "type": "instant",
+        "name": event.name,
+        "cat": event.cat,
+        "pid": event.pid,
+        "ts": event.ts,
+        "attrs": event.attrs,
+    }
+
+
+def _tracer_of(source: _SOURCE) -> Tracer:
+    return source.tracer if isinstance(source, ObsContext) else source
+
+
+def export_jsonl(source: _SOURCE, path: str) -> int:
+    """Write the trace as JSONL; returns the number of records written.
+
+    Records are ordered by timestamp (span start / instant time) so the
+    file reads chronologically; the metrics snapshot, when the source is
+    an :class:`ObsContext`, is the final record.
+    """
+    tracer = _tracer_of(source)
+    records: list[tuple[float, dict[str, Any]]] = [
+        (span.start, _span_record(span)) for span in tracer.spans
+    ]
+    records.extend(
+        (event.ts, _instant_record(event)) for event in tracer.instants
+    )
+    records.sort(key=lambda pair: pair[0])
+    lines = [json.dumps(record, sort_keys=True) for _, record in records]
+    if isinstance(source, ObsContext):
+        lines.append(json.dumps(
+            {"type": "metrics", "snapshot": source.snapshot()},
+            sort_keys=True,
+        ))
+    with open(path, "w") as fh:
+        for line in lines:
+            fh.write(line)
+            fh.write("\n")
+    return len(lines)
+
+
+def load_jsonl(path: str) -> TraceData:
+    """Parse a JSONL trace back into spans/instants/metrics."""
+    trace = TraceData()
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "span":
+                span = Span(
+                    record["name"], record["cat"], record["pid"],
+                    record["start"], record.get("attrs") or {},
+                )
+                span.end = record.get("end")
+                span.status = record.get("status")
+                trace.spans.append(span)
+            elif kind == "instant":
+                trace.instants.append(Instant(
+                    record["name"], record["cat"], record["pid"],
+                    record["ts"], record.get("attrs") or {},
+                ))
+            elif kind == "metrics":
+                trace.metrics = record.get("snapshot", {})
+            else:
+                raise ValueError(
+                    f"{path}:{lineno}: unknown trace record type {kind!r}"
+                )
+    return trace
+
+
+def export_perfetto(source: _SOURCE, path: str) -> int:
+    """Write a Chrome/Perfetto ``trace_event`` JSON file.
+
+    Every simulated process gets its own ``tid`` under one ``pid`` (the
+    cluster), so the Perfetto UI shows one swim lane per replica/client
+    with batch, read, and tenure spans nested by time.  Returns the
+    number of trace events written.
+    """
+    tracer = _tracer_of(source)
+    events: list[dict[str, Any]] = []
+    tids = set()
+    for span in tracer.spans:
+        end = span.end if span.end is not None else span.start
+        args = dict(span.attrs)
+        if span.status is not None:
+            args["status"] = span.status
+        events.append({
+            "name": span.name,
+            "cat": span.cat,
+            "ph": "X",
+            "ts": span.start * 1000.0,
+            "dur": (end - span.start) * 1000.0,
+            "pid": 0,
+            "tid": span.pid,
+            "args": args,
+        })
+        tids.add(span.pid)
+    for inst in tracer.instants:
+        events.append({
+            "name": inst.name,
+            "cat": inst.cat,
+            "ph": "i",
+            "ts": inst.ts * 1000.0,
+            "pid": 0,
+            "tid": inst.pid,
+            "s": "t",  # thread-scoped instant
+            "args": dict(inst.attrs),
+        })
+        tids.add(inst.pid)
+    # Track-name metadata so lanes read "process 0" .. "process n-1".
+    for tid in sorted(tids):
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": f"process {tid}"},
+        })
+    document = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": "repro.obs", "time_unit": "sim-ms"},
+    }
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=1)
+        fh.write("\n")
+    return len(events)

@@ -1,0 +1,247 @@
+"""The metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Every metric lives in a :class:`MetricsRegistry` and is identified by a
+name plus a set of labels (``commits_total{pid=2}``).  The design goals,
+in order:
+
+* **Cheap on the hot path.**  ``Counter.inc`` is one float add;
+  ``Histogram.observe`` is one :func:`bisect.bisect_right` into a fixed
+  edge tuple plus two adds.  No numpy, no locks, no timestamps — the
+  simulation is single-threaded and sim time is recorded by the tracer,
+  not the metrics.
+* **Zero overhead when disabled.**  Instrumented code guards every call
+  with ``if obs is not None``; nothing here is ever reached in a run
+  without an attached :class:`~repro.obs.spans.ObsContext`
+  (``tests/obs/test_zero_overhead.py`` pins this with a call-count
+  probe).
+* **JSON-serializable snapshots.**  :meth:`MetricsRegistry.snapshot`
+  renders the whole registry as plain dicts, which is what chaos
+  verdicts embed and what the JSONL trace exporter appends.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterator, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+]
+
+#: Default histogram edges for latency-like quantities, in milliseconds
+#: (the repository's simulated time unit).  Spans 1ms..10s, roughly
+#: logarithmic, 14 buckets plus overflow — fixed at registration time so
+#: observation never allocates.
+DEFAULT_LATENCY_BUCKETS_MS: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
+    500.0, 1_000.0, 2_000.0, 5_000.0, 10_000.0,
+)
+
+
+def _label_key(labels: dict[str, Any]) -> tuple[tuple[str, Any], ...]:
+    return tuple(sorted(labels.items()))
+
+
+def _render_name(name: str, labels: tuple[tuple[str, Any], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, Any], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"<Counter {_render_name(self.name, self.labels)}={self.value}>"
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, applied prefixes)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: tuple[tuple[str, Any], ...]) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"<Gauge {_render_name(self.name, self.labels)}={self.value}>"
+
+
+class Histogram:
+    """A fixed-bucket histogram.
+
+    ``edges`` are the upper bounds of the finite buckets: a value ``v``
+    lands in the first bucket whose edge satisfies ``v <= edge``; values
+    above the last edge land in the overflow bucket.  ``counts`` has
+    ``len(edges) + 1`` entries (the last one is the overflow).
+    """
+
+    __slots__ = ("name", "labels", "edges", "counts", "count", "total",
+                 "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        labels: tuple[tuple[str, Any], ...],
+        edges: Sequence[float],
+    ) -> None:
+        ordered = tuple(float(e) for e in edges)
+        if not ordered:
+            raise ValueError("histogram needs at least one bucket edge")
+        if any(b <= a for a, b in zip(ordered, ordered[1:])):
+            raise ValueError(f"bucket edges must be strictly increasing: {ordered}")
+        self.name = name
+        self.labels = labels
+        self.edges = ordered
+        self.counts = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        # Buckets are (lo, hi] half-open: a value exactly on an edge
+        # belongs to the bucket whose upper bound is that edge, so use
+        # bisect_left (first edge >= value is the containing bucket).
+        self.counts[bisect_left(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Estimate the q-th percentile (q in [0, 100]) from the buckets.
+
+        Linear interpolation inside the containing bucket; exact for the
+        min/max endpoints, approximate elsewhere (bounded by the bucket
+        width, which is the accuracy contract of a fixed-bucket design).
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile out of range: {q}")
+        if self.count == 0:
+            return 0.0
+        rank = (q / 100.0) * self.count
+        cumulative = 0
+        for idx, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lo = self.edges[idx - 1] if idx > 0 else min(self.min, self.edges[0])
+                hi = self.edges[idx] if idx < len(self.edges) else self.max
+                lo = max(lo, self.min)
+                hi = min(hi, self.max) if hi >= lo else lo
+                frac = (rank - cumulative) / bucket_count
+                return lo + (hi - lo) * frac
+            cumulative += bucket_count
+        return self.max
+
+    def __repr__(self) -> str:
+        return (
+            f"<Histogram {_render_name(self.name, self.labels)} "
+            f"count={self.count} mean={self.mean:.3f}>"
+        )
+
+
+class MetricsRegistry:
+    """Owns every metric of one run (one per cluster; label by pid for
+    per-process series)."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple, Counter] = {}
+        self._gauges: dict[tuple, Gauge] = {}
+        self._histograms: dict[tuple, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Registration (idempotent: same name+labels returns the same object)
+    # ------------------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter(name, key[1])
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge(name, key[1])
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Sequence[float]] = None,
+        **labels: Any,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(
+                name, key[1], buckets or DEFAULT_LATENCY_BUCKETS_MS
+            )
+        return metric
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Any]:
+        yield from self._counters.values()
+        yield from self._gauges.values()
+        yield from self._histograms.values()
+
+    def snapshot(self) -> dict[str, Any]:
+        """The whole registry as JSON-serializable plain data."""
+        return {
+            "counters": {
+                _render_name(c.name, c.labels): c.value
+                for c in self._counters.values()
+            },
+            "gauges": {
+                _render_name(g.name, g.labels): g.value
+                for g in self._gauges.values()
+            },
+            "histograms": {
+                _render_name(h.name, h.labels): {
+                    "edges": list(h.edges),
+                    "counts": list(h.counts),
+                    "count": h.count,
+                    "total": h.total,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                }
+                for h in self._histograms.values()
+            },
+        }

@@ -1,0 +1,208 @@
+"""Structured trace spans and the per-run observability context.
+
+A :class:`Span` is one interval of simulated time with a name, a
+category, an owning process, free-form attributes, and a terminal
+``status`` (``"committed"``, ``"superseded"``, ``"served"``, ...).  An
+:class:`Instant` is a zero-duration event.  Both are buffered in memory
+by the :class:`Tracer` — the simulation never does I/O — and exported
+after the run by :mod:`repro.obs.export`.
+
+:class:`ObsContext` bundles the tracer, a
+:class:`~repro.obs.metrics.MetricsRegistry`, and the simulator whose
+``now`` is the single clock source for every timestamp.  Protocol code
+holds an ``obs`` attribute that is either an :class:`ObsContext` or
+``None``; every instrumentation site is guarded by ``if obs is not
+None`` so a run without observability pays one attribute load and a
+pointer comparison per hot point and allocates nothing.
+
+Span taxonomy (see docs/OBSERVABILITY.md for the full list):
+
+========================  ==========  =====================================
+name                      category    meaning
+========================  ==========  =====================================
+``batch.commit``          ``batch``   leader's DoOps for one batch; status
+                                      ``committed`` or ``superseded``
+``read``                  ``read``    one local read; status ``served``
+``tenure``                ``leader``  one leadership tenure (dwell time)
+``op``                    ``baseline``  one baseline client operation
+``batch.applied``         ``batch``   instant: a replica applied batch j
+``estimates.collected``   ``leader``  instant: EL init estimate transfer
+``leader.ready``          ``leader``  instant: tenure initialized
+``leader.change``         ``leader``  instant: believed leader changed
+``leaseholders.shrunk``   ``lease``   instant: commit dropped leaseholders
+========================  ==========  =====================================
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.core import Simulator
+    from ..sim.network import Network
+
+__all__ = ["Span", "Instant", "Tracer", "ObsContext"]
+
+
+class Span:
+    """One named interval of simulated time owned by process ``pid``."""
+
+    __slots__ = ("name", "cat", "pid", "start", "end", "status", "attrs")
+
+    def __init__(self, name: str, cat: str, pid: int, start: float,
+                 attrs: Optional[dict[str, Any]] = None) -> None:
+        self.name = name
+        self.cat = cat
+        self.pid = pid
+        self.start = start
+        self.end: Optional[float] = None
+        self.status: Optional[str] = None
+        self.attrs: dict[str, Any] = attrs if attrs is not None else {}
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    @property
+    def duration(self) -> Optional[float]:
+        return None if self.end is None else self.end - self.start
+
+    def mark(self, key: str, value: Any) -> None:
+        """Record an intermediate phase attribute on an open span."""
+        self.attrs[key] = value
+
+    def __repr__(self) -> str:
+        state = f"open since {self.start}" if self.open else (
+            f"[{self.start}, {self.end}] {self.status}"
+        )
+        return f"<Span {self.cat}/{self.name} pid={self.pid} {state}>"
+
+
+class Instant:
+    """A zero-duration trace event."""
+
+    __slots__ = ("name", "cat", "pid", "ts", "attrs")
+
+    def __init__(self, name: str, cat: str, pid: int, ts: float,
+                 attrs: Optional[dict[str, Any]] = None) -> None:
+        self.name = name
+        self.cat = cat
+        self.pid = pid
+        self.ts = ts
+        self.attrs: dict[str, Any] = attrs if attrs is not None else {}
+
+    def __repr__(self) -> str:
+        return f"<Instant {self.cat}/{self.name} pid={self.pid} t={self.ts}>"
+
+
+class Tracer:
+    """Buffers spans and instants, timestamped from one clock source."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self.spans: list[Span] = []
+        self.instants: list[Instant] = []
+
+    # ------------------------------------------------------------------
+    def begin(self, name: str, cat: str, pid: int, **attrs: Any) -> Span:
+        span = Span(name, cat, pid, self._sim.now, attrs or None)
+        self.spans.append(span)
+        return span
+
+    def close(self, span: Span, status: str, **attrs: Any) -> Span:
+        if span.end is not None:
+            raise ValueError(f"span already closed: {span!r}")
+        span.end = self._sim.now
+        span.status = status
+        if attrs:
+            span.attrs.update(attrs)
+        return span
+
+    def instant(self, name: str, cat: str, pid: int, **attrs: Any) -> Instant:
+        event = Instant(name, cat, pid, self._sim.now, attrs or None)
+        self.instants.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    def open_spans(self, name: Optional[str] = None) -> list[Span]:
+        return [
+            s for s in self.spans
+            if s.open and (name is None or s.name == name)
+        ]
+
+    def finished(self, name: Optional[str] = None) -> list[Span]:
+        return [
+            s for s in self.spans
+            if not s.open and (name is None or s.name == name)
+        ]
+
+    def finalize(self, status: str = "truncated") -> int:
+        """Close every still-open span (end of run); returns how many."""
+        closed = 0
+        for span in self.spans:
+            if span.open:
+                self.close(span, status)
+                closed += 1
+        return closed
+
+
+class ObsContext:
+    """The observability context of one run: tracer + metrics + clock.
+
+    Create one per cluster and attach it *before* processes are built —
+    :class:`~repro.sim.process.Process` caches ``sim.obs`` at
+    construction so hot paths pay a single attribute load::
+
+        sim = Simulator(seed=1)
+        obs = ObsContext(sim)          # attaches itself as sim.obs
+        ... build processes ...
+        obs.registry.counter("commits_total", pid=0).inc()
+        span = obs.tracer.begin("batch.commit", "batch", pid=0, j=1)
+        obs.tracer.close(span, "committed")
+    """
+
+    def __init__(self, sim: "Simulator", net: Optional["Network"] = None) -> None:
+        self.sim = sim
+        self.net = net
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(sim)
+        sim.attach_obs(self)
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def snapshot(self) -> dict[str, Any]:
+        """Metrics snapshot, enriched with the network counters and span
+        totals — the dict chaos verdicts carry."""
+        snap = self.registry.snapshot()
+        snap["sim"] = {
+            "now": self.sim.now,
+            "events_processed": self.sim.events_processed,
+        }
+        if self.net is not None:
+            snap["messages"] = {
+                "sent": dict(self.net.messages_sent),
+                "delivered": dict(self.net.messages_delivered),
+                "dropped": dict(self.net.messages_dropped),
+                "total_sent": self.net.total_sent(),
+            }
+        snap["trace"] = {
+            "spans": len(self.tracer.spans),
+            "open_spans": len(self.tracer.open_spans()),
+            "instants": len(self.tracer.instants),
+        }
+        return snap
+
+    # Convenience passthroughs used by the export layer.
+    def export_jsonl(self, path: str) -> int:
+        from .export import export_jsonl
+
+        return export_jsonl(self, path)
+
+    def export_perfetto(self, path: str) -> int:
+        from .export import export_perfetto
+
+        return export_perfetto(self, path)

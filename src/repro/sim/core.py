@@ -88,6 +88,25 @@ class Simulator:
         self._fork_counts: dict[str, int] = {}
         self._events_processed = 0
         self._stopped = False
+        # The run's observability context (repro.obs.ObsContext), or None.
+        # The simulator is the single sim-time clock source for every
+        # trace timestamp, so the context hangs off it and processes cache
+        # the reference at construction.  Attaching never schedules events
+        # or consumes randomness: an observed run has the identical event
+        # trace to an unobserved one.
+        self.obs: Optional[Any] = None
+
+    def attach_obs(self, obs: Any) -> Any:
+        """Attach an observability context (see :mod:`repro.obs`).
+
+        Must happen before processes are constructed: each
+        :class:`~repro.sim.process.Process` caches ``sim.obs`` once so
+        its hot paths pay a single attribute load when disabled.
+        """
+        if self.obs is not None and self.obs is not obs:
+            raise SimulationError("an ObsContext is already attached")
+        self.obs = obs
+        return obs
 
     # ------------------------------------------------------------------
     # Scheduling

@@ -41,6 +41,11 @@ class Process:
         self.net = net
         self.clocks = clocks
         self.crashed = False
+        # The run's ObsContext (repro.obs), cached from the simulator at
+        # construction; None in unobserved runs.  Every instrumentation
+        # site is guarded by ``if self.obs is not None`` — the disabled
+        # cost is one load + comparison, and no obs code is ever entered.
+        self.obs = sim.obs
         self.stable: dict[str, Any] = {}
         self.rng = sim.fork_rng(f"process-{pid}")
         self._clock = clocks[pid]

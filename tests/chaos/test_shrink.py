@@ -99,3 +99,49 @@ def test_soak_cli_passes_clean(capsys):
     out = capsys.readouterr().out
     assert code == 0
     assert "2 schedules passed" in out
+    # The summary reports workload volume, not just schedule count:
+    # 2 schedules x 1 client x 2 ops = 4 checked client operations.
+    assert "soak passed: 2 schedules, 4 client ops" in out
+
+
+def test_verdicts_carry_metrics_snapshots():
+    runner = NemesisRunner(system="cht", n=3, num_clients=1, ops_per_client=2)
+    result = runner.run(FaultSchedule())
+    assert result.ok
+    assert result.metrics is not None
+    assert result.metrics["messages"]["total_sent"] > 0
+    assert any(
+        name.startswith("commits_total")
+        for name in result.metrics["counters"]
+    )
+    # Opting out must also work (and then verdicts carry nothing).
+    bare = NemesisRunner(
+        system="cht", n=3, num_clients=1, ops_per_client=2, obs=False
+    )
+    assert bare.run(FaultSchedule()).metrics is None
+
+
+def test_artifact_references_metrics_sidecar(tmp_path):
+    from repro.chaos.nemesis import NemesisResult
+
+    runner = NemesisRunner(system="cht", n=3, num_clients=1, ops_per_client=2)
+    schedule = FaultSchedule()
+    result = runner.run(schedule)
+    path = str(tmp_path / "repro.json")
+    failure = NemesisResult(
+        False, "liveness", "fabricated", metrics=result.metrics
+    )
+    artifact = save_artifact(path, runner, schedule, failure)
+    metrics_path = str(tmp_path / "repro.metrics.json")
+    assert artifact["metrics_path"] == metrics_path
+    assert json.loads(open(path).read())["metrics_path"] == metrics_path
+    sidecar = json.loads(open(metrics_path).read())
+    assert sidecar == result.metrics
+
+    # Without a snapshot the artifact records that explicitly.
+    bare_path = str(tmp_path / "bare.json")
+    bare = save_artifact(
+        bare_path, runner, schedule,
+        NemesisResult(False, "liveness", "fabricated"),
+    )
+    assert bare["metrics_path"] is None

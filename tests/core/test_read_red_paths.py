@@ -1,0 +1,146 @@
+"""Coverage sweep for the red code's read paths in ``core/replica.py``.
+
+The paper's "red code" serves reads locally but makes them wait out two
+hazards: a conflicting pending RMW (the k-hat condition) and the loss of
+a valid read basis (lease/leadership).  These tests pin the exact
+blocking semantics — a conflicting read unblocks on the commit *apply*
+and not a step earlier — and that reads racing a leader change are never
+stale, witnessed by the linearizability checker.
+"""
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.sim.latency import FixedDelay
+from repro.verify import check_linearizable
+
+
+def _conflicted_follower(seed=9):
+    """A cluster with a follower holding an uncommitted conflicting batch."""
+    cluster = ChtCluster(
+        KVStoreSpec(), ChtConfig(n=5), seed=seed,
+        post_gst_delay=FixedDelay(10.0), obs=True,
+    )
+    cluster.start()
+    leader = cluster.run_until_leader()
+    cluster.execute(0, put("hot", 1))
+    cluster.run(200.0)
+    follower = next(r for r in cluster.replicas if r.pid != leader.pid)
+    write_future = cluster.submit(leader.pid, put("hot", 2))
+    cluster.run_until(
+        lambda: any(j not in follower.batches
+                    for j in follower.pending_batches), timeout=100.0
+    )
+    pending_j = max(
+        j for j in follower.pending_batches if j not in follower.batches
+    )
+    return cluster, leader, follower, write_future, pending_j
+
+
+class TestUnblockOnCommit:
+    def test_blocked_read_unblocks_exactly_on_apply(self):
+        """The read resolves in the same event that applies the
+        conflicting batch — never before ``applied_upto`` reaches the
+        batch, and with the batch's value once it does."""
+        cluster, _, follower, write_future, pending_j = _conflicted_follower()
+        read_future = follower.submit_read(get("hot"))
+        assert not read_future.done, "conflicting read must block"
+
+        while not read_future.done:
+            assert follower.applied_upto < pending_j, (
+                "read still blocked after the conflicting batch applied"
+            )
+            assert cluster.sim.step(), "simulation drained with read blocked"
+
+        assert follower.applied_upto >= pending_j
+        assert read_future.value == 2
+        cluster.run_until(lambda: write_future.done)
+
+    def test_blocked_read_records_conflict_wait(self):
+        """The trace attributes the whole block to the conflict wait."""
+        cluster, _, follower, write_future, _ = _conflicted_follower()
+        read_future = follower.submit_read(get("hot"))
+        assert not read_future.done
+        cluster.run_until(lambda: read_future.done)
+
+        spans = [
+            s for s in cluster.obs.tracer.spans
+            if s.name == "read" and s.pid == follower.pid
+        ]
+        span = spans[-1]
+        assert span.status == "served"
+        assert span.attrs.get("conflict_wait", 0.0) > 0.0
+        assert span.duration > 0.0
+        blocked = cluster.obs.registry.counter(
+            "reads_blocked_total", pid=follower.pid
+        )
+        assert blocked.value >= 1
+        cluster.run_until(lambda: write_future.done)
+
+    def test_nonconflicting_read_is_untouched_by_pending_batch(self):
+        cluster, _, follower, write_future, _ = _conflicted_follower()
+        read_future = follower.submit_read(get("cold"))
+        assert read_future.done, "non-conflicting read must not block"
+        cluster.run_until(lambda: write_future.done)
+
+
+class TestReadsAcrossLeaderChange:
+    def test_reads_during_leader_change_are_never_stale(self):
+        """Crash the leader with reads in flight everywhere: every read
+        that completes returns a value consistent with the write order
+        (the full history stays linearizable)."""
+        cluster = ChtCluster(
+            KVStoreSpec(), ChtConfig(n=5), seed=17, obs=True
+        )
+        cluster.start()
+        leader = cluster.run_until_leader()
+        writer = (leader.pid + 1) % 5
+        cluster.execute(writer, put("x", 1))
+        cluster.run(100.0)
+
+        cluster.crash(leader.pid)
+        survivors = [r for r in cluster.replicas if not r.crashed]
+        # Reads issued immediately after the crash, while no replica can
+        # have a valid basis from the new regime yet.
+        futures = [r.submit_read(get("x")) for r in survivors]
+        futures.append(survivors[0].submit_rmw(put("x", 2)))
+        assert cluster.run_until(
+            lambda: all(f.done for f in futures), timeout=20_000.0
+        ), f"ops stalled across the leader change; {cluster.describe()}"
+
+        for f in futures[:-1]:
+            assert f.value in (1, 2), f"stale read value {f.value!r}"
+        result = check_linearizable(
+            cluster.spec, cluster.history(), partition_by_key=True
+        )
+        assert result.ok, result.reason
+
+    def test_read_blocked_on_orphaned_batch_survives_failover(self):
+        """A read blocked on a batch the crashing leader never committed
+        must still resolve — the new leader either commits or supersedes
+        the batch — and the history must stay linearizable."""
+        cluster = ChtCluster(
+            KVStoreSpec(), ChtConfig(n=5), seed=9,
+            post_gst_delay=FixedDelay(10.0), obs=True,
+        )
+        cluster.start()
+        leader = cluster.run_until_leader()
+        cluster.execute(0, put("hot", 1))
+        cluster.run(200.0)
+        follower = next(r for r in cluster.replicas if r.pid != leader.pid)
+        cluster.submit(leader.pid, put("hot", 2))
+        cluster.run_until(
+            lambda: any(j not in follower.batches
+                        for j in follower.pending_batches), timeout=100.0
+        )
+        read_future = follower.submit_read(get("hot"))
+        assert not read_future.done
+        cluster.crash(leader.pid)
+        assert cluster.run_until(
+            lambda: read_future.done, timeout=20_000.0
+        ), f"read never unblocked after failover; {cluster.describe()}"
+        assert read_future.value in (1, 2)
+        result = check_linearizable(
+            cluster.spec, cluster.history(), partition_by_key=True
+        )
+        assert result.ok, result.reason

@@ -1,0 +1,101 @@
+"""Round-trip tests for the JSONL and Perfetto trace exporters."""
+
+import json
+
+import pytest
+
+from repro.obs.export import export_jsonl, export_perfetto, load_jsonl
+from repro.obs.spans import ObsContext
+from repro.sim.core import Simulator
+
+
+def _small_obs():
+    sim = Simulator(seed=3)
+    obs = ObsContext(sim)
+    span = obs.tracer.begin("batch.commit", "batch", pid=0, j=1, size=2)
+    sim.call_later(7.5, lambda: None)
+    sim.run()
+    span.mark("acked_at", 7.5)
+    obs.tracer.close(span, "committed")
+    obs.tracer.instant("batch.applied", "batch", 1, j=1)
+    obs.tracer.begin("read", "read", pid=2)  # left open on purpose
+    obs.registry.counter("commits_total", pid=0).inc()
+    return sim, obs
+
+
+def test_jsonl_round_trip(tmp_path):
+    _, obs = _small_obs()
+    path = str(tmp_path / "trace.jsonl")
+    written = export_jsonl(obs, path)
+    # 2 spans + 1 instant + the metrics snapshot record.
+    assert written == 4
+
+    trace = load_jsonl(path)
+    assert len(trace.spans) == 2
+    assert len(trace.instants) == 1
+    committed = [s for s in trace.spans if s.status == "committed"]
+    (span,) = committed
+    assert span.name == "batch.commit"
+    assert span.start == 0.0 and span.end == 7.5
+    assert span.attrs == {"j": 1, "size": 2, "acked_at": 7.5}
+    (open_span,) = [s for s in trace.spans if s.open]
+    assert open_span.name == "read"
+    (inst,) = trace.instants
+    assert inst.name == "batch.applied" and inst.ts == 7.5
+    assert trace.metrics["counters"] == {"commits_total{pid=0}": 1.0}
+    assert trace.metrics["trace"]["spans"] == 2
+
+
+def test_jsonl_records_are_chronological(tmp_path):
+    sim = Simulator(seed=0)
+    obs = ObsContext(sim)
+    sim.call_later(10.0, lambda: obs.tracer.instant("late", "t", 0))
+    sim.run()
+    obs.tracer.begin("span-at-10", "t", 0)
+    # A span that started earlier must sort before the later instant even
+    # though it was appended to a different buffer.
+    early = obs.tracer.begin("early", "t", 0)
+    early.start = 1.0
+    path = str(tmp_path / "t.jsonl")
+    export_jsonl(obs, path)
+    with open(path) as fh:
+        names = [json.loads(line)["name"]
+                 for line in fh if json.loads(line)["type"] != "metrics"]
+    assert names[0] == "early"
+
+
+def test_jsonl_rejects_unknown_record_types(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"type": "mystery"}\n')
+    with pytest.raises(ValueError, match="unknown trace record type"):
+        load_jsonl(str(path))
+
+
+def test_perfetto_export_structure(tmp_path):
+    _, obs = _small_obs()
+    path = str(tmp_path / "trace.perfetto.json")
+    written = export_perfetto(obs, path)
+    with open(path) as fh:
+        doc = json.load(fh)
+    events = doc["traceEvents"]
+    assert written == len(events)
+    assert doc["displayTimeUnit"] == "ms"
+
+    complete = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(complete) == 2 and len(instants) == 1
+
+    batch = next(e for e in complete if e["name"] == "batch.commit")
+    # Sim time is ms; trace_event wants microseconds.
+    assert batch["ts"] == 0.0 and batch["dur"] == 7500.0
+    assert batch["tid"] == 0 and batch["pid"] == 0
+    assert batch["args"]["status"] == "committed"
+
+    # An open span exports with zero duration rather than being dropped.
+    read = next(e for e in complete if e["name"] == "read")
+    assert read["dur"] == 0.0
+
+    # One thread_name metadata record per participating process.
+    assert {e["tid"] for e in meta} == {0, 1, 2}
+    assert all(e["args"]["name"] == f"process {e['tid']}" for e in meta)

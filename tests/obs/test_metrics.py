@@ -1,0 +1,123 @@
+"""Unit tests for counters, gauges, and fixed-bucket histograms."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS_MS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        c = registry.counter("commits_total", pid=0)
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_gauge_set_inc_dec(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("applied_upto", pid=1)
+        g.set(7)
+        g.inc()
+        g.dec(3)
+        assert g.value == 5
+
+    def test_registration_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("reads_total", pid=2)
+        b = registry.counter("reads_total", pid=2)
+        assert a is b
+        # Different labels are a different series.
+        assert registry.counter("reads_total", pid=3) is not a
+        # Label order must not matter.
+        assert registry.counter("x", a=1, b=2) is registry.counter(
+            "x", b=2, a=1
+        )
+
+
+class TestHistogramBuckets:
+    def test_edges_must_be_increasing(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (), edges=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("h", (), edges=())
+
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        """Buckets are (lo, hi]: a value exactly on an edge lands in the
+        bucket whose upper bound is that edge."""
+        h = Histogram("h", (), edges=(1.0, 10.0, 100.0))
+        h.observe(1.0)      # first bucket (<= 1.0)
+        h.observe(1.0001)   # second bucket
+        h.observe(10.0)     # still the second bucket
+        h.observe(100.0)    # third bucket
+        h.observe(100.5)    # overflow
+        assert h.counts == [1, 2, 1, 1]
+        assert h.count == 5
+        assert h.min == 1.0
+        assert h.max == 100.5
+
+    def test_mean_and_extremes(self):
+        h = Histogram("h", (), edges=(10.0, 20.0))
+        for v in (2.0, 4.0, 6.0):
+            h.observe(v)
+        assert h.mean == pytest.approx(4.0)
+        assert h.min == 2.0
+        assert h.max == 6.0
+
+    def test_empty_histogram(self):
+        h = Histogram("h", (), edges=(1.0,))
+        assert h.mean == 0.0
+        assert h.percentile(50) == 0.0
+
+    def test_percentile_endpoints_are_exact(self):
+        h = Histogram("h", (), edges=list(DEFAULT_LATENCY_BUCKETS_MS))
+        for v in (3.0, 7.0, 40.0, 90.0):
+            h.observe(v)
+        assert h.percentile(0) == pytest.approx(3.0, abs=1e-9)
+        assert h.percentile(100) == pytest.approx(90.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_percentile_interpolates_within_bucket_width(self):
+        """Percentile error is bounded by the containing bucket width."""
+        h = Histogram("h", (), edges=(10.0, 20.0, 50.0))
+        values = [12.0, 13.0, 14.0, 18.0, 19.0, 42.0]
+        for v in values:
+            h.observe(v)
+        p50 = h.percentile(50)
+        assert 10.0 <= p50 <= 20.0  # the true median (14..18) lies here
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serializable_and_complete(self):
+        registry = MetricsRegistry()
+        registry.counter("commits_total", pid=0).inc(4)
+        registry.gauge("depth").set(2)
+        registry.histogram("lat_ms", buckets=(1.0, 10.0)).observe(3.0)
+        snap = registry.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["counters"]["commits_total{pid=0}"] == 4
+        assert snap["gauges"]["depth"] == 2
+        hist = snap["histograms"]["lat_ms"]
+        assert hist["edges"] == [1.0, 10.0]
+        assert hist["counts"] == [0, 1, 0]
+        assert hist["count"] == 1
+        assert hist["min"] == 3.0 and hist["max"] == 3.0
+
+    def test_empty_histogram_snapshot_has_null_extremes(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_ms")
+        hist = registry.snapshot()["histograms"]["lat_ms"]
+        assert hist["min"] is None and hist["max"] is None
+
+    def test_iteration_covers_every_metric(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        registry.gauge("b")
+        registry.histogram("c")
+        assert len(list(registry)) == 3

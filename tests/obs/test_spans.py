@@ -1,0 +1,112 @@
+"""Tracer behavior under simulated time: span ordering, nesting, and
+finalization."""
+
+import pytest
+
+from repro.obs.spans import ObsContext, Tracer
+from repro.sim.core import SimulationError, Simulator
+
+
+def test_span_timestamps_come_from_sim_time():
+    sim = Simulator(seed=1)
+    tracer = Tracer(sim)
+    sim.call_later(5.0, lambda: None)
+    span = tracer.begin("batch.commit", "batch", pid=0, j=1)
+    assert span.start == 0.0 and span.open and span.duration is None
+    sim.run()
+    assert sim.now == 5.0
+    tracer.close(span, "committed")
+    assert span.end == 5.0
+    assert span.duration == 5.0
+    assert span.status == "committed"
+
+
+def test_nested_spans_preserve_ordering():
+    """Spans opened later start later (or equal), and a child closed
+    before its parent nests inside the parent's interval."""
+    sim = Simulator(seed=1)
+    tracer = Tracer(sim)
+    outer = tracer.begin("tenure", "leader", pid=0)
+    sim.call_later(1.0, lambda: None)
+    sim.run()
+    inner = tracer.begin("batch.commit", "batch", pid=0, j=1)
+    sim.call_later(2.0, lambda: None)
+    sim.run()
+    tracer.close(inner, "committed")
+    sim.call_later(3.0, lambda: None)
+    sim.run()
+    tracer.close(outer, "lost")
+    assert outer.start <= inner.start
+    assert inner.end <= outer.end
+    # The buffer preserves begin order.
+    assert tracer.spans == [outer, inner]
+
+
+def test_double_close_is_an_error():
+    tracer = Tracer(Simulator(seed=1))
+    span = tracer.begin("read", "read", pid=2)
+    tracer.close(span, "served")
+    with pytest.raises(ValueError):
+        tracer.close(span, "served")
+
+
+def test_mark_records_phase_attributes():
+    tracer = Tracer(Simulator(seed=1))
+    span = tracer.begin("batch.commit", "batch", pid=0, j=3)
+    span.mark("acked_at", 12.5)
+    tracer.close(span, "committed", k="extra")
+    assert span.attrs == {"j": 3, "acked_at": 12.5, "k": "extra"}
+
+
+def test_open_spans_and_finished_filter_by_name():
+    tracer = Tracer(Simulator(seed=1))
+    a = tracer.begin("read", "read", pid=0)
+    b = tracer.begin("tenure", "leader", pid=1)
+    tracer.close(a, "served")
+    assert tracer.open_spans() == [b]
+    assert tracer.open_spans("read") == []
+    assert tracer.finished("read") == [a]
+
+
+def test_finalize_closes_every_open_span():
+    sim = Simulator(seed=1)
+    tracer = Tracer(sim)
+    a = tracer.begin("read", "read", pid=0)
+    b = tracer.begin("tenure", "leader", pid=1)
+    tracer.close(a, "served")
+    closed = tracer.finalize(status="truncated")
+    assert closed == 1
+    assert b.status == "truncated" and not b.open
+    assert a.status == "served"  # untouched
+    assert tracer.finalize() == 0  # idempotent
+
+
+def test_instants_are_buffered_with_timestamps():
+    sim = Simulator(seed=1)
+    tracer = Tracer(sim)
+    sim.call_later(4.0, lambda: tracer.instant("leader.ready", "leader", 2, t=9))
+    sim.run()
+    (inst,) = tracer.instants
+    assert inst.ts == 4.0
+    assert inst.attrs == {"t": 9}
+
+
+def test_obs_context_attaches_once():
+    sim = Simulator(seed=1)
+    obs = ObsContext(sim)
+    assert sim.obs is obs
+    assert sim.attach_obs(obs) is obs  # re-attaching the same one is fine
+    with pytest.raises(SimulationError):
+        ObsContext(sim)  # a second context on the same sim is a bug
+
+
+def test_snapshot_shape_without_network():
+    sim = Simulator(seed=1)
+    obs = ObsContext(sim)
+    obs.registry.counter("x").inc()
+    obs.tracer.begin("read", "read", pid=0)
+    snap = obs.snapshot()
+    assert snap["counters"] == {"x": 1.0}
+    assert snap["sim"]["now"] == 0.0
+    assert "messages" not in snap
+    assert snap["trace"] == {"spans": 1, "open_spans": 1, "instants": 0}

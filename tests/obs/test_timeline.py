@@ -1,0 +1,119 @@
+"""End-to-end tests: a traced CHT run yields the derived timelines, and
+the CLI renders/validates them."""
+
+import pytest
+
+from repro.obs.cli import main, run_demo
+from repro.obs.export import load_jsonl
+from repro.obs.timeline import (
+    commit_breakdown,
+    leader_dwell,
+    messages_per_op,
+    read_timeline,
+    render_report,
+)
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec, get, put
+
+
+@pytest.fixture(scope="module")
+def traced_cluster():
+    """A 5-replica steady-write run with observability on."""
+    cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=7, obs=True)
+    cluster.start()
+    cluster.run_until_leader()
+    futures = []
+    for i in range(12):
+        futures.append(cluster.submit(0, put("hot", i)))
+        for pid in range(1, 5):
+            futures.append(cluster.submit(pid, get("hot")))
+        cluster.run(10.0)
+    assert cluster.run_until(lambda: all(f.done for f in futures))
+    return cluster
+
+
+def test_commit_breakdown_is_nonempty_and_consistent(traced_cluster):
+    breakdown = commit_breakdown(traced_cluster.obs)
+    assert breakdown["total"].count > 0
+    assert breakdown["prepare"].count == breakdown["total"].count
+    # Phase means must sum to (roughly) the total mean: the phases
+    # partition the span.
+    phase_sum = (
+        breakdown["prepare"].mean
+        + breakdown["lease_wait"].mean
+        + breakdown["commit"].mean
+    )
+    assert phase_sum == pytest.approx(breakdown["total"].mean, rel=1e-6)
+    # Prepare needs at least one network round trip.
+    assert breakdown["prepare"].mean >= traced_cluster.config.delta
+
+
+def test_read_timeline_counts_blocked_reads(traced_cluster):
+    reads = read_timeline(traced_cluster.obs)
+    assert reads["count"] == 12 * 4
+    # Reads racing a same-key RMW must have blocked on the conflict.
+    assert reads["blocked"] > 0
+    assert 0.0 < reads["blocked_fraction"] <= 1.0
+    # Every blocked read waited on the basis, on a conflict, or both.
+    assert reads["conflict_wait"].count > 0
+    assert (
+        reads["conflict_wait"].count + reads["basis_wait"].count
+        >= reads["blocked"]
+    )
+    assert reads["latency"].count == reads["count"]
+
+
+def test_messages_per_op_uses_network_counters(traced_cluster):
+    ratios = messages_per_op(traced_cluster.obs)
+    assert ratios is not None
+    assert ratios["messages_total"] > 0
+    assert ratios["committed_batches"] > 0
+    assert ratios["per_batch"] > 0
+
+
+def test_leader_dwell_reflects_the_stable_leader(traced_cluster):
+    dwell = leader_dwell(traced_cluster.obs)
+    # The steady run has one uninterrupted tenure — still open, so the
+    # dwell table only counts *finished* tenures (possibly zero).
+    assert dwell["count"] == len(
+        [s for s in traced_cluster.obs.tracer.spans
+         if s.name == "tenure" and not s.open]
+    )
+
+
+def test_render_report_contains_every_section(traced_cluster):
+    text = render_report(traced_cluster.obs)
+    for section in (
+        "commit latency by phase",
+        "read lifecycle",
+        "messages per committed operation",
+        "leader dwell times",
+    ):
+        assert section in text
+
+
+def test_demo_and_report_cli_round_trip(tmp_path, capsys):
+    out = str(tmp_path / "trace.jsonl")
+    perfetto = str(tmp_path / "trace.perfetto.json")
+    result = run_demo(seed=1, n=3, rounds=8, out=out, perfetto=perfetto)
+    assert result["committed_batches"] > 0
+    assert result["records"] > 0
+    assert result["perfetto_events"] > 0
+
+    trace = load_jsonl(out)
+    assert commit_breakdown(trace)["total"].count > 0
+    # No span may be left open in an exported trace: the demo finalizes.
+    assert all(not s.open for s in trace.spans)
+
+    assert main(["report", out]) == 0
+    captured = capsys.readouterr()
+    assert "commit latency by phase" in captured.out
+
+
+def test_report_cli_fails_on_empty_trace(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["report", str(empty)]) == 1
+    assert "no committed batches" in capsys.readouterr().err

@@ -1,0 +1,90 @@
+"""The zero-overhead-when-disabled contract, pinned by call-count probes.
+
+An unobserved run (no ObsContext attached) must never reach any obs
+code: every instrumentation site is guarded by ``if obs is not None``.
+The probe monkeypatches call counters onto the Tracer and metric entry
+points and then drives a full workload — leader election, conflicting
+reads and writes, a crash/recovery — through an *unobserved* cluster.
+Any counted call is a guard someone forgot.
+"""
+
+import gc
+
+import pytest
+
+import repro.obs.metrics as metrics_mod
+import repro.obs.spans as spans_mod
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec, get, put
+
+
+@pytest.fixture
+def probe(monkeypatch):
+    """Count every call into the obs layer's hot entry points."""
+    # Finalize any *observed* clusters leaked by earlier tests first:
+    # their generators run span-closing ``finally`` blocks when the
+    # cyclic GC collects them, which would trip the probe spuriously.
+    gc.collect()
+    calls = {"tracer": 0, "metrics": 0}
+
+    def counted(target):
+        def wrapper(*args, **kwargs):
+            calls[target] += 1
+            raise AssertionError(
+                "obs code reached in an unobserved run (missing guard)"
+            )
+
+        return wrapper
+
+    monkeypatch.setattr(spans_mod.Tracer, "begin", counted("tracer"))
+    monkeypatch.setattr(spans_mod.Tracer, "instant", counted("tracer"))
+    monkeypatch.setattr(spans_mod.Tracer, "close", counted("tracer"))
+    monkeypatch.setattr(metrics_mod.Counter, "inc", counted("metrics"))
+    monkeypatch.setattr(metrics_mod.Gauge, "set", counted("metrics"))
+    monkeypatch.setattr(metrics_mod.Histogram, "observe", counted("metrics"))
+    return calls
+
+
+def test_unobserved_run_never_enters_obs_code(probe):
+    cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=11)
+    cluster.start()
+    leader = cluster.run_until_leader()
+    assert cluster.obs is None
+    assert all(r.obs is None for r in cluster.replicas)
+
+    futures = []
+    for i in range(6):
+        futures.append(cluster.submit(0, put("k", i)))
+        futures.append(cluster.submit(2, get("k")))
+        cluster.run(10.0)
+    # Exercise the crash/finally paths too — they also carry guards.
+    victim = (leader.pid + 1) % 5
+    cluster.crash(victim)
+    cluster.run(200.0)
+    cluster.recover(victim)
+    assert cluster.run_until(lambda: all(f.done for f in futures))
+
+    assert probe == {"tracer": 0, "metrics": 0}
+
+
+def test_observed_run_has_identical_event_trace():
+    """Attaching obs never schedules events nor consumes randomness: the
+    observed run is bit-identical to the unobserved one."""
+
+    def drive(obs):
+        cluster = ChtCluster(
+            KVStoreSpec(), ChtConfig(n=5), seed=13, obs=obs
+        )
+        cluster.start()
+        cluster.run_until_leader()
+        futures = [cluster.submit(0, put("k", i)) for i in range(4)]
+        futures += [cluster.submit(1, get("k")) for _ in range(4)]
+        assert cluster.run_until(lambda: all(f.done for f in futures))
+        history = [
+            (r.op_id, r.kind, r.invoked_at, r.responded_at, repr(r.response))
+            for r in cluster.stats.records
+        ]
+        return cluster.sim.now, cluster.sim.events_processed, history
+
+    assert drive(obs=False) == drive(obs=True)
