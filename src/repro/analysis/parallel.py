@@ -21,8 +21,8 @@ import os
 from pickle import PicklingError
 from typing import Any, Callable, Iterable, Optional, Sequence
 
-__all__ = ["cell_count", "default_workers", "parallel_map", "parallel_starmap",
-           "run_cells"]
+__all__ = ["cell_count", "default_workers", "parallel_imap", "parallel_map",
+           "parallel_starmap", "run_cells"]
 
 #: Environment knob: cap the worker count (1 forces serial execution).
 WORKERS_ENV = "REPRO_WORKERS"
@@ -81,6 +81,47 @@ def parallel_map(
             return pool.map(fn, items, chunksize=1)
     except (OSError, PicklingError):  # pragma: no cover - resource limits
         return [fn(item) for item in items]
+
+
+def parallel_imap(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    workers: Optional[int] = None,
+):
+    """Yield ``fn(x)`` for each item *in input order*, computing ahead.
+
+    Unlike :func:`parallel_map`, results stream back as the consumer
+    iterates: the pool keeps working ahead on later items while the
+    caller processes earlier ones, and abandoning the generator (e.g.
+    ``break`` on the first interesting result) terminates outstanding
+    work.  The chaos soak uses this so verification of schedule *k*
+    overlaps simulation of schedules *k+1..k+workers* — with a
+    deterministic, serial-identical result order.
+    """
+    items = list(items)
+    if workers is None:
+        workers = default_workers()
+    workers = min(workers, len(items))
+    ctx = _fork_context()
+    if workers <= 1 or len(items) <= 1 or ctx is None:
+        for item in items:
+            yield fn(item)
+        return
+    try:
+        pool = ctx.Pool(processes=workers)
+    except OSError:  # pragma: no cover - resource limits
+        for item in items:
+            yield fn(item)
+        return
+    try:
+        for result in pool.imap(fn, items, chunksize=1):
+            yield result
+        pool.close()
+    finally:
+        # Reached on exhaustion, early break, and errors alike; terminate
+        # is a no-op after close() + full drain.
+        pool.terminate()
+        pool.join()
 
 
 def parallel_starmap(

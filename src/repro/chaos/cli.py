@@ -12,7 +12,13 @@ Two subcommands::
 
 Everything is deterministic for a fixed ``--seed``: the soak explores the
 same schedules, fails the same way, and shrinks to the same artifact on
-every run.
+every run.  That determinism survives parallelism: each schedule's
+verdict is a pure function of ``(system, seed, index)``, so the soak
+fans whole runs (simulation *and* verification) over a process pool —
+while schedule *k*'s history is being verified, later schedules are
+already simulating on other workers — and consumes verdicts in index
+order.  ``--workers 1`` forces the serial path; both paths render
+byte-identical verdict streams.
 """
 
 from __future__ import annotations
@@ -22,11 +28,29 @@ import sys
 import time
 from typing import Optional, Sequence
 
+from ..analysis.parallel import default_workers, parallel_imap
 from .generator import ScheduleGenerator
-from .nemesis import SYSTEMS, NemesisRunner
+from .nemesis import SYSTEMS, NemesisResult, NemesisRunner
 from .shrink import run_artifact, save_artifact, shrink
 
 __all__ = ["main"]
+
+
+def _soak_cell(args: tuple) -> NemesisResult:
+    """One soak cell: generate schedule ``index`` and run it.
+
+    Module-level (picklable) and self-contained so it executes
+    identically in a forked worker and in the parent process.
+    """
+    (system, n, clients, horizon, seed, ops_per_client, bug, index) = args
+    generator = ScheduleGenerator(
+        n=n, num_clients=clients, horizon=horizon, seed=seed,
+    )
+    runner = NemesisRunner(
+        system=system, n=n, num_clients=clients, seed=seed, horizon=horizon,
+        ops_per_client=ops_per_client, bug=bug,
+    )
+    return runner.run(generator.generate(index))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -51,6 +75,10 @@ def _build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--artifact", default="chaos-repro.json",
                       help="where to write the shrunken repro on failure")
     soak.add_argument("--shrink-budget", type=int, default=200)
+    soak.add_argument("--workers", type=int, default=0,
+                      help="worker processes for schedule fan-out "
+                           "(0 = all CPUs, 1 = serial; verdicts are "
+                           "identical either way)")
 
     repro = sub.add_parser("repro", help="replay a repro artifact")
     repro.add_argument("artifact")
@@ -64,35 +92,53 @@ def _soak(args: argparse.Namespace) -> int:
             print(f"unknown system {system!r}; pick from {SYSTEMS}")
             return 2
     started = time.time()
+    workers = args.workers if args.workers > 0 else default_workers()
     total = 0
     total_ops = 0
+    undecided = 0
     for system in systems:
-        generator = ScheduleGenerator(
-            n=args.n,
-            num_clients=args.clients,
-            horizon=args.horizon,
-            seed=args.seed,
-        )
-        runner = NemesisRunner(
-            system=system,
-            n=args.n,
-            num_clients=args.clients,
-            seed=args.seed,
-            horizon=args.horizon,
-            ops_per_client=args.ops_per_client,
-            bug=args.bug,
-        )
-        for index in range(args.schedules):
-            schedule = generator.generate(index)
-            result = runner.run(schedule)
+        sys_undecided = 0
+        cells = [
+            (system, args.n, args.clients, args.horizon, args.seed,
+             args.ops_per_client, args.bug, index)
+            for index in range(args.schedules)
+        ]
+        # Stream verdicts in index order; workers simulate+verify ahead.
+        # Breaking out on the first failure terminates outstanding work,
+        # so the verdict stream is identical to a serial loop's.
+        for index, result in enumerate(
+            parallel_imap(_soak_cell, cells, workers=workers)
+        ):
             total += 1
             total_ops += result.ops_completed
             if result.ok:
+                continue
+            if result.kind == "undecided":
+                # Not a bug, not a pass: the checker gave up at its
+                # budget.  Count it, report it, keep soaking.
+                undecided += 1
+                sys_undecided += 1
+                print(
+                    f"UNDECIDED system={system} seed={args.seed} "
+                    f"schedule={index}\n  {result.detail}"
+                )
                 continue
             print(
                 f"FAIL system={system} seed={args.seed} schedule={index} "
                 f"kind={result.kind}\n  {result.detail}"
             )
+            # Shrinking replays mutated schedules serially in this
+            # process; rebuild the failing cell's generator and runner.
+            generator = ScheduleGenerator(
+                n=args.n, num_clients=args.clients, horizon=args.horizon,
+                seed=args.seed,
+            )
+            runner = NemesisRunner(
+                system=system, n=args.n, num_clients=args.clients,
+                seed=args.seed, horizon=args.horizon,
+                ops_per_client=args.ops_per_client, bug=args.bug,
+            )
+            schedule = generator.generate(index)
             print(
                 f"shrinking ({schedule.fault_count()} fault entries)...",
                 flush=True,
@@ -111,17 +157,25 @@ def _soak(args: argparse.Namespace) -> int:
                 print(f"metrics snapshot: {artifact['metrics_path']}")
             print(f"rerun: {artifact['command']}")
             return 1
-        print(
-            f"{system}: {args.schedules} schedules passed "
-            f"(lin + invariants + liveness)"
-        )
+        if sys_undecided:
+            print(
+                f"{system}: {args.schedules - sys_undecided}/"
+                f"{args.schedules} schedules passed, {sys_undecided} "
+                f"undecided (lin + invariants + liveness)"
+            )
+        else:
+            print(
+                f"{system}: {args.schedules} schedules passed "
+                f"(lin + invariants + liveness)"
+            )
     elapsed = time.time() - started
     # A schedule is one whole nemesis run; each drives many client ops.
     # Reporting both keeps the workload volume honest — 50 schedules at
     # 2 clients x 6 ops is 600 checked operations, not 50.
+    suffix = f", {undecided} undecided" if undecided else ""
     print(
         f"soak passed: {total} schedules, {total_ops} client ops "
-        f"in {elapsed:.1f}s"
+        f"in {elapsed:.1f}s ({workers} workers{suffix})"
     )
     return 0
 

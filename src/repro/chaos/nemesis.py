@@ -12,6 +12,10 @@ client-session workload through it, and then renders a verdict:
   fault has healed, every operation must finish.
 * **linearizability** — the completed operation history (reads and RMWs
   from every session) is not linearizable against the sequential spec.
+* **undecided** — the linearizability search hit its configuration
+  budget before rendering a verdict.  Neither a pass nor a bug: soak
+  summaries count these separately, and they are never shrunk (there is
+  no failure to preserve).
 * **exception** — the run crashed outright.
 
 All randomness comes from the simulator's forked streams, so a verdict
@@ -76,7 +80,8 @@ class NemesisResult:
     """Verdict of one nemesis run."""
 
     ok: bool
-    kind: Optional[str] = None  # invariant | liveness | linearizability | exception
+    # invariant | liveness | linearizability | undecided | exception
+    kind: Optional[str] = None
     detail: str = ""
     ops_completed: int = 0
     # Metrics snapshot (repro.obs) of the run that produced the verdict;
@@ -104,6 +109,8 @@ class NemesisRunner:
         liveness_bound: float = 3000.0,
         bug: Optional[str] = None,
         obs: bool = True,
+        verify_workers: Optional[int] = None,
+        max_configurations: int = 2_000_000,
     ) -> None:
         if system not in SYSTEMS:
             raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}")
@@ -115,6 +122,12 @@ class NemesisRunner:
         self.ops_per_client = ops_per_client
         self.liveness_bound = liveness_bound
         self.bug = bug
+        # Fan the per-key linearizability sub-checks over a process pool
+        # of this size (None/1 = serial; verdicts identical either way).
+        self.verify_workers = verify_workers
+        # Budget for the linearizability search; a breach becomes an
+        # "undecided" verdict, never a crash or a wrong answer.
+        self.max_configurations = max_configurations
         # Observability is on by default: attaching an ObsContext never
         # schedules events or consumes randomness, so verdicts are
         # bit-identical with or without it — and failures then carry a
@@ -202,7 +215,16 @@ class NemesisRunner:
                 ops_completed=completed,
             )
         history = cluster.history()
-        result = check_linearizable(spec, history, partition_by_key=True)
+        result = check_linearizable(
+            spec, history, partition_by_key=True,
+            max_configurations=self.max_configurations,
+            workers=self.verify_workers,
+        )
+        if result.undecided:
+            return NemesisResult(
+                False, "undecided", str(result.reason),
+                ops_completed=expected,
+            )
         if not result.ok:
             return NemesisResult(
                 False, "linearizability", str(result.reason),

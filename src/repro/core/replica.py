@@ -138,6 +138,9 @@ class ChtReplica(Process):
         self.lease: Optional[ReadLease] = None
         self.tenure: Optional[Tenure] = None
         self.submit_queue: dict[tuple[int, int], OpInstance] = {}
+        # Local time the oldest queued submission arrived; anchors the
+        # batch accumulation window (config.batch_window).
+        self._queue_since: Optional[float] = None
         self.op_futures: dict[tuple[int, int], Future] = {}
         self._acks: dict[tuple[float, int], set[int]] = {}
         self._est_replies: dict[float, dict[int, EstReply]] = {}
@@ -181,6 +184,7 @@ class ChtReplica(Process):
         self.lease = None
         self.tenure = None
         self.submit_queue = {}
+        self._queue_since = None
         self.op_futures = {}
         self._acks = {}
         self._est_replies = {}
@@ -251,6 +255,10 @@ class ChtReplica(Process):
         op_id = instance.op_id
         if op_id in self.committed_op_ids or op_id in self.submit_queue:
             return  # duplicate (invariant I1: never commit an op twice)
+        if not self.submit_queue:
+            # First op of a fresh batch: the accumulation window (when
+            # configured) runs from here.
+            self._queue_since = self.local_time
         self.submit_queue[op_id] = instance
         if self.obs is not None:
             self._submit_times[op_id] = self.sim.now
@@ -529,24 +537,54 @@ class ChtReplica(Process):
                     return
                 continue
             deadline = min(next_renewal, next_lazy)
+            if self.submit_queue and self._queue_since is not None:
+                # Accumulation window open: wake exactly when it closes
+                # so the waiting burst commits as one batch.
+                deadline = min(
+                    deadline, self._queue_since + cfg.batch_window
+                )
             timeout = max(deadline - self.local_time, cfg.leader_loop_period)
-            yield from self._wait(
-                lambda: bool(self.submit_queue), timeout=timeout
-            )
+            yield from self._wait(self._batch_ready, timeout=timeout)
 
     def _drain_queue(self) -> Optional[frozenset]:
+        """Take the queued submissions for the next batch, or None while
+        the accumulation window is still open.
+
+        With ``batch_window > 0`` the leader holds the queue for up to
+        the window after the *first* submission of a batch arrived, so a
+        burst of submissions commits as one DoOps instead of a DoOps per
+        straggler — trading up to one window of latency for fewer
+        Prepare/ack/Commit rounds per committed operation.
+        """
         if not self.submit_queue:
             return None
+        window = self.config.batch_window
+        if window:
+            since = self._queue_since
+            if since is None:
+                # Ops queued before this tenure carry no window start
+                # (e.g. adopted across a leader change); open one now.
+                self._queue_since = self.local_time
+                return None
+            if self.local_time < since + window:
+                return None  # keep accumulating
         queued, self.submit_queue = self.submit_queue, {}
+        self._queue_since = None
         fresh = [
             inst for op_id, inst in queued.items()
             if op_id not in self.committed_op_ids
         ]
-        if self.config.batch_window:
-            # Re-queue and let the batch window accumulate more operations;
-            # the window is enforced by the caller's wait cadence.
-            pass
         return frozenset(fresh) if fresh else None
+
+    def _batch_ready(self) -> bool:
+        """Is there a batch _drain_queue would hand out right now?"""
+        if not self.submit_queue:
+            return False
+        window = self.config.batch_window
+        if not window:
+            return True
+        since = self._queue_since
+        return since is None or self.local_time >= since + window
 
     def _all_others(self) -> set[int]:
         return set(self._others)

@@ -76,7 +76,14 @@ class _MapState:
         return len(self._items)
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, _MapState) and self._items == other._items
+        if not isinstance(other, _MapState):
+            return False
+        # Checker memoization compares states constantly; when both
+        # hashes are already cached and differ, skip the dict compare.
+        if (self._hash is not None and other._hash is not None
+                and self._hash != other._hash):
+            return False
+        return self._items == other._items
 
     def __hash__(self) -> int:
         if self._hash is None:

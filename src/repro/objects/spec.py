@@ -130,6 +130,23 @@ class ObjectSpec(ABC):
     # ------------------------------------------------------------------
     # Optional helpers
     # ------------------------------------------------------------------
+    def fingerprint(self, state: Any) -> Hashable:
+        """A cheap hashable digest of ``state`` for checker memoization.
+
+        The linearizability checker memoizes visited configurations on
+        ``(remaining-operations, fingerprint(state))``, so two states
+        with equal fingerprints **must** be behaviourally identical —
+        a lossy digest would let the checker skip configurations it has
+        never explored and return a wrong NOT-linearizable verdict.
+
+        The default returns the state itself, which is correct whenever
+        states are hashable (the behavior the checker historically
+        relied on).  Object types whose states are unhashable or
+        expensive to hash override this with a compact canonical form
+        (e.g. a sorted tuple of items).
+        """
+        return state
+
     def enumerate_states(self) -> Iterable[Hashable]:
         """Yield the full state space, for finite objects only.
 

@@ -7,7 +7,11 @@ from .invariants import (
     LeaderIntervalMonitor,
     check_i2_i3,
 )
-from .linearizability import LinearizabilityResult, check_linearizable
+from .linearizability import (
+    LinearizabilityResult,
+    check_linearizable,
+    quiescent_segments,
+)
 
 __all__ = [
     "History",
@@ -18,4 +22,5 @@ __all__ = [
     "check_i2_i3",
     "LinearizabilityResult",
     "check_linearizable",
+    "quiescent_segments",
 ]

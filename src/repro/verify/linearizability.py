@@ -1,34 +1,84 @@
 """Linearizability checking.
 
-Implements the Wing & Gong search with memoization (caching visited
-``(remaining-operations, state)`` configurations), plus P-compositional
-partitioning for key-granular objects: when every operation of a history
-touches a single key, the history is linearizable iff each per-key
-sub-history is, which turns an exponential search into many small ones.
+A high-performance Wing & Gong search (see Aspnes' notes on the
+linearizability model) built from three layers:
 
-An operation left pending at the end of a run may have taken effect or not;
-the checker tries both (linearize it at some point, or drop it), per the
-standard completion semantics.
+**Iterative core.**  Instead of the textbook stack of
+``(remaining-mask, state, chosen + (i,))`` configurations — which copies
+an O(depth) tuple per push, re-scans all *n* entries per configuration
+for the minimum response, and memoizes raw states — the engine keeps a
+*single* mutable linearization path with O(1) undo.  Remaining entries
+live in two doubly-linked lists (dancing-links style, arrays of
+prev/next indices): one sorted by invocation time, one by response time.
+The minimum outstanding response is the head of the response list, so
+candidate enumeration walks the invocation list only as far as that
+bound; removing or restoring an entry on backtrack is four pointer
+writes.  Visited configurations are memoized on
+``(mask, spec.fingerprint(state))`` — the fingerprint hook lets object
+types supply a compact canonical form and falls back to the raw
+(hashable) state.
+
+**Quiescence segmentation.**  A history splits at every point where all
+earlier operations responded strictly before every later one invoked:
+any linearization must order the two sides wholesale, so the sides can
+be searched separately with the final state of segment *k* threaded
+into segment *k+1*.  Because a segment may admit several valid final
+states (two overlapping writes complete in either order), intermediate
+segments are searched in *frontier* mode — collecting every reachable
+final state — and the chain advances a small frontier of
+``(state, witness-prefix)`` pairs.  A 200-op soak history thus becomes
+many tiny searches instead of one exponential one.  Segmentation
+composes with P-compositional per-key partitioning: partition first,
+then segment each sub-history.
+
+**Parallel layer.**  With ``workers``, per-key sub-histories fan out
+over the :mod:`repro.analysis.parallel` process pool; results merge in
+deterministic key order, so a parallel check returns the identical
+verdict (same first-failing key, same reason) as a serial one.
+Segments within one sub-history stay sequential — the state threading
+is inherently ordered — but each is cheap once segmented.
+
+An operation left pending at the end of a run may have taken effect or
+not; the checker tries both (linearize it at some point, or drop it),
+per the standard completion semantics.  Exhausting the configuration
+budget yields a structured *undecided* result (``result.undecided``)
+rather than a wrong verdict; pass ``raise_on_limit=True`` to get the
+historical ``RuntimeError`` instead.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional, Sequence
+from typing import Any, Optional
 
 from ..objects.spec import ObjectSpec
 from .history import History, HistoryEntry
 
-__all__ = ["check_linearizable", "LinearizabilityResult"]
+__all__ = [
+    "check_linearizable",
+    "LinearizabilityResult",
+    "quiescent_segments",
+]
+
+_INF = float("inf")
 
 
 class LinearizabilityResult:
-    """Outcome of a check; truthy iff linearizable."""
+    """Outcome of a check; truthy iff linearizable.
+
+    ``undecided`` is set when the search gave up at its configuration
+    budget: the history was neither proved linearizable nor proved
+    broken.  ``configurations`` counts memoized configurations explored
+    (across all segments and frontier states of one history check).
+    """
 
     def __init__(self, ok: bool, witness: Optional[list[HistoryEntry]] = None,
-                 reason: str = ""):
+                 reason: str = "", undecided: bool = False,
+                 configurations: int = 0):
         self.ok = ok
         self.witness = witness  # a valid linearization order, when found
         self.reason = reason
+        self.undecided = undecided
+        self.configurations = configurations
 
     def __bool__(self) -> bool:
         return self.ok
@@ -36,6 +86,11 @@ class LinearizabilityResult:
     def __repr__(self) -> str:
         if self.ok:
             return "<linearizable>"
+        if self.undecided:
+            return (
+                f"<UNDECIDED after {self.configurations} configurations: "
+                f"{self.reason}>"
+            )
         return f"<NOT linearizable: {self.reason}>"
 
 
@@ -44,6 +99,9 @@ def check_linearizable(
     history: History,
     partition_by_key: bool = False,
     max_configurations: int = 2_000_000,
+    raise_on_limit: bool = False,
+    segment: bool = True,
+    workers: Optional[int] = None,
 ) -> LinearizabilityResult:
     """Check a history against an object specification.
 
@@ -54,8 +112,19 @@ def check_linearizable(
         operation touches a single key (the helper refuses otherwise), and
         when per-key sub-objects are independent — true for the KV store.
     max_configurations:
-        Upper bound on memoized configurations before giving up; a bound
-        breach raises rather than returning a wrong verdict.
+        Upper bound on memoized configurations per (sub-)history before
+        giving up.  A breach returns an ``undecided`` result — never a
+        wrong verdict.
+    raise_on_limit:
+        Opt back into the historical behavior of raising ``RuntimeError``
+        on a budget breach instead of returning ``undecided``.
+    segment:
+        Enable quiescence segmentation (on by default; off is only
+        useful for benchmarking the raw search).
+    workers:
+        Fan per-key sub-history checks over a process pool of this size.
+        ``None`` or ``1`` checks serially; verdicts are identical either
+        way.
     """
     if partition_by_key:
         partitions = _partition_by_key(history)
@@ -63,13 +132,70 @@ def check_linearizable(
             raise ValueError(
                 "history contains multi-key operations; cannot partition"
             )
-        for key, sub in sorted(partitions.items(), key=lambda kv: repr(kv[0])):
-            result = _check_whole(spec, sub, max_configurations)
+        items = sorted(partitions.items(), key=lambda kv: repr(kv[0]))
+        results = _map_subchecks(
+            spec, [sub for _, sub in items], max_configurations, segment,
+            workers,
+        )
+        total = 0
+        for (key, _), result in zip(items, results):
+            total += result.configurations
             if not result.ok:
+                if result.undecided and raise_on_limit:
+                    raise RuntimeError(
+                        f"linearizability search exceeded "
+                        f"{max_configurations} configurations on the "
+                        f"sub-history for key {key!r}"
+                    )
                 result.reason = f"sub-history for key {key!r}: {result.reason}"
+                result.configurations = total
                 return result
-        return LinearizabilityResult(True)
-    return _check_whole(spec, history, max_configurations)
+        return LinearizabilityResult(True, configurations=total)
+    result = _check_whole(spec, history, max_configurations, segment)
+    if result.undecided and raise_on_limit:
+        raise RuntimeError(
+            f"linearizability search exceeded {max_configurations} "
+            f"configurations on a history of {len(history)} operations"
+        )
+    return result
+
+
+# ----------------------------------------------------------------------
+# Quiescence segmentation
+# ----------------------------------------------------------------------
+
+
+def quiescent_segments(
+    entries: list[HistoryEntry],
+) -> list[list[HistoryEntry]]:
+    """Split a history at its quiescence points.
+
+    Returns the entries sorted by invocation time and cut wherever every
+    earlier operation responded *strictly* before every later one
+    invoked.  The strictness matters: ``responded_at == invoked_at``
+    means the two operations are concurrent (real-time precedence is
+    ``responded_at < invoked_at``), so such a pair must stay in one
+    segment.  A pending operation never responds, so nothing after its
+    invocation is ever split off — pending operations always sit in the
+    final segment.
+    """
+    ordered = sorted(entries, key=lambda e: e.invoked_at)
+    segments: list[list[HistoryEntry]] = []
+    current: list[HistoryEntry] = []
+    max_responded = -_INF
+    for entry in ordered:
+        if current and max_responded < entry.invoked_at:
+            segments.append(current)
+            current = []
+        current.append(entry)
+        responded = (
+            entry.responded_at if entry.responded_at is not None else _INF
+        )
+        if responded > max_responded:
+            max_responded = responded
+    if current:
+        segments.append(current)
+    return segments
 
 
 # ----------------------------------------------------------------------
@@ -77,77 +203,294 @@ def check_linearizable(
 # ----------------------------------------------------------------------
 
 
+class _LimitReached(Exception):
+    """Internal: the shared configuration budget ran out."""
+
+
+class _Found(Exception):
+    """Internal: a complete linearization was reached in decide mode."""
+
+
+class _Budget:
+    """Configuration counter shared by every search of one history."""
+
+    __slots__ = ("used", "limit")
+
+    def __init__(self, limit: int) -> None:
+        self.used = 0
+        self.limit = limit
+
+    def charge(self) -> None:
+        self.used += 1
+        if self.used > self.limit:
+            raise _LimitReached
+
+
 def _check_whole(
-    spec: ObjectSpec, history: History, max_configurations: int
+    spec: ObjectSpec,
+    history: History,
+    max_configurations: int,
+    segment: bool = True,
 ) -> LinearizabilityResult:
     entries = list(history)
     if not entries:
         return LinearizabilityResult(True, witness=[])
 
-    n = len(entries)
-    initial_state = spec.initial_state()
-
-    # Precompute the real-time precedence structure.  entry i must be
-    # linearized before entry j whenever i.responded_at < j.invoked_at.
-    responded = [
-        e.responded_at if e.responded_at is not None else float("inf")
-        for e in entries
+    segments = quiescent_segments(entries) if segment else [
+        sorted(entries, key=lambda e: e.invoked_at)
     ]
-    invoked = [e.invoked_at for e in entries]
-
-    full_mask = (1 << n) - 1
-    seen: set[tuple[int, Any]] = set()
-    # Depth-first search over (remaining-set, state); stack holds
-    # (mask, state, chosen-so-far) with chosen kept via parent pointers.
-    stack: list[tuple[int, Any, tuple]] = [(full_mask, initial_state, ())]
-
-    while stack:
-        mask, state, chosen = stack.pop()
-        if mask == 0:
-            witness = [entries[i] for i in chosen]
-            return LinearizabilityResult(True, witness=witness)
-        key = (mask, state)
-        if key in seen:
-            continue
-        seen.add(key)
-        if len(seen) > max_configurations:
-            raise RuntimeError(
-                f"linearizability search exceeded {max_configurations} "
-                f"configurations on a history of {n} operations"
-            )
-
-        # An operation is a candidate next linearization point iff no other
-        # remaining operation responded before it was invoked.
-        min_response = min(
-            responded[i] for i in range(n) if mask & (1 << i)
+    budget = _Budget(max_configurations)
+    # The frontier: every distinct state the already-linearized prefix
+    # of segments can end in, with one witness per state.
+    frontier: list[tuple[Any, list[HistoryEntry]]] = [
+        (spec.initial_state(), [])
+    ]
+    try:
+        for seg in segments[:-1]:
+            new_frontier: list[tuple[Any, list[HistoryEntry]]] = []
+            seen_fps: set[Any] = set()
+            for state, prefix in frontier:
+                finals = _search_frontier(spec, seg, state, budget)
+                for fp, (final_state, witness) in finals.items():
+                    if fp not in seen_fps:
+                        seen_fps.add(fp)
+                        new_frontier.append((final_state, prefix + witness))
+            if not new_frontier:
+                return LinearizabilityResult(
+                    False,
+                    reason="no valid linearization order exists",
+                    configurations=budget.used,
+                )
+            frontier = new_frontier
+        for state, prefix in frontier:
+            witness = _search_decide(spec, segments[-1], state, budget)
+            if witness is not None:
+                return LinearizabilityResult(
+                    True, witness=prefix + witness,
+                    configurations=budget.used,
+                )
+    except _LimitReached:
+        return LinearizabilityResult(
+            False,
+            reason=(
+                f"gave up after {budget.used} configurations "
+                f"(max_configurations={max_configurations})"
+            ),
+            undecided=True,
+            configurations=budget.used,
         )
-        remaining_all_pending = min_response == float("inf")
-        if remaining_all_pending:
-            # Every remaining op is pending; all may simply never take
-            # effect, so the history is linearizable.
-            witness = [entries[i] for i in chosen]
-            return LinearizabilityResult(True, witness=witness)
-
-        for i in range(n):
-            bit = 1 << i
-            if not mask & bit:
-                continue
-            if invoked[i] > min_response:
-                continue  # some remaining op responded before i was invoked
-            entry = entries[i]
-            new_state, response = spec.apply_any(state, entry.op)
-            if (not entry.pending and not entry.response_unknown
-                    and response != entry.response):
-                continue  # observed response inconsistent with this point
-            stack.append((mask & ~bit, new_state, chosen + (i,)))
-            if entry.pending:
-                # A pending op may also never take effect: drop it.
-                stack.append((mask & ~bit, state, chosen))
-
     return LinearizabilityResult(
         False,
         reason="no valid linearization order exists",
+        configurations=budget.used,
     )
+
+
+def _search_decide(
+    spec: ObjectSpec,
+    entries: list[HistoryEntry],
+    initial_state: Any,
+    budget: _Budget,
+) -> Optional[list[HistoryEntry]]:
+    """Find one valid linearization of ``entries`` from ``initial_state``.
+
+    Returns the witness (linearized entries in order, dropped pending
+    operations excluded) or None when no valid order exists.
+    """
+    return _search(spec, entries, initial_state, budget, collect=False)
+
+
+def _search_frontier(
+    spec: ObjectSpec,
+    entries: list[HistoryEntry],
+    initial_state: Any,
+    budget: _Budget,
+) -> dict[Any, tuple[Any, list[HistoryEntry]]]:
+    """Every distinct final state of a valid linearization of ``entries``.
+
+    Returns ``{fingerprint: (final_state, witness)}`` — empty when the
+    segment has no valid linearization from ``initial_state``.  Used for
+    intermediate quiescent segments, whose entries are all complete
+    (pending operations only ever occupy the final segment), though
+    pending entries are still handled correctly if present.
+    """
+    return _search(spec, entries, initial_state, budget, collect=True)
+
+
+def _search(
+    spec: ObjectSpec,
+    entries: list[HistoryEntry],
+    initial_state: Any,
+    budget: _Budget,
+    collect: bool,
+):
+    """The iterative Wing & Gong search over one segment.
+
+    One mutable path, explicit frame stack, O(1) undo.  ``collect=False``
+    returns the first witness found (or None); ``collect=True`` explores
+    the full configuration space and returns the final-state frontier.
+    """
+    n = len(entries)
+    invoked = [e.invoked_at for e in entries]
+    responded = [
+        e.responded_at if e.responded_at is not None else _INF
+        for e in entries
+    ]
+    is_pending = [e.responded_at is None for e in entries]
+    # A pending or compaction-lost response matches anything.
+    free_response = [e.pending or e.response_unknown for e in entries]
+    expected = [e.response for e in entries]
+    ops = [e.op for e in entries]
+    apply_any = spec.apply_any
+    fingerprint = spec.fingerprint
+
+    # Entries come sorted by invocation time (quiescent_segments sorts),
+    # so the invocation-ordered list is simply 0..n-1.  Two dancing-links
+    # lists with a shared sentinel S = n: unlinking/relinking an entry is
+    # O(1), and relinking in LIFO (backtrack) order restores the lists
+    # exactly because a node's own prev/next survive its removal.
+    S = n
+    inv_next = list(range(1, n + 1)) + [0]
+    inv_prev = list(range(-1, n))
+    inv_prev[0] = S
+    inv_next[S] = 0
+    inv_prev[S] = n - 1
+
+    resp_order = sorted(range(n), key=lambda i: (responded[i], i))
+    resp_next = [0] * (n + 1)
+    resp_prev = [0] * (n + 1)
+    chain = [S] + resp_order + [S]
+    for pos in range(1, len(chain) - 1):
+        node = chain[pos]
+        resp_prev[node] = chain[pos - 1]
+        resp_next[node] = chain[pos + 1]
+    resp_next[S] = chain[1]
+    resp_prev[S] = chain[-2]
+
+    def unlink(i: int) -> None:
+        a, b = inv_prev[i], inv_next[i]
+        inv_next[a] = b
+        inv_prev[b] = a
+        a, b = resp_prev[i], resp_next[i]
+        resp_next[a] = b
+        resp_prev[b] = a
+
+    def relink(i: int) -> None:
+        a, b = inv_prev[i], inv_next[i]
+        inv_next[a] = i
+        inv_prev[b] = i
+        a, b = resp_prev[i], resp_next[i]
+        resp_next[a] = i
+        resp_prev[b] = i
+
+    seen: set[tuple[int, Any]] = set()
+    finals: dict[Any, tuple[Any, list[HistoryEntry]]] = {}
+    mask = (1 << n) - 1
+    chosen: list[int] = []
+
+    def build_moves(state: Any) -> list[tuple[int, Any, bool]]:
+        """Candidate next linearization points from the current node.
+
+        A candidate is a remaining entry invoked at or before the
+        minimum outstanding response (no remaining operation really
+        finished before it began).  Each yields a "linearize here" move
+        when its observed response is consistent, plus — for pending
+        entries — a "never took effect" drop move.
+        """
+        min_response = responded[resp_next[S]]
+        moves: list[tuple[int, Any, bool]] = []
+        i = inv_next[S]
+        while i != S and invoked[i] <= min_response:
+            new_state, response = apply_any(state, ops[i])
+            if free_response[i] or response == expected[i]:
+                moves.append((i, new_state, True))
+            if is_pending[i]:
+                moves.append((i, state, False))
+            i = inv_next[i]
+        return moves
+
+    def enter(state: Any) -> Optional[list]:
+        """Process arrival at a node; return a new frame to expand, or
+        None when the node is terminal/memoized (caller backtracks)."""
+        if mask == 0:
+            if collect:
+                fp = fingerprint(state)
+                if fp not in finals:
+                    finals[fp] = (state, [entries[i] for i in chosen])
+                return None
+            raise _Found
+        if not collect and responded[resp_next[S]] == _INF:
+            # Every remaining op is pending; all may simply never take
+            # effect, so the history linearizes with the path so far.
+            raise _Found
+        key = (mask, fingerprint(state))
+        if key in seen:
+            return None
+        seen.add(key)
+        budget.charge()
+        # frame: [moves, ptr, applied-index, applied-was-linearized]
+        return [build_moves(state), 0, -1, False]
+
+    frames: list[list] = []
+    try:
+        frame = enter(initial_state)
+        if frame is not None:
+            frames.append(frame)
+        while frames:
+            frame = frames[-1]
+            applied = frame[2]
+            if applied >= 0:
+                # Undo the move whose subtree just finished.
+                relink(applied)
+                mask |= 1 << applied
+                if frame[3]:
+                    chosen.pop()
+                frame[2] = -1
+            moves, ptr = frame[0], frame[1]
+            if ptr >= len(moves):
+                frames.pop()
+                continue
+            i, child_state, linearized = moves[ptr]
+            frame[1] = ptr + 1
+            unlink(i)
+            mask &= ~(1 << i)
+            if linearized:
+                chosen.append(i)
+            frame[2] = i
+            frame[3] = linearized
+            child = enter(child_state)
+            if child is not None:
+                frames.append(child)
+    except _Found:
+        return [entries[i] for i in chosen]
+    if collect:
+        return finals
+    return None
+
+
+# ----------------------------------------------------------------------
+# Parallel fan-out over sub-histories
+# ----------------------------------------------------------------------
+
+
+def _sub_check_cell(args: tuple) -> LinearizabilityResult:
+    spec, sub, max_configurations, segment = args
+    return _check_whole(spec, sub, max_configurations, segment)
+
+
+def _map_subchecks(
+    spec: ObjectSpec,
+    subs: list[History],
+    max_configurations: int,
+    segment: bool,
+    workers: Optional[int],
+) -> list[LinearizabilityResult]:
+    cells = [(spec, sub, max_configurations, segment) for sub in subs]
+    if workers is not None and workers > 1 and len(cells) > 1:
+        from ..analysis.parallel import parallel_map
+
+        return parallel_map(_sub_check_cell, cells, workers=workers)
+    return [_sub_check_cell(cell) for cell in cells]
 
 
 # ----------------------------------------------------------------------

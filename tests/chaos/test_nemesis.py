@@ -106,3 +106,15 @@ def test_planted_bug_produces_failing_verdict():
             kinds.append(result.kind)
             break
     assert kinds == ["liveness"]
+
+
+def test_tiny_verify_budget_yields_undecided_verdict():
+    # A one-configuration budget cannot decide any non-trivial history:
+    # the verdict must be the structured "undecided" kind, not a crash
+    # and not a (wrong) linearizability failure.
+    runner = NemesisRunner(system="cht", n=3, num_clients=1,
+                           ops_per_client=3, max_configurations=1)
+    result = runner.run(FaultSchedule())
+    assert not result.ok
+    assert result.kind == "undecided"
+    assert "max_configurations=1" in result.detail

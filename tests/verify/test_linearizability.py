@@ -161,15 +161,37 @@ class TestPartitioning:
 
 
 class TestSearchLimits:
-    def test_configuration_cap_raises(self, reg):
+    @staticmethod
+    def _blowup():
         # Many overlapping concurrent operations blow up the search; the
         # checker must refuse rather than give a wrong answer.
         entries = []
         for i in range(24):
             entries.append(entry(write(i), None, 0, 1000, pid=i))
         entries.append(entry(read(), 23, 2000, 2001))
+        return History(entries)
+
+    def test_configuration_cap_returns_undecided(self, reg):
+        result = check_linearizable(reg, self._blowup(),
+                                    max_configurations=100)
+        assert not result
+        assert result.undecided
+        assert result.configurations > 100
+        assert "100" in result.reason
+
+    def test_configuration_cap_raises_when_opted_in(self, reg):
         with pytest.raises(RuntimeError):
-            check_linearizable(reg, History(entries), max_configurations=100)
+            check_linearizable(reg, self._blowup(), max_configurations=100,
+                               raise_on_limit=True)
+
+    def test_undecided_is_not_a_violation_verdict(self, reg):
+        result = check_linearizable(reg, self._blowup(),
+                                    max_configurations=100)
+        # An undecided result must be distinguishable from a proven
+        # violation: callers branch on .undecided before .ok.
+        assert result.undecided and not result.ok
+        decided = check_linearizable(reg, History([entry(read(), 7, 0, 1)]))
+        assert not decided.ok and not decided.undecided
 
 
 class TestHistoryValidation:

@@ -1,0 +1,203 @@
+"""Unit tests pinning quiescence-segmentation soundness.
+
+The segmenter may cut a history only where every earlier operation
+responded *strictly* before every later one invoked; anything looser
+would discard valid linearizations.  These tests pin the boundary
+semantics (including the off-by-one at ``responded_at == invoked_at``),
+the pending-operation rule, and the final-state frontier threading that
+makes multi-state segments sound.
+"""
+
+import pytest
+
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.objects.register import RegisterSpec, read, write
+from repro.objects.spec import ObjectSpec, Operation
+from repro.verify.history import History, HistoryEntry
+from repro.verify.linearizability import (
+    check_linearizable,
+    quiescent_segments,
+)
+
+REG = RegisterSpec(initial=0)
+
+
+def entry(op, response, start, end, pid=0):
+    return HistoryEntry(op=op, response=response, invoked_at=start,
+                        responded_at=end, pid=pid)
+
+
+def pending(op, start, pid=0):
+    return HistoryEntry(op=op, response=None, invoked_at=start,
+                        responded_at=None, pid=pid)
+
+
+class TestBoundaries:
+    def test_disjoint_ops_split(self):
+        a = entry(write(1), None, 0, 5)
+        b = entry(read(), 1, 6, 10)
+        assert quiescent_segments([a, b]) == [[a], [b]]
+
+    def test_op_invoked_exactly_at_response_time_is_not_split(self):
+        # responded_at == invoked_at means *concurrent* (real-time
+        # precedence is strict), so the pair must share a segment.
+        a = entry(write(1), None, 0, 5)
+        b = entry(read(), 0, 5, 10)
+        assert quiescent_segments([a, b]) == [[a, b]]
+        # The verdict must allow the read to linearize first.
+        assert check_linearizable(REG, History([a, b]))
+
+    def test_split_happens_just_past_the_response(self):
+        a = entry(write(1), None, 0, 5)
+        b = entry(read(), 1, 5.0001, 10)
+        assert quiescent_segments([a, b]) == [[a], [b]]
+
+    def test_overlapping_ops_stay_together(self):
+        a = entry(write(1), None, 0, 10)
+        b = entry(read(), 0, 5, 6)
+        c = entry(read(), 1, 20, 21)
+        assert quiescent_segments([a, b, c]) == [[a, b], [c]]
+
+    def test_pending_op_merges_everything_after_it(self):
+        a = entry(write(1), None, 0, 5)
+        p = pending(write(2), 6)
+        b = entry(read(), 2, 100, 101)
+        c = entry(read(), 2, 200, 201)
+        assert quiescent_segments([a, p, b, c]) == [[a], [p, b, c]]
+
+    def test_entries_are_sorted_by_invocation(self):
+        a = entry(write(1), None, 0, 5)
+        b = entry(read(), 1, 6, 10)
+        assert quiescent_segments([b, a]) == [[a], [b]]
+
+    def test_chain_of_sequential_ops_fully_segments(self):
+        entries = [entry(write(i), None, 10 * i, 10 * i + 5, pid=i)
+                   for i in range(8)]
+        assert quiescent_segments(entries) == [[e] for e in entries]
+
+
+class TestFrontierThreading:
+    """A segment can end in several states; the chain must try them all."""
+
+    def _two_writes(self):
+        # Both writes complete, fully overlapping: the segment's final
+        # state is 1 or 2 depending on linearization order.
+        return [
+            entry(write(1), None, 0, 10, pid=1),
+            entry(write(2), None, 0, 10, pid=2),
+        ]
+
+    def test_later_read_may_observe_either_final_state(self):
+        for seen in (1, 2):
+            h = History(self._two_writes() + [entry(read(), seen, 20, 21)])
+            assert check_linearizable(REG, h), seen
+
+    def test_later_read_of_unwritten_value_rejected(self):
+        h = History(self._two_writes() + [entry(read(), 7, 20, 21)])
+        assert not check_linearizable(REG, h)
+
+    def test_frontier_threads_across_multiple_segments(self):
+        # Segment 1 ends in {1, 2}; segment 2's write(3) collapses the
+        # frontier; segment 3's read pins it.
+        h = History(
+            self._two_writes()
+            + [entry(write(3), None, 20, 21)]
+            + [entry(read(), 3, 30, 31)]
+        )
+        assert check_linearizable(REG, h)
+        h_bad = History(
+            self._two_writes()
+            + [entry(write(3), None, 20, 21)]
+            + [entry(read(), 1, 30, 31)]  # overwritten value
+        )
+        assert not check_linearizable(REG, h_bad)
+
+    def test_segmented_and_unsegmented_agree(self):
+        cases = [
+            History(self._two_writes() + [entry(read(), 2, 20, 21)]),
+            History(self._two_writes() + [entry(read(), 7, 20, 21)]),
+            History([entry(write(1), None, 0, 5), pending(write(2), 6),
+                     entry(read(), 2, 50, 51)]),
+        ]
+        for h in cases:
+            assert bool(check_linearizable(REG, h)) == \
+                bool(check_linearizable(REG, h, segment=False))
+
+
+class TestFingerprintHook:
+    """The memo key uses ObjectSpec.fingerprint, so a spec with
+    unhashable states works once it overrides the hook."""
+
+    class DictSpec(ObjectSpec):
+        # States are plain (unhashable) dicts; fingerprint canonicalizes.
+        name = "dictmap"
+
+        def initial_state(self):
+            return {}
+
+        def apply(self, state, op):
+            if op.name == "dget":
+                return state, state.get(op.args[0])
+            new = dict(state)
+            new[op.args[0]] = op.args[1]
+            return new, None
+
+        def is_read(self, op):
+            return op.name == "dget"
+
+        def fingerprint(self, state):
+            return tuple(sorted(state.items()))
+
+    def test_unhashable_states_check_via_fingerprint(self):
+        spec = self.DictSpec()
+        h = History([
+            entry(Operation("dput", ("k", 1)), None, 0, 1),
+            entry(Operation("dget", ("k",)), 1, 2, 3),
+        ])
+        assert check_linearizable(spec, h)
+        h_bad = History([
+            entry(Operation("dput", ("k", 1)), None, 0, 1),
+            entry(Operation("dget", ("k",)), 2, 2, 3),
+        ])
+        assert not check_linearizable(spec, h_bad)
+
+    def test_default_fingerprint_is_the_state(self):
+        assert REG.fingerprint(41) == 41
+
+
+class TestParallelSubchecks:
+    def test_parallel_and_serial_verdicts_identical(self):
+        spec = KVStoreSpec()
+        entries = []
+        t = 0.0
+        for i in range(12):
+            key = "abc"[i % 3]
+            entries.append(entry(put(key, i), None, t, t + 1, pid=i))
+            entries.append(entry(get(key), i, t + 2, t + 3, pid=100 + i))
+            t += 5.0
+        h = History(entries)
+        serial = check_linearizable(spec, h, partition_by_key=True)
+        fanned = check_linearizable(spec, h, partition_by_key=True,
+                                    workers=3)
+        assert bool(serial) == bool(fanned) is True
+
+        # Break one key; both paths must name the same sub-history.
+        bad = entries[:1] + [entry(get("a"), 999, 2, 3, pid=50)] + entries[1:]
+        serial = check_linearizable(spec, History(bad), partition_by_key=True)
+        fanned = check_linearizable(spec, History(bad), partition_by_key=True,
+                                    workers=3)
+        assert not serial and not fanned
+        assert serial.reason == fanned.reason
+
+    def test_partitioned_undecided_raises_only_on_opt_in(self):
+        spec = KVStoreSpec()
+        entries = [entry(put("a", i), None, 0, 1000, pid=i)
+                   for i in range(20)]
+        entries.append(entry(get("a"), 19, 2000, 2001))
+        h = History(entries)
+        result = check_linearizable(spec, h, partition_by_key=True,
+                                    max_configurations=50)
+        assert result.undecided and "'a'" in result.reason
+        with pytest.raises(RuntimeError):
+            check_linearizable(spec, h, partition_by_key=True,
+                               max_configurations=50, raise_on_limit=True)
