@@ -40,15 +40,20 @@ def _soak_cell(args: tuple) -> NemesisResult:
     """One soak cell: generate schedule ``index`` and run it.
 
     Module-level (picklable) and self-contained so it executes
-    identically in a forked worker and in the parent process.
+    identically in a forked worker and in the parent process.  Cells are
+    8-tuples historically; sharded soaks append ``(groups, handoffs)``,
+    and older 8-tuple callers keep working.
     """
-    (system, n, clients, horizon, seed, ops_per_client, bug, index) = args
+    (system, n, clients, horizon, seed, ops_per_client, bug, index,
+     *rest) = args
+    groups, handoffs = rest if rest else (2, 1)
     generator = ScheduleGenerator(
         n=n, num_clients=clients, horizon=horizon, seed=seed,
     )
     runner = NemesisRunner(
         system=system, n=n, num_clients=clients, seed=seed, horizon=horizon,
         ops_per_client=ops_per_client, bug=bug,
+        groups=groups, handoffs=handoffs,
     )
     return runner.run(generator.generate(index))
 
@@ -72,6 +77,11 @@ def _build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--horizon", type=float, default=2500.0)
     soak.add_argument("--bug", default=None,
                       help="plant a bug switch (e.g. skip_reply_cache)")
+    soak.add_argument("--groups", type=int, default=2,
+                      help="CHT groups per sharded run (system=sharded)")
+    soak.add_argument("--handoffs", type=int, default=1,
+                      help="fenced handoffs fired mid-schedule per "
+                           "sharded run (system=sharded)")
     soak.add_argument("--artifact", default="chaos-repro.json",
                       help="where to write the shrunken repro on failure")
     soak.add_argument("--shrink-budget", type=int, default=200)
@@ -100,7 +110,8 @@ def _soak(args: argparse.Namespace) -> int:
         sys_undecided = 0
         cells = [
             (system, args.n, args.clients, args.horizon, args.seed,
-             args.ops_per_client, args.bug, index)
+             args.ops_per_client, args.bug, index, args.groups,
+             args.handoffs)
             for index in range(args.schedules)
         ]
         # Stream verdicts in index order; workers simulate+verify ahead.
@@ -137,6 +148,7 @@ def _soak(args: argparse.Namespace) -> int:
                 system=system, n=args.n, num_clients=args.clients,
                 seed=args.seed, horizon=args.horizon,
                 ops_per_client=args.ops_per_client, bug=args.bug,
+                groups=args.groups, handoffs=args.handoffs,
             )
             schedule = generator.generate(index)
             print(

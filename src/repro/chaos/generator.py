@@ -106,10 +106,24 @@ class ScheduleGenerator:
             self._gen_delay_burst(rng, start_span, heal_by)
             for _ in range(rng.randint(0, 2))
         ]
-        desyncs = [
-            self._gen_desync(rng, start_span, heal_by)
-            for _ in range(rng.randint(0, 2))
-        ]
+        desyncs: list[ClockDesync] = []
+        for _ in range(rng.randint(0, 2)):
+            candidate = self._gen_desync(rng, start_span, heal_by)
+            # Clock segments must be appended in time order, and a resync
+            # keeps appending until its catch-up completes (~1.1x the jump
+            # past ``end`` — the same margin last_disruption budgets), so
+            # a second desync of the same clock may not begin inside an
+            # earlier one's active-plus-catch-up window.  The candidate
+            # consumed its rng draws either way, so dropping it never
+            # perturbs healthy schedules at other indices.
+            if any(
+                d.pid == candidate.pid
+                and candidate.start < self._desync_clear(d)
+                and d.start < self._desync_clear(candidate)
+                for d in desyncs
+            ):
+                continue
+            desyncs.append(candidate)
 
         schedule = FaultSchedule(
             crashes=crashes,
@@ -236,6 +250,13 @@ class ScheduleGenerator:
         low = rng.uniform(0.5 * self.delta, self.delta)
         high = rng.uniform(low, 3.0 * self.delta)
         return DelayBurstWindow(start=start, end=end, low=low, high=high)
+
+    @staticmethod
+    def _desync_clear(desync: ClockDesync) -> float:
+        """The real time by which the desynced clock is fully back."""
+        if desync.end is None:
+            return _INF
+        return desync.end + 1.1 * desync.jump
 
     def _gen_desync(
         self, rng: random.Random, start_span: float, heal_by: float

@@ -34,14 +34,22 @@ from ..core.client import ChtCluster
 from ..core.config import ChtConfig
 from ..objects.kvstore import KVStoreSpec, delete, get, increment, put
 from ..objects.spec import Operation
+from ..shard.cluster import ShardedCluster
+from ..shard.router import Router
+from ..shard.spec import WrongShard
 from ..sim.failures import FaultSchedule
 from ..sim.tasks import Future, Sleep
+from ..verify.history import History
 from ..verify.invariants import check_i2_i3
 from ..verify.linearizability import check_linearizable
 
 __all__ = ["NemesisResult", "NemesisRunner", "last_disruption", "SYSTEMS"]
 
-SYSTEMS = ("cht", "multipaxos")
+SYSTEMS = ("cht", "multipaxos", "sharded")
+
+#: Slot count of every nemesis-built sharded cluster.  Fixed so that a
+#: verdict stays a pure function of (system, seed, schedule, workload).
+SHARD_SLOTS = 16
 
 
 def last_disruption(schedule: FaultSchedule) -> float:
@@ -111,12 +119,18 @@ class NemesisRunner:
         obs: bool = True,
         verify_workers: Optional[int] = None,
         max_configurations: int = 2_000_000,
+        groups: int = 2,
+        handoffs: int = 1,
     ) -> None:
         if system not in SYSTEMS:
             raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}")
         self.system = system
         self.n = n
         self.num_clients = num_clients
+        # Sharded runs only: group count and how many fenced handoffs the
+        # runner fires while the fault schedule is playing out.
+        self.groups = groups
+        self.handoffs = handoffs
         self.seed = seed
         self.horizon = horizon
         self.ops_per_client = ops_per_client
@@ -164,6 +178,8 @@ class NemesisRunner:
         return result
 
     def _run_checked(self, schedule: FaultSchedule) -> NemesisResult:
+        if self.system == "sharded":
+            return self._run_sharded(schedule)
         spec = KVStoreSpec()
         cluster, probe = self._build(spec)
         if self.bug:
@@ -231,6 +247,207 @@ class NemesisRunner:
                 ops_completed=expected,
             )
         return NemesisResult(True, ops_completed=expected)
+
+    # ------------------------------------------------------------------
+    # Sharded runs
+    # ------------------------------------------------------------------
+    def _run_sharded(self, schedule: FaultSchedule) -> NemesisResult:
+        """One sharded run: G CHT groups, routed workloads, mid-schedule
+        fenced handoffs, and the shard-aware verdict pipeline.
+
+        The same fault schedule is armed once per group (each arm call
+        forks fresh randomness, so the groups see distinct loss/dup
+        windows at the same planned times), which means every group
+        fights the same weather while handoffs are in flight.  On top of
+        the per-group I1/I2/I3 checks, a sharded run must satisfy:
+
+        * **ownership convergence** — after the last heal, the groups'
+          applied owned-slot sets form a disjoint, complete partition of
+          the slot space;
+        * **global linearizability** — the union of every router's
+          history linearizes against the *inner* (unsharded) spec, so a
+          read answered from a frozen range or a doubly-applied redirect
+          is caught as an ordinary linearizability violation;
+        * **structural exactly-once** — every routed operation saw
+          exactly one committed non-WrongShard reply across all groups.
+        """
+        spec = KVStoreSpec()
+        cluster = ShardedCluster(
+            spec,
+            ChtConfig(n=self.n),
+            num_groups=self.groups,
+            num_slots=SHARD_SLOTS,
+            seed=self.seed,
+            num_clients=self.num_clients,
+            obs=self.obs,
+        )
+        self.last_obs = cluster.obs
+        if self.bug:
+            for group in cluster.groups:
+                for replica in group.replicas:
+                    replica.bug_switches.add(self.bug)
+        cluster.start()
+        for group in cluster.groups:
+            schedule.arm(
+                cluster.sim,
+                group.net,
+                list(group.replicas) + list(group.clients),
+                clocks=group.clocks,
+                leader_probe=self._cht_probe(group),
+            )
+
+        routers = [cluster.router(i) for i in range(self.num_clients)]
+        futures: list[Future] = []
+        expected = self.num_clients * self.ops_per_client
+        for i, router in enumerate(routers):
+            ops = self._client_ops(cluster.sim.fork_rng(f"chaos-ops-{i}"))
+            think_rng = cluster.sim.fork_rng(f"chaos-think-{i}")
+            router._host.spawn(
+                self._workload(router, ops, think_rng, futures),
+                name=f"workload{i}",
+            )
+
+        # Handoffs fire at fixed fractions of the horizon — deliberately
+        # inside the window where the fault schedule is active, so leader
+        # crashes race freeze/install commits.
+        handoff_futures: list[Future] = []
+        if self.handoffs:
+            times = [
+                self.horizon * (j + 1) / (self.handoffs + 1)
+                for j in range(self.handoffs)
+            ]
+            pairs = [
+                (j % self.groups, (j + 1) % self.groups)
+                for j in range(self.handoffs)
+            ]
+            cluster.coordinator(0).spawn(
+                self._handoff_driver(cluster, times, pairs, handoff_futures),
+                name="handoff-driver",
+            )
+
+        settle = max(self.horizon, last_disruption(schedule))
+        cluster.sim.run(until=settle)
+
+        def all_done() -> bool:
+            return (
+                len(futures) == expected
+                and all(f.done for f in futures)
+                and len(handoff_futures) == self.handoffs
+                and all(f.done for f in handoff_futures)
+            )
+
+        cluster.sim.run(until=settle + self.liveness_bound, stop_when=all_done)
+
+        for group in cluster.groups:
+            check_i2_i3(group.replicas)
+
+        if not all_done():
+            completed = sum(1 for f in futures if f.done)
+            handoffs_done = sum(1 for f in handoff_futures if f.done)
+            return NemesisResult(
+                False,
+                "liveness",
+                f"{completed}/{expected} ops and {handoffs_done}/"
+                f"{self.handoffs} handoffs completed within "
+                f"{self.liveness_bound} of last heal (t={settle}); "
+                f"{cluster.describe()}",
+                ops_completed=completed,
+            )
+
+        # Ownership convergence: replicas may trail the committed
+        # freeze/install batches when the liveness phase ends, so give
+        # catch-up (retransmission, snapshot transfer) one more bounded
+        # quiet window before asserting.
+        def converged() -> bool:
+            slot_sets = [
+                cluster.owned_slots(g) for g in range(self.groups)
+            ]
+            union = frozenset().union(*slot_sets)
+            return (
+                sum(len(s) for s in slot_sets) == len(union)
+                and union == frozenset(range(SHARD_SLOTS))
+            )
+
+        cluster.run_until(converged, timeout=self.liveness_bound)
+        assert converged(), (
+            "shard ownership did not converge to a disjoint, complete "
+            f"partition after heal: "
+            + " ".join(
+                f"g{g}={sorted(cluster.owned_slots(g))}"
+                for g in range(self.groups)
+            )
+        )
+
+        self._check_exactly_once(routers)
+
+        history = History(
+            entry for router in routers
+            for entry in History.from_stats(router.stats)
+        )
+        result = check_linearizable(
+            spec, history, partition_by_key=True,
+            max_configurations=self.max_configurations,
+            workers=self.verify_workers,
+        )
+        if result.undecided:
+            return NemesisResult(
+                False, "undecided", str(result.reason),
+                ops_completed=expected,
+            )
+        if not result.ok:
+            return NemesisResult(
+                False, "linearizability", str(result.reason),
+                ops_completed=expected,
+            )
+        return NemesisResult(True, ops_completed=expected)
+
+    @staticmethod
+    def _cht_probe(cluster: ChtCluster) -> Callable[[], Optional[int]]:
+        """Leader probe over one CHT group (for targeted LeaderCrash)."""
+
+        def probe() -> Optional[int]:
+            leader = cluster.leader()
+            if leader is not None:
+                return leader.pid
+            for replica in cluster.replicas:
+                if not replica.crashed:
+                    return replica.leader_service.believed_leader()
+            return None
+
+        return probe
+
+    @staticmethod
+    def _handoff_driver(
+        cluster: ShardedCluster,
+        times: list[float],
+        pairs: list[tuple[int, int]],
+        handoff_futures: list[Future],
+    ) -> Generator:
+        """Fire each planned handoff at its time, strictly in sequence."""
+        for at, (src, dst) in zip(times, pairs):
+            remaining = at - cluster.sim.now
+            if remaining > 0:
+                yield Sleep(remaining)
+            future = cluster.spawn_handoff(src, dst)
+            handoff_futures.append(future)
+            yield future
+
+    @staticmethod
+    def _check_exactly_once(routers: list[Router]) -> None:
+        """Every routed op saw exactly one non-WrongShard committed reply
+        across all its attempts — the structural form of 'no op lost, no
+        op doubly applied, none answered from a frozen range'."""
+        for router in routers:
+            for op_id, attempts in sorted(router.attempts.items()):
+                real = [
+                    (gid, value) for gid, value in attempts
+                    if not isinstance(value, WrongShard)
+                ]
+                assert len(real) == 1, (
+                    f"op {op_id} saw {len(real)} non-WrongShard replies "
+                    f"across groups (attempts: {attempts}); exactly-once "
+                    "across shards violated"
+                )
 
     # ------------------------------------------------------------------
     def _build(self, spec: KVStoreSpec) -> tuple[Any, Callable[[], Optional[int]]]:

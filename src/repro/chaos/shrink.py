@@ -225,6 +225,8 @@ def save_artifact(
         "ops_per_client": runner.ops_per_client,
         "liveness_bound": runner.liveness_bound,
         "bug": runner.bug,
+        "groups": runner.groups,
+        "handoffs": runner.handoffs,
         "fault_count": schedule.fault_count(),
         "logical_faults": len(logical_faults(schedule)),
         "schedule": schedule_to_dict(schedule),
@@ -257,6 +259,9 @@ def load_artifact(path: str) -> tuple[NemesisRunner, FaultSchedule, dict]:
         ops_per_client=artifact["ops_per_client"],
         liveness_bound=artifact["liveness_bound"],
         bug=artifact["bug"],
+        # Sharded-run keys; absent from pre-sharding artifacts.
+        groups=artifact.get("groups", 2),
+        handoffs=artifact.get("handoffs", 1),
     )
     return runner, schedule_from_dict(artifact["schedule"]), artifact
 

@@ -69,10 +69,11 @@ class ClientSession(Process):
         n: int,
         stats: RunStats,
         retry_period: float,
+        site: Optional[str] = None,
     ) -> None:
         if pid < n:
             raise ValueError("client session pids must lie above the replicas")
-        super().__init__(pid, sim, net, clocks)
+        super().__init__(pid, sim, net, clocks, site=site)
         self.spec = spec
         self.n = n
         self.stats = stats
@@ -150,11 +151,19 @@ class ChtCluster:
         omega_factory: Optional[Callable[["ChtReplica"], Any]] = None,
         monitors: bool = True,
         num_clients: int = 0,
-        obs: bool = False,
+        obs: "bool | ObsContext" = False,
+        sim: Optional[Simulator] = None,
+        site: Optional[str] = None,
     ) -> None:
         self.spec = spec
         self.config = config or ChtConfig()
-        self.sim = Simulator(seed=seed)
+        # Multi-group deployments (repro.shard) run several clusters over
+        # one shared simulator so their events interleave in one timeline;
+        # ordinary runs own their simulator.  ``site`` labels this group's
+        # processes and telemetry in such shared runs, and ``obs`` may then
+        # be a pre-attached shared ObsContext instead of a bool.
+        self.sim = sim if sim is not None else Simulator(seed=seed)
+        self.site = site
         # Client sessions get clocks too (pids n..n+num_clients-1).  The
         # replica offsets are drawn first from the same stream, so adding
         # clients never perturbs the replicas' clocks for a given seed.
@@ -174,12 +183,14 @@ class ChtCluster:
             pre_gst_delay=pre_gst_delay,
             pre_gst_drop_prob=pre_gst_drop_prob,
         )
-        # Observability opts in per cluster (``obs=True``).  The context
-        # must be attached before the replicas are constructed — each
-        # Process caches ``sim.obs`` once at build time.
-        self.obs: Optional[ObsContext] = (
-            ObsContext(self.sim, net=self.net) if obs else None
-        )
+        # Observability opts in per cluster (``obs=True``), or arrives as a
+        # shared, already-attached ObsContext in multi-group runs.  Either
+        # way the context must exist before the replicas are constructed —
+        # each Process caches ``sim.obs`` once at build time.
+        if isinstance(obs, ObsContext):
+            self.obs: Optional[ObsContext] = obs
+        else:
+            self.obs = ObsContext(self.sim, net=self.net) if obs else None
         self.stats = RunStats()
         self.leader_monitor = LeaderIntervalMonitor() if monitors else None
         self.batch_monitor = BatchMonitor() if monitors else None
@@ -198,6 +209,7 @@ class ChtCluster:
                 self.config.n,
                 self.stats,
                 retry_period=self.config.retry_period,
+                site=site,
             )
             for i in range(num_clients)
         ]
@@ -213,6 +225,7 @@ class ChtCluster:
             stats=self.stats,
             leader_monitor=self.leader_monitor,
             batch_monitor=self.batch_monitor,
+            site=self.site,
         )
         if self._omega_factory is not None:
             replica.leader_service.omega = self._omega_factory(replica)

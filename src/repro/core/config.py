@@ -46,6 +46,14 @@ class ChtConfig:
     batch_window:
         How long the leader accumulates submitted operations before
         proposing the next batch (0 proposes as soon as any work exists).
+    max_batch_size:
+        Cap on the number of operations committed per batch (0 =
+        unbounded, the historical behavior).  An unbounded batch lets a
+        single leader absorb any closed-loop load in one DoOps round, so
+        capping is what makes one group's commit pipeline a measurable
+        bottleneck — the sharding benchmark uses it to show throughput
+        scaling with the number of groups.  Excess submissions stay
+        queued and commit in subsequent batches, in op-id order.
     compaction_interval / compaction_retain:
         Log compaction: once more than ``compaction_interval`` batches
         have been applied since the last snapshot, the replica snapshots
@@ -67,6 +75,7 @@ class ChtConfig:
     retry_period: float = field(default=0.0)
     leader_loop_period: float = 1.0
     batch_window: float = 0.0
+    max_batch_size: int = 0
     compaction_interval: int = 100
     compaction_retain: int = 32
 
@@ -97,6 +106,8 @@ class ChtConfig:
                 "lease_period must exceed epsilon + lease_renewal, or "
                 "fast-clocked holders see every lease as already expired"
             )
+        if self.max_batch_size < 0:
+            raise ValueError("max_batch_size must be non-negative")
         if self.compaction_interval < 0 or self.compaction_retain < 0:
             raise ValueError("compaction parameters must be non-negative")
         if self.compaction_interval and self.compaction_retain < 1:

@@ -97,12 +97,17 @@ class ChtReplica(Process):
         omega: Optional[OmegaDetector] = None,
         leader_monitor: Optional[LeaderIntervalMonitor] = None,
         batch_monitor: Optional[BatchMonitor] = None,
+        site: Optional[str] = None,
     ) -> None:
-        super().__init__(pid, sim, net, clocks)
+        super().__init__(pid, sim, net, clocks, site=site)
         self.spec = spec
         self.config = config
         self.stats = stats if stats is not None else RunStats()
         self.batch_monitor = batch_monitor
+        # Extra metric/span labels in multi-group runs (pids collide
+        # across groups); empty — so metric names stay unchanged — in
+        # ordinary single-group runs.
+        self._site_label = {} if site is None else {"site": site}
 
         detector = omega or HeartbeatOmega(
             self, config.heartbeat_period, config.heartbeat_timeout
@@ -389,8 +394,12 @@ class ChtReplica(Process):
         obs = self.obs
         span = None
         if obs is not None:
-            span = obs.tracer.begin("tenure", "leader", self.pid, t=t)
-            obs.registry.counter("tenures_total", pid=self.pid).inc()
+            span = obs.tracer.begin(
+                "tenure", "leader", self.pid, t=t, **self._site_label
+            )
+            obs.registry.counter(
+                "tenures_total", pid=self.pid, **self._site_label
+            ).inc()
         try:
             # --- initialization (lines 26-36) -------------------------
             replies = yield from self._collect_estimates(t)
@@ -444,6 +453,7 @@ class ChtReplica(Process):
                 obs.registry.histogram(
                     "leader_dwell_ms",
                     buckets=(10.0, 100.0, 1_000.0, 10_000.0, 100_000.0),
+                    **self._site_label,
                 ).observe(span.end - span.start)
 
     def _collect_estimates(
@@ -568,8 +578,18 @@ class ChtReplica(Process):
                 return None
             if self.local_time < since + window:
                 return None  # keep accumulating
-        queued, self.submit_queue = self.submit_queue, {}
-        self._queue_since = None
+        cap = self.config.max_batch_size
+        if cap and len(self.submit_queue) > cap:
+            # Take the oldest ``cap`` submissions (op-id order is the
+            # deterministic in-batch application order, so it doubles as
+            # the fairness order here); the rest stay queued and anchor
+            # a fresh accumulation window.
+            take = sorted(self.submit_queue)[:cap]
+            queued = {op_id: self.submit_queue.pop(op_id) for op_id in take}
+            self._queue_since = self.local_time if window else None
+        else:
+            queued, self.submit_queue = self.submit_queue, {}
+            self._queue_since = None
         fresh = [
             inst for op_id, inst in queued.items()
             if op_id not in self.committed_op_ids
@@ -727,8 +747,12 @@ class ChtReplica(Process):
                     span, "committed" if committed else "superseded"
                 )
                 if committed:
-                    obs.registry.counter("commits_total", pid=self.pid).inc()
-                    obs.registry.counter("committed_ops_total").inc(len(ops))
+                    obs.registry.counter(
+                        "commits_total", pid=self.pid, **self._site_label
+                    ).inc()
+                    obs.registry.counter(
+                        "committed_ops_total", **self._site_label
+                    ).inc(len(ops))
                     obs.registry.histogram("commit_latency_ms").observe(
                         span.end - span.start
                     )

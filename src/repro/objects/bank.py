@@ -87,6 +87,49 @@ class BankSpec(ObjectSpec):
             return rmw_op.name in ("deposit", "withdraw")
         return read_op.args[0] in touched
 
+    def partition_key(self, op: Operation) -> Any:
+        """Per-account decomposition, where sound.
+
+        ``balance``/``deposit``/``withdraw`` touch exactly one account,
+        and distinct accounts are independent sub-objects (no operation
+        on account *a* reads or writes account *b*), so a history of
+        only these operations is P-compositional: checking each
+        account's sub-history separately is equivalent to checking the
+        whole.  ``transfer`` atomically couples two accounts and
+        ``total`` reads every account, so either makes the history
+        un-partitionable — they return ``None``, and the checker then
+        refuses ``partition_by_key`` rather than render an unsound
+        verdict.
+        """
+        if op.name in ("balance", "deposit", "withdraw"):
+            return op.args[0]
+        return None  # transfer couples two accounts; total reads all
+
+    def fingerprint(self, state: _MapState) -> Any:
+        """Canonical form for checker memoization (cached-hash item map,
+        same representation the KV store uses)."""
+        return state
+
+    # ------------------------------------------------------------------
+    # Shard-handoff hooks (repro.shard): balances are account-addressed,
+    # so account ranges can move between groups exactly like KV keys.
+    # A *sharded* bank only supports the single-account operations —
+    # transfer/total need cross-shard coordination (see ROADMAP.md).
+    # ------------------------------------------------------------------
+    def export_items(self, state: _MapState, keep) -> tuple:
+        return tuple(kv for kv in state.items() if keep(kv[0]))
+
+    def drop_items(self, state: _MapState, drop) -> _MapState:
+        for account, _ in state.items():
+            if drop(account):
+                state = state.remove(account)
+        return state
+
+    def merge_items(self, state: _MapState, items: tuple) -> _MapState:
+        for account, balance_ in items:
+            state = state.set(account, balance_)
+        return state
+
     @staticmethod
     def _written_accounts(rmw_op: Operation) -> frozenset[Any] | None:
         if rmw_op.name in ("deposit", "withdraw"):

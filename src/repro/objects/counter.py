@@ -53,6 +53,12 @@ class CounterSpec(ObjectSpec):
     def conflicts(self, read_op: Operation, rmw_op: Operation) -> bool:
         return rmw_op.name == "add" and rmw_op.args[0] != 0
 
+    def fingerprint(self, state: int) -> int:
+        """Counter states are small ints — already the cheapest possible
+        canonical digest, made explicit so memoization is guaranteed
+        rather than inherited from the hashable-state default."""
+        return state
+
     def enumerate_states(self) -> Iterable[int]:
         half = self._max_enumerated // 2
         return range(self._initial - half, self._initial + half + 1)

@@ -138,6 +138,39 @@ class KVStoreSpec(ObjectSpec):
         """The single key an RMW writes (used by workload generators)."""
         return rmw_op.args[0]
 
+    def partition_key(self, op: Operation) -> Any:
+        """Every operation except ``scan`` touches exactly one key, so
+        KV histories partition per key and KV operations route by key."""
+        if op.name in ("get", "put", "delete", "increment"):
+            return op.args[0]
+        return None  # scan couples every key
+
+    def fingerprint(self, state: _MapState) -> Any:
+        """Canonical form for checker memoization: the sorted item tuple
+        (``_MapState`` caches its hash of exactly this)."""
+        return state
+
+    # ------------------------------------------------------------------
+    # Shard-handoff hooks (repro.shard): the state is key-addressable,
+    # so a keyspace range can be exported, dropped, and merged.
+    # ------------------------------------------------------------------
+    def export_items(self, state: _MapState, keep) -> tuple:
+        """The ``(key, value)`` pairs whose key satisfies ``keep``."""
+        return tuple(kv for kv in state.items() if keep(kv[0]))
+
+    def drop_items(self, state: _MapState, drop) -> _MapState:
+        """Remove every key satisfying ``drop``."""
+        for key, _ in state.items():
+            if drop(key):
+                state = state.remove(key)
+        return state
+
+    def merge_items(self, state: _MapState, items: tuple) -> _MapState:
+        """Install exported ``(key, value)`` pairs into the state."""
+        for key, value in items:
+            state = state.set(key, value)
+        return state
+
     def enumerate_states(self) -> Iterable[_MapState]:
         raise NotImplementedError(
             "kvstore has an unbounded state space; tests validate conflicts "

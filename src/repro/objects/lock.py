@@ -65,6 +65,26 @@ class LockSpec(ObjectSpec):
         # Both acquire and release can change the owner a read returns.
         return rmw_op.name in ("acquire", "release")
 
+    def fingerprint(self, state: Optional[Any]) -> Any:
+        """The owner (or None); typed-``repr`` fallback keeps unhashable
+        holder identities memoizable."""
+        try:
+            hash(state)
+            return state
+        except TypeError:
+            return (type(state).__name__, repr(state))
+
+    def partition_key(self, op: Operation) -> None:
+        """A lock cannot be partitioned: there is only one sub-object.
+
+        Every operation reads or writes the single owner cell —
+        ``acquire`` succeeds iff *no other* holder owns the lock, so two
+        acquires by different callers are never independent.  There is
+        no decomposition under which per-key checking of a lock history
+        would be sound, hence ``None`` for every operation.
+        """
+        return None
+
     def enumerate_states(self) -> Iterable[Optional[Any]]:
         if not self._holders:
             raise NotImplementedError(

@@ -67,6 +67,27 @@ class QueueSpec(ObjectSpec):
         # Both reads observe the head/length, which both RMWs can change.
         return True
 
+    def fingerprint(self, state: Tuple[Any, ...]) -> Any:
+        """The element tuple itself; per-element ``repr`` fallback keeps
+        queues of unhashable items memoizable."""
+        try:
+            hash(state)
+            return state
+        except TypeError:
+            return tuple(repr(item) for item in state)
+
+    def partition_key(self, op: Operation) -> None:
+        """A FIFO queue cannot be partitioned.
+
+        The FIFO order couples every element: ``dequeue`` returns the
+        global head, and ``peek``/``size`` observe it, so any two
+        enqueued items interact through their relative order.  Splitting
+        the history by item (or any other key) would let the checker
+        accept interleavings that reorder the queue, an unsound verdict
+        — hence ``None`` for every operation.
+        """
+        return None
+
     def enumerate_states(self) -> Iterable[Tuple[Any, ...]]:
         if not self._items:
             raise NotImplementedError(

@@ -74,6 +74,17 @@ class RegisterSpec(ObjectSpec):
             return expected != new
         return rmw_op.name == "write"
 
+    def fingerprint(self, state: Any) -> Any:
+        """Registers hold arbitrary values; fall back to a typed ``repr``
+        digest for unhashable ones (lists, dicts), whose builtin reprs
+        are faithful, so equal digests imply equal states and the
+        checker's memoization stays sound."""
+        try:
+            hash(state)
+            return state
+        except TypeError:
+            return (type(state).__name__, repr(state))
+
     def enumerate_states(self) -> Iterable[Any]:
         if self._domain is None:
             raise NotImplementedError(

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Hashable, Iterable, Tuple
+from typing import Any, Hashable, Iterable, Optional, Tuple
 
 __all__ = [
     "Operation",
@@ -146,6 +146,26 @@ class ObjectSpec(ABC):
         (e.g. a sorted tuple of items).
         """
         return state
+
+    def partition_key(self, op: Operation) -> Optional[Hashable]:
+        """The single sub-object ``op`` touches, or ``None``.
+
+        Two consumers share this hook:
+
+        * The linearizability checker's P-compositional partitioning
+          (``partition_by_key=True``) splits a history into independent
+          per-key sub-histories.  That is sound only when *every*
+          operation in the history touches exactly one key and the
+          per-key sub-objects are independent.
+        * The sharding router (:mod:`repro.shard`) routes an operation
+          to the group owning its key's slot.
+
+        Returning ``None`` means the operation couples more than one key
+        (or the whole object), so the history cannot be partitioned and
+        the operation cannot be routed by key.  The default declares
+        every operation un-partitionable, which is always safe.
+        """
+        return None
 
     def enumerate_states(self) -> Iterable[Hashable]:
         """Yield the full state space, for finite objects only.

@@ -25,11 +25,14 @@ name                      category    meaning
 ``read``                  ``read``    one local read; status ``served``
 ``tenure``                ``leader``  one leadership tenure (dwell time)
 ``op``                    ``baseline``  one baseline client operation
+``shard.handoff``         ``shard``   one fenced slot handoff: map publish
+                                      through freeze and install commits
 ``batch.applied``         ``batch``   instant: a replica applied batch j
 ``estimates.collected``   ``leader``  instant: EL init estimate transfer
 ``leader.ready``          ``leader``  instant: tenure initialized
 ``leader.change``         ``leader``  instant: believed leader changed
 ``leaseholders.shrunk``   ``lease``   instant: commit dropped leaseholders
+``router.redirect``       ``shard``   instant: a router chased WrongShard
 ========================  ==========  =====================================
 """
 

@@ -1,0 +1,255 @@
+"""The multi-group façade and the fenced shard handoff primitive.
+
+A :class:`ShardedCluster` runs *G* independent CHT groups over **one**
+shared simulator, so their events interleave in a single deterministic
+timeline.  Each group is a full :class:`~repro.core.client.ChtCluster`
+— its own network, clocks, replicas, and client sessions — hosting a
+:class:`~repro.shard.spec.ShardedSpec` that owns this group's share of
+the key slots.  Groups share nothing but the simulator (and, when
+observability is on, one :class:`~repro.obs.spans.ObsContext` where the
+``site`` label ``"g0" / "g1" / ...`` keeps their telemetry apart, since
+pids repeat across groups).
+
+Handoff of a slot range from group ``src`` to ``dst`` is three steps,
+each fenced by the map version it carries:
+
+1. **Publish**: the cluster's shard map is replaced by one where the
+   slots belong to ``dst`` and the version is bumped.  Routers that
+   refresh now route to ``dst`` and simply retry on ``WrongShard``
+   until step 3 lands; routers that do not refresh keep hitting ``src``
+   until step 2 commits there, then get ``WrongShard`` and converge.
+2. **Freeze**: ``shard_freeze`` commits at ``src`` through an ordinary
+   client session, exporting the items and shrinking ``src``'s owned
+   set.  From this commit on, ``src`` answers the moved range only with
+   ``WrongShard`` — including reads, which the conflict relation forces
+   to wait out the freeze.
+3. **Install**: ``shard_install`` commits the exported items at ``dst``,
+   which starts answering for the range.
+
+Leader crashes anywhere in this sequence are harmless: freeze and
+install are session RMWs, so they survive through retransmission and
+the reply cache exactly like any client operation.  Handoffs are
+serialized (each waits for its predecessor) so the slot set frozen is
+always computed against the current map.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from ..core.client import ChtCluster, ClientSession
+from ..core.config import ChtConfig
+from ..objects.spec import ObjectSpec
+from ..obs.spans import ObsContext
+from ..sim.core import Simulator
+from ..sim.tasks import Future
+from .map import ShardMap
+from .router import Router
+from .spec import ShardedSpec, freeze_op, install_op
+
+__all__ = ["ShardedCluster"]
+
+
+class ShardedCluster:
+    """``num_groups`` CHT groups partitioning one logical object."""
+
+    def __init__(
+        self,
+        spec: ObjectSpec,
+        config: Optional[ChtConfig] = None,
+        num_groups: int = 2,
+        num_slots: int = 16,
+        seed: int = 0,
+        num_clients: int = 1,
+        obs: bool = False,
+        gst: float = 0.0,
+        monitors: bool = True,
+    ) -> None:
+        if num_groups < 1:
+            raise ValueError("need at least one group")
+        if num_clients < 1:
+            raise ValueError("need at least one client per group")
+        self.inner_spec = spec
+        self.config = config or ChtConfig()
+        self.num_groups = num_groups
+        self.num_clients = num_clients
+        self.sim = Simulator(seed=seed)
+        # One shared context, attached before any group builds processes.
+        self.obs: Optional[ObsContext] = (
+            ObsContext(self.sim) if obs else None
+        )
+        self.map = ShardMap.uniform(num_slots, num_groups)
+        # Per group: ``num_clients`` router-facing sessions plus one
+        # extra session (the last) reserved as the handoff coordinator,
+        # so freeze/install never contend with a workload session's
+        # one-outstanding-RMW limit.
+        self.groups: list[ChtCluster] = [
+            ChtCluster(
+                ShardedSpec(spec, num_slots, self.map.slots_of(g)),
+                self.config,
+                sim=self.sim,
+                site=f"g{g}",
+                num_clients=num_clients + 1,
+                obs=self.obs if self.obs is not None else False,
+                gst=gst,
+                monitors=monitors,
+            )
+            for g in range(num_groups)
+        ]
+        #: Completed handoff records (dicts), in completion order.
+        self.handoffs: list[dict[str, Any]] = []
+        self._last_handoff: Optional[Future] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardedCluster":
+        for group in self.groups:
+            group.start()
+        return self
+
+    def run(self, duration: float) -> None:
+        self.sim.run_for(duration)
+
+    def run_until(
+        self, predicate: Callable[[], bool], timeout: float = 10_000.0
+    ) -> bool:
+        deadline = self.sim.now + timeout
+        self.sim.run(until=deadline, stop_when=predicate)
+        return predicate()
+
+    def run_until_leaders(self, timeout: float = 10_000.0) -> None:
+        """Run until every group has an initialized leader."""
+        ok = self.run_until(
+            lambda: all(g.leader() is not None for g in self.groups),
+            timeout,
+        )
+        if not ok:
+            missing = [
+                i for i, g in enumerate(self.groups) if g.leader() is None
+            ]
+            raise TimeoutError(
+                f"groups {missing} elected no leader within {timeout}"
+            )
+
+    # ------------------------------------------------------------------
+    # Clients
+    # ------------------------------------------------------------------
+    def router(self, index: int, **kwargs: Any) -> Router:
+        """A routing client bundling each group's session ``index``."""
+        if not 0 <= index < self.num_clients:
+            raise ValueError(
+                f"client index {index} out of range "
+                f"(coordinator sessions are not routable)"
+            )
+        return Router(self, index, **kwargs)
+
+    def coordinator(self, gid: int) -> ClientSession:
+        """Group ``gid``'s reserved handoff session."""
+        return self.groups[gid].clients[self.num_clients]
+
+    # ------------------------------------------------------------------
+    # Handoff
+    # ------------------------------------------------------------------
+    def spawn_handoff(
+        self,
+        src: int,
+        dst: int,
+        slots: Optional[Iterable[int]] = None,
+    ) -> Future:
+        """Move ``slots`` (default: half of ``src``'s) from ``src`` to
+        ``dst``.  Returns a future resolving with the handoff record once
+        the install commits.  Handoffs are serialized: this one starts
+        only after every previously spawned handoff completes."""
+        if src == dst:
+            raise ValueError("handoff source and destination must differ")
+        for gid in (src, dst):
+            if not 0 <= gid < self.num_groups:
+                raise ValueError(f"unknown group {gid}")
+        future = Future()
+        prev, self._last_handoff = self._last_handoff, future
+        self.coordinator(src).spawn(
+            self._handoff_task(src, dst, slots, prev, future),
+            name=f"handoff-{src}-{dst}",
+        )
+        return future
+
+    def _handoff_task(
+        self,
+        src: int,
+        dst: int,
+        slots: Optional[Iterable[int]],
+        prev: Optional[Future],
+        future: Future,
+    ) -> Generator:
+        if prev is not None and not prev.done:
+            yield prev
+        # Resolve the slot set only now, against the *current* map —
+        # an earlier handoff may have moved slots since spawn time, and
+        # freezing a slot the source no longer owns would install stale
+        # (empty) ownership over the current owner's data.
+        current = self.map.slots_of(src)
+        if slots is None:
+            half = sorted(current)[: max(1, len(current) // 2)]
+            moving = frozenset(half)
+        else:
+            moving = frozenset(slots) & current
+        if not moving:
+            record = {
+                "src": src, "dst": dst, "slots": (), "version":
+                self.map.version, "items": 0, "completed_at": self.sim.now,
+            }
+            future.resolve(record)
+            return
+        new_map = self.map.move(moving, dst)
+        self.map = new_map  # step 1: publish; the version bump fences
+        span = None
+        if self.obs is not None:
+            span = self.obs.tracer.begin(
+                "shard.handoff", "shard", self.coordinator(src).pid,
+                src=src, dst=dst, slots=len(moving),
+                version=new_map.version, site=f"g{src}",
+            )
+            self.obs.registry.counter("shard_handoffs_total").inc()
+        freeze = self.coordinator(src).submit(
+            freeze_op(moving, new_map.version)
+        )
+        yield freeze  # step 2: src stops answering for the range
+        items = freeze.value
+        if span is not None:
+            span.mark("frozen_at", self.sim.now)
+            span.mark("items", len(items))
+        install = self.coordinator(dst).submit(
+            install_op(moving, new_map.version, items)
+        )
+        yield install  # step 3: dst starts answering for the range
+        record = {
+            "src": src,
+            "dst": dst,
+            "slots": tuple(sorted(moving)),
+            "version": new_map.version,
+            "items": len(items),
+            "completed_at": self.sim.now,
+        }
+        self.handoffs.append(record)
+        if span is not None:
+            self.obs.tracer.close(span, "completed")
+        future.resolve(record)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        parts = [f"map={self.map!r}"]
+        for i, group in enumerate(self.groups):
+            parts.append(f"g{i}: {group.describe()}")
+        return " | ".join(parts)
+
+    def owned_slots(self, gid: int) -> frozenset[int]:
+        """The slot set the most caught-up live replica of ``gid`` has
+        applied — the group's committed ownership, which trails the
+        published map until freeze/install commit."""
+        group = self.groups[gid]
+        alive = [r for r in group.replicas if not r.crashed]
+        best = max(alive, key=lambda r: r.applied_upto)
+        return best.state.owned

@@ -1,0 +1,110 @@
+"""The versioned keyspace → group mapping.
+
+Keys hash to one of ``num_slots`` *slots* (a fixed, small power-of-two-ish
+number chosen at deployment time); a :class:`ShardMap` assigns each slot
+to a group.  Handoffs move whole slots, never individual keys, so the map
+stays tiny and a router can cache it wholesale.
+
+The hash is SHA-256 of ``repr(key)`` rather than Python's built-in
+``hash`` — the built-in is randomized per interpreter run for strings
+(``PYTHONHASHSEED``), which would make shard placement, and therefore
+every simulated schedule, non-reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+__all__ = ["ShardMap", "slot_of"]
+
+
+def slot_of(key: Any, num_slots: int) -> int:
+    """The slot ``key`` hashes to, stable across interpreter runs."""
+    digest = hashlib.sha256(repr(key).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_slots
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """An immutable slot → group assignment with a fencing version.
+
+    Every mutation (:meth:`move`) returns a new map with a strictly
+    larger ``version``.  The version doubles as the handoff fencing
+    token: a :class:`~repro.shard.spec.WrongShard` response carries the
+    replica's installed version, telling a stale router exactly how far
+    behind its cached map is.
+    """
+
+    version: int
+    assignment: tuple[int, ...]  # slot index -> group id
+    num_groups: int
+
+    def __post_init__(self) -> None:
+        if not self.assignment:
+            raise ValueError("a shard map needs at least one slot")
+        if self.num_groups < 1:
+            raise ValueError("a shard map needs at least one group")
+        for slot, gid in enumerate(self.assignment):
+            if not 0 <= gid < self.num_groups:
+                raise ValueError(
+                    f"slot {slot} assigned to unknown group {gid}"
+                )
+
+    @classmethod
+    def uniform(cls, num_slots: int, num_groups: int) -> "ShardMap":
+        """Round-robin assignment: slot ``s`` belongs to ``s % G``."""
+        if num_slots < num_groups:
+            raise ValueError("need at least one slot per group")
+        return cls(
+            version=1,
+            assignment=tuple(s % num_groups for s in range(num_slots)),
+            num_groups=num_groups,
+        )
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.assignment)
+
+    def slot_of(self, key: Any) -> int:
+        return slot_of(key, self.num_slots)
+
+    def group_of_slot(self, slot: int) -> int:
+        return self.assignment[slot]
+
+    def group_for(self, key: Any) -> int:
+        """The group currently owning ``key``'s slot."""
+        return self.assignment[self.slot_of(key)]
+
+    def slots_of(self, gid: int) -> frozenset[int]:
+        """All slots assigned to group ``gid`` (may be empty)."""
+        return frozenset(
+            slot for slot, g in enumerate(self.assignment) if g == gid
+        )
+
+    def move(self, slots: Iterable[int], dst: int) -> "ShardMap":
+        """A new map with ``slots`` reassigned to group ``dst``."""
+        moving = frozenset(slots)
+        if not moving:
+            raise ValueError("a move must name at least one slot")
+        if not 0 <= dst < self.num_groups:
+            raise ValueError(f"unknown destination group {dst}")
+        for slot in moving:
+            if not 0 <= slot < self.num_slots:
+                raise ValueError(f"unknown slot {slot}")
+        assignment = tuple(
+            dst if slot in moving else gid
+            for slot, gid in enumerate(self.assignment)
+        )
+        return ShardMap(
+            version=self.version + 1,
+            assignment=assignment,
+            num_groups=self.num_groups,
+        )
+
+    def __repr__(self) -> str:
+        owned = {
+            g: len(self.slots_of(g)) for g in range(self.num_groups)
+        }
+        return f"<ShardMap v{self.version} slots/group={owned}>"

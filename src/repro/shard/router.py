@@ -1,0 +1,147 @@
+"""The routing client: shard-map caching and WrongShard redirect chasing.
+
+A :class:`Router` is the sharded counterpart of one
+:class:`~repro.core.client.ClientSession`.  It bundles one session per
+group (all with the same client index), caches the cluster's shard map,
+and for each submitted operation:
+
+1. routes it to the session of the group its cached map names for the
+   operation's ``partition_key``;
+2. waits for that group's *committed* reply;
+3. on :class:`~repro.shard.spec.WrongShard`, refreshes the map, backs
+   off, and resubmits — to the new owner if the map moved, or to the
+   same (still converging) owner otherwise.
+
+The **pinning rule** in step 2 is load-bearing: the router never
+abandons an in-flight request to try another group.  Retrying elsewhere
+while the first attempt is still outstanding could commit the operation
+twice (once per group).  Waiting for the committed ``WrongShard`` first
+gives proof the operation had no effect at that group, after which
+resubmission is a *new* session sequence number at a *different* group
+and the per-group reply caches keep each attempt exactly-once.
+
+Like sessions, a router allows at most one outstanding RMW at a time.
+Every attempt's ``(group, response)`` pair is recorded in ``attempts``,
+which the chaos harness uses for a structural exactly-once check: each
+operation must see exactly one non-WrongShard reply.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from ..objects.spec import Operation
+from ..sim.tasks import Future, Sleep
+from ..sim.trace import RunStats
+from .spec import WrongShard
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import ShardedCluster
+
+__all__ = ["Router"]
+
+
+class Router:
+    """A client-side router over one :class:`ShardedCluster`."""
+
+    def __init__(
+        self,
+        cluster: "ShardedCluster",
+        index: int,
+        retry_backoff: float | None = None,
+        max_redirects: int = 1000,
+    ) -> None:
+        self.cluster = cluster
+        self.index = index
+        # One session per group, all with this router's client index, so
+        # an operation can chase its key to whichever group owns it.
+        self.sessions = [group.clients[index] for group in cluster.groups]
+        self.map = cluster.map
+        self.stats = RunStats()
+        self.redirects = 0
+        #: op_id -> [(group id, committed response), ...] — one entry per
+        #: routing attempt, terminal reply last.
+        self.attempts: dict[tuple, list[tuple[int, Any]]] = {}
+        # Between a WrongShard and the owner's install committing there
+        # is nothing to do but wait; back off roughly one retransmission
+        # period so converging routers don't hammer the new owner.
+        self.retry_backoff = (
+            retry_backoff
+            if retry_backoff is not None
+            else cluster.config.retry_period
+        )
+        self.max_redirects = max_redirects
+        # Generators driving routed operations run on the group-0
+        # session's task scheduler; they only touch futures, never that
+        # group's protocol state.
+        self._host = self.sessions[0]
+        self._count = 0
+        self._outstanding_rmw: Future | None = None
+
+    # ------------------------------------------------------------------
+    def submit(self, op: Operation) -> Future:
+        """Route ``op`` by its key; the future resolves with the first
+        non-WrongShard committed response."""
+        spec = self.cluster.inner_spec
+        key = spec.partition_key(op)
+        if key is None:
+            raise ValueError(
+                f"{op!r} has no partition key; the router cannot place it"
+            )
+        kind = "read" if spec.is_read(op) else "rmw"
+        if kind == "rmw":
+            if (
+                self._outstanding_rmw is not None
+                and not self._outstanding_rmw.done
+            ):
+                raise RuntimeError(
+                    f"router {self.index} already has an outstanding RMW; "
+                    "exactly-once needs one RMW in flight per router"
+                )
+        self._count += 1
+        op_id = ("router", self.index, self._count)
+        future = Future()
+        if kind == "rmw":
+            self._outstanding_rmw = future
+        sim = self._host.sim
+        self.stats.invoke(op_id, self._host.pid, kind, op, sim.now)
+        self.attempts[op_id] = []
+        future.on_resolve(
+            lambda value: self.stats.respond(op_id, value, sim.now)
+        )
+        self._host.spawn(
+            self._drive(op, key, op_id, future), name=f"route{self._count}"
+        )
+        return future
+
+    def refresh(self) -> None:
+        """Re-read the cluster's published shard map."""
+        self.map = self.cluster.map
+
+    # ------------------------------------------------------------------
+    def _drive(
+        self, op: Operation, key: Any, op_id: tuple, future: Future
+    ) -> Generator:
+        obs = self.cluster.obs
+        for _ in range(self.max_redirects):
+            gid = self.map.group_for(key)
+            attempt = self.sessions[gid].submit(op)
+            yield attempt  # pinning rule: wait for the committed reply
+            value = attempt.value
+            self.attempts[op_id].append((gid, value))
+            if not isinstance(value, WrongShard):
+                future.resolve(value)
+                return
+            self.redirects += 1
+            if obs is not None:
+                obs.tracer.instant(
+                    "router.redirect", "shard", self._host.pid,
+                    group=gid, stale=self.map.version, seen=value.version,
+                )
+                obs.registry.counter("router_redirects_total").inc()
+            self.refresh()
+            yield Sleep(self.retry_backoff)
+        raise RuntimeError(
+            f"router {self.index}: {op!r} still WrongShard after "
+            f"{self.max_redirects} redirects; shard map never converged"
+        )

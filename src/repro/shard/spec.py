@@ -1,0 +1,191 @@
+"""The sharded object spec: ownership and fencing inside the state machine.
+
+:class:`ShardedSpec` wraps an inner :class:`~repro.objects.spec.ObjectSpec`
+whose state is key-addressable (it must provide ``export_items`` /
+``drop_items`` / ``merge_items`` and a total ``partition_key`` for the
+operations it will be offered).  The replicated state becomes::
+
+    (inner_state, owned_slots, version)
+
+and every ordinary operation first checks that the group owns the slot of
+the key it touches.  If not, the operation *commits* — through the normal
+batch pipeline, occupying its op-id like any other RMW — but as a no-op
+whose response is :class:`WrongShard`.  Committing the refusal rather
+than rejecting at the network layer is what makes re-routing safe: the
+client session's reply cache gives each ``(client, seq)`` exactly one
+committed outcome per group, and a ``WrongShard`` outcome *proves* the
+operation had no effect there, so the router may resubmit it to another
+group without risking double application.
+
+Handoff is two RMWs.  ``shard_freeze(slots, version)`` exports and drops
+every owned item in ``slots``, shrinks the owned set, and responds with
+the exported items; ``shard_install(slots, version, items)`` merges the
+items and grows the owned set.  Because both are ordinary RMWs, they
+inherit every guarantee of the replication layer — exactly-once via the
+session reply cache, crash-survival via retransmission, and ordering via
+the batch log — with no new protocol messages.
+
+Read fencing needs no extra mechanism either: :meth:`ShardedSpec.conflicts`
+declares every read in conflict with freeze/install, so the paper's
+conflict-aware read rule forces a read concurrent with a freeze to wait
+until the freeze batch is applied — after which the read of a moved slot
+observes the shrunken owned set and returns ``WrongShard``.  No read is
+ever answered from a frozen range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Optional, Tuple
+
+from ..objects.spec import ObjectSpec, Operation
+from .map import slot_of
+
+__all__ = [
+    "FREEZE",
+    "INSTALL",
+    "ShardState",
+    "ShardedSpec",
+    "WrongShard",
+    "freeze_op",
+    "install_op",
+]
+
+FREEZE = "shard_freeze"
+INSTALL = "shard_install"
+
+_HOOKS = ("export_items", "drop_items", "merge_items")
+
+
+@dataclass(frozen=True)
+class WrongShard:
+    """Committed response of an operation on a slot this group does not
+    own.  Carries the group's installed map ``version`` so a stale router
+    knows its cached map is behind."""
+
+    version: int
+
+    def __repr__(self) -> str:
+        return f"<wrong-shard v{self.version}>"
+
+
+@dataclass(frozen=True)
+class ShardState:
+    """The replicated state of one group: the inner object restricted to
+    the owned slots, plus the ownership set and the last installed map
+    version."""
+
+    inner: Any
+    owned: frozenset
+    version: int
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardState(v{self.version} owned={sorted(self.owned)} "
+            f"inner={self.inner!r})"
+        )
+
+
+def freeze_op(slots: Iterable[int], version: int) -> Operation:
+    """Export-and-drop ``slots``; responds with the exported items."""
+    return Operation(FREEZE, (tuple(sorted(slots)), version))
+
+
+def install_op(
+    slots: Iterable[int], version: int, items: Iterable[tuple]
+) -> Operation:
+    """Merge ``items`` and take ownership of ``slots``."""
+    return Operation(INSTALL, (tuple(sorted(slots)), version, tuple(items)))
+
+
+class ShardedSpec(ObjectSpec):
+    """An object spec hosting one group's share of a partitioned object."""
+
+    def __init__(
+        self, inner: ObjectSpec, num_slots: int, owned: Iterable[int]
+    ):
+        missing = [h for h in _HOOKS if not hasattr(inner, h)]
+        if missing:
+            raise TypeError(
+                f"{inner.name} cannot be sharded: state is not "
+                f"key-addressable (missing {', '.join(missing)})"
+            )
+        if num_slots < 1:
+            raise ValueError("num_slots must be positive")
+        self.inner = inner
+        self.num_slots = num_slots
+        self._owned0 = frozenset(owned)
+        for slot in self._owned0:
+            if not 0 <= slot < num_slots:
+                raise ValueError(f"owned slot {slot} out of range")
+        self.name = f"sharded-{inner.name}"
+
+    # ------------------------------------------------------------------
+    def initial_state(self) -> ShardState:
+        return ShardState(self.inner.initial_state(), self._owned0, 1)
+
+    def _slot(self, key: Any) -> int:
+        return slot_of(key, self.num_slots)
+
+    def apply(self, state: ShardState, op: Operation) -> Tuple[ShardState, Any]:
+        if op.name == FREEZE:
+            slots, version = op.args
+            # Export only what we still own: a freeze naming slots that
+            # already left (handoff drift) exports and drops nothing.
+            moving = state.owned & frozenset(slots)
+            in_moving = lambda key: self._slot(key) in moving  # noqa: E731
+            items = self.inner.export_items(state.inner, in_moving)
+            inner = self.inner.drop_items(state.inner, in_moving)
+            new = ShardState(
+                inner, state.owned - frozenset(slots),
+                max(state.version, version),
+            )
+            return new, items
+        if op.name == INSTALL:
+            slots, version, items = op.args
+            inner = self.inner.merge_items(state.inner, items)
+            new = ShardState(
+                inner, state.owned | frozenset(slots),
+                max(state.version, version),
+            )
+            return new, len(items)
+        key = self.inner.partition_key(op)
+        if key is None:
+            raise ValueError(
+                f"{op!r} is un-partitionable under {self.inner.name}; "
+                "it cannot execute on a sharded deployment"
+            )
+        if self._slot(key) not in state.owned:
+            # Commit the refusal as a no-op.  See the module docstring
+            # for why this, not a network-layer reject, is what makes
+            # router re-submission exactly-once safe.
+            return state, WrongShard(state.version)
+        inner, response = self.inner.apply(state.inner, op)
+        return ShardState(inner, state.owned, state.version), response
+
+    def is_read(self, op: Operation) -> bool:
+        if op.name in (FREEZE, INSTALL):
+            return False
+        return self.inner.is_read(op)
+
+    def conflicts(self, read_op: Operation, rmw_op: Operation) -> bool:
+        # Freeze/install change ownership, and *every* read's response
+        # depends on ownership (it may become WrongShard), so they
+        # conflict with all reads.  This is the read-fencing linchpin:
+        # the conflict-aware read rule makes reads wait out a concurrent
+        # freeze instead of answering from a range that just moved.
+        if rmw_op.name in (FREEZE, INSTALL):
+            return True
+        return self.inner.conflicts(read_op, rmw_op)
+
+    def partition_key(self, op: Operation) -> Optional[Hashable]:
+        if op.name in (FREEZE, INSTALL):
+            return None  # touches a whole slot range, not one key
+        return self.inner.partition_key(op)
+
+    def fingerprint(self, state: ShardState) -> Hashable:
+        return (
+            self.inner.fingerprint(state.inner),
+            state.owned,
+            state.version,
+        )

@@ -35,11 +35,17 @@ class Process:
         sim: Simulator,
         net: Network,
         clocks: ClockModel,
+        site: Optional[str] = None,
     ) -> None:
         self.pid = pid
         self.sim = sim
         self.net = net
         self.clocks = clocks
+        # Deployment-site label ("g0", "g1", ... in a sharded cluster).
+        # Pids are only unique within one network, so multi-group runs
+        # sharing a simulator and an ObsContext use the site to keep
+        # per-group telemetry apart; None in single-group runs.
+        self.site = site
         self.crashed = False
         # The run's ObsContext (repro.obs), cached from the simulator at
         # construction; None in unobserved runs.  Every instrumentation

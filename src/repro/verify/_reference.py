@@ -33,7 +33,7 @@ def check_linearizable_reference(
 ) -> LinearizabilityResult:
     """The historical checker behind the current result type."""
     if partition_by_key:
-        partitions = _partition_by_key(history)
+        partitions = _partition_by_key(spec, history)
         if partitions is None:
             raise ValueError(
                 "history contains multi-key operations; cannot partition"

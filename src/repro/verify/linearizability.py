@@ -127,10 +127,12 @@ def check_linearizable(
         way.
     """
     if partition_by_key:
-        partitions = _partition_by_key(history)
+        partitions = _partition_by_key(spec, history)
         if partitions is None:
             raise ValueError(
-                "history contains multi-key operations; cannot partition"
+                "history contains operations the spec declares "
+                "un-partitionable (partition_key returned None); cannot "
+                "partition"
             )
         items = sorted(partitions.items(), key=lambda kv: repr(kv[0]))
         results = _map_subchecks(
@@ -497,19 +499,24 @@ def _map_subchecks(
 # P-compositional partitioning
 # ----------------------------------------------------------------------
 
-_SINGLE_KEY_OPS = {
-    "get": 0, "put": 0, "delete": 0, "increment": 0,  # kvstore
-    "balance": 0, "deposit": 0, "withdraw": 0,  # bank (single-account ops)
-}
 
+def _partition_by_key(
+    spec: ObjectSpec, history: History
+) -> Optional[dict[Any, History]]:
+    """Split a history into per-key sub-histories, or None if impossible.
 
-def _partition_by_key(history: History) -> Optional[dict[Any, History]]:
-    """Split a history into per-key sub-histories, or None if impossible."""
+    The key of each operation comes from the object spec's
+    :meth:`~repro.objects.spec.ObjectSpec.partition_key` hook; an
+    operation the spec declares un-partitionable (``None`` — a KV scan,
+    a bank transfer, every queue/lock operation) makes the whole history
+    un-partitionable, because P-compositionality requires *every*
+    operation to touch exactly one independent sub-object.
+    """
     buckets: dict[Any, list[HistoryEntry]] = {}
+    partition_key = spec.partition_key
     for entry in history:
-        name = getattr(entry.op, "name", None)
-        if name not in _SINGLE_KEY_OPS:
+        key = partition_key(entry.op)
+        if key is None:
             return None
-        key = entry.op.args[_SINGLE_KEY_OPS[name]]
         buckets.setdefault(key, []).append(entry)
     return {key: History(entries) for key, entries in buckets.items()}

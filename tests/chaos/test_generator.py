@@ -112,3 +112,41 @@ def test_healed_schedules_reelect_leader_and_drain_ops(seed, index):
     )
     result = runner.run(generator.generate(index))
     assert result.ok, result
+
+
+def test_same_pid_desyncs_never_overlap_catch_up_windows():
+    """Regression: n=3 seed=0 schedule 53 once generated two desyncs of
+    pid 0 whose active-plus-catch-up windows overlapped; the second's
+    resync appended a future clock segment and the first's jump then
+    violated segment time order.  The generator must reject a desync
+    that begins inside an earlier same-pid desync's window (end plus
+    ~1.1x the jump of crawl-back)."""
+    for n, seed in ((3, 0), (5, 0), (3, 7)):
+        generator = ScheduleGenerator(n=n, num_clients=2, seed=seed)
+        for index in range(80):
+            desyncs = generator.generate(index).desyncs
+            for i, a in enumerate(desyncs):
+                for b in desyncs[i + 1:]:
+                    if a.pid != b.pid:
+                        continue
+                    clear_a = a.end + 1.1 * a.jump
+                    clear_b = b.end + 1.1 * b.jump
+                    assert b.start >= clear_a or a.start >= clear_b, (
+                        n, seed, index, a, b
+                    )
+
+
+def test_desync_rejection_preserves_other_schedules():
+    """Dropping an overlapping desync consumes the same rng draws, so
+    schedules without same-pid overlaps are untouched (the soak corpus
+    stays comparable across the fix)."""
+    schedule = ScheduleGenerator(n=3, num_clients=2, seed=0).generate(53)
+    # The index that used to crash keeps exactly one of its two pid-0
+    # desyncs...
+    assert len(schedule.desyncs) == 1
+    assert schedule.desyncs[0].pid == 0
+    # ...and the nemesis now survives it end to end.
+    runner = NemesisRunner(system="cht", n=3, num_clients=2,
+                           ops_per_client=3)
+    result = runner.run(schedule)
+    assert result.ok, result

@@ -145,3 +145,39 @@ def test_artifact_references_metrics_sidecar(tmp_path):
         NemesisResult(False, "liveness", "fabricated"),
     )
     assert bare["metrics_path"] is None
+
+
+def test_artifact_round_trips_sharded_parameters(tmp_path):
+    from repro.chaos.nemesis import NemesisResult
+    from repro.chaos.shrink import load_artifact
+
+    runner = NemesisRunner(system="sharded", n=3, num_clients=2,
+                           ops_per_client=2, groups=4, handoffs=3)
+    schedule = FaultSchedule(losses=[LossWindow(0.0, 100.0, 0.2)])
+    path = str(tmp_path / "sharded.json")
+    artifact = save_artifact(path, runner, schedule,
+                             NemesisResult(False, "liveness", "fabricated"))
+    assert artifact["groups"] == 4 and artifact["handoffs"] == 3
+    rebuilt, _, _ = load_artifact(path)
+    assert rebuilt.system == "sharded"
+    assert rebuilt.groups == 4 and rebuilt.handoffs == 3
+
+    # Pre-sharding artifacts (no groups/handoffs keys) still load.
+    data = json.loads(open(path).read())
+    del data["groups"], data["handoffs"]
+    legacy = str(tmp_path / "legacy.json")
+    with open(legacy, "w") as fh:
+        json.dump(data, fh)
+    rebuilt, _, _ = load_artifact(legacy)
+    assert rebuilt.groups == 2 and rebuilt.handoffs == 1
+
+
+def test_sharded_soak_cli_passes_clean(capsys):
+    code = main([
+        "soak", "--schedules", "2", "--systems", "sharded", "--n", "3",
+        "--clients", "1", "--ops-per-client", "2", "--seed", "4",
+        "--groups", "2", "--handoffs", "1", "--workers", "1",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "sharded: 2 schedules passed" in out

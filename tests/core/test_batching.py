@@ -90,3 +90,40 @@ def test_window_bounds_added_latency():
     elapsed = cluster.sim.now - t0
     assert elapsed >= 50.0  # the window really held the batch
     assert elapsed < 250.0  # but did not stall it
+
+
+def test_negative_max_batch_size_rejected():
+    import pytest
+    with pytest.raises(ValueError, match="max_batch_size"):
+        ChtConfig(max_batch_size=-1)
+
+
+def test_batch_cap_splits_bursts_and_loses_nothing():
+    """max_batch_size caps every committed batch; excess submissions stay
+    queued and commit later in op-id order, so the same operations land
+    either way — just across more batches."""
+    def run(cap):
+        cluster = ChtCluster(
+            KVStoreSpec(),
+            ChtConfig(n=3, max_batch_size=cap, batch_window=40.0),
+            seed=7,
+        )
+        cluster.start()
+        cluster.run_until_leader()
+        futures = [
+            cluster.submit(pid, put(f"k{pid}-{r}", r))
+            for r in range(4) for pid in range(3)
+        ]
+        cluster.run_until(
+            lambda: all(f.done for f in futures), timeout=60_000.0
+        )
+        assert all(f.done for f in futures)
+        leader = cluster.leader()
+        return [rec.size for rec in leader.commit_log[1:]]
+
+    capped = run(2)
+    unbounded = run(0)
+    assert sum(capped) == sum(unbounded) == 12 + 1  # + liveness NoOp
+    assert max(capped) <= 2
+    assert max(unbounded) > 2
+    assert len(capped) > len(unbounded)

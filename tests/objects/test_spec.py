@@ -68,3 +68,81 @@ class TestDefinitionConflicts:
         spec = RegisterSpec(initial=0)
         with pytest.raises(NotImplementedError):
             definition_conflicts(spec, read(), write(1))
+
+
+class TestFingerprintContract:
+    """fingerprint() must be hashable and injective over behaviourally
+    distinct states — the checker memoizes on it, so a collision between
+    different states would be an unsound verdict, not a slowdown."""
+
+    def test_counter_and_register_are_identity(self):
+        from repro.objects.counter import CounterSpec
+        assert CounterSpec().fingerprint(7) == 7
+        assert RegisterSpec(initial=0).fingerprint("x") == "x"
+
+    def test_unhashable_register_state_digests_by_typed_repr(self):
+        spec = RegisterSpec(initial=0)
+        fp = spec.fingerprint([1, 2])
+        hash(fp)
+        assert fp != spec.fingerprint((1, 2))
+        assert fp == spec.fingerprint([1, 2])
+
+    def test_lock_fingerprint_distinguishes_holders(self):
+        from repro.objects.lock import LockSpec, acquire
+        spec = LockSpec()
+        free = spec.initial_state()
+        held, _ = spec.apply(free, acquire("a"))
+        assert spec.fingerprint(free) != spec.fingerprint(held)
+        hash(spec.fingerprint(["unhashable", "holder"]))
+
+    def test_queue_fingerprint_tracks_order(self):
+        from repro.objects.queue import QueueSpec, enqueue
+        spec = QueueSpec()
+        ab, _ = spec.apply(spec.apply((), enqueue("a"))[0], enqueue("b"))
+        ba, _ = spec.apply(spec.apply((), enqueue("b"))[0], enqueue("a"))
+        assert spec.fingerprint(ab) != spec.fingerprint(ba)
+        hash(spec.fingerprint(([1],)))  # unhashable element fallback
+
+    def test_bank_and_kv_fingerprints_are_content_addressed(self):
+        from repro.objects.bank import BankSpec, deposit
+        from repro.objects.kvstore import KVStoreSpec, put
+        bank = BankSpec()
+        s1, _ = bank.apply(bank.initial_state(), deposit("a", 5))
+        s2, _ = bank.apply(bank.initial_state(), deposit("a", 5))
+        assert bank.fingerprint(s1) == bank.fingerprint(s2)
+        hash(bank.fingerprint(s1))
+        kv = KVStoreSpec()
+        k1, _ = kv.apply(kv.initial_state(), put("k", 1))
+        assert kv.fingerprint(k1) != kv.fingerprint(kv.initial_state())
+
+
+class TestPartitionKeyContract:
+    """partition_key() gates both P-compositional checking and shard
+    routing; None must mean 'couples more than one sub-object'."""
+
+    def test_kvstore_routes_by_key_except_scan(self):
+        from repro.objects.kvstore import KVStoreSpec, get, put, scan
+        spec = KVStoreSpec()
+        assert spec.partition_key(get("k")) == "k"
+        assert spec.partition_key(put("k", 1)) == "k"
+        assert spec.partition_key(scan()) is None
+
+    def test_bank_partitions_single_account_ops_only(self):
+        from repro.objects.bank import (
+            BankSpec, balance, deposit, total, transfer, withdraw,
+        )
+        spec = BankSpec()
+        assert spec.partition_key(balance("a")) == "a"
+        assert spec.partition_key(deposit("a", 1)) == "a"
+        assert spec.partition_key(withdraw("a", 1)) == "a"
+        assert spec.partition_key(transfer("a", "b", 1)) is None
+        assert spec.partition_key(total()) is None
+
+    def test_lock_queue_counter_register_never_partition(self):
+        from repro.objects.counter import CounterSpec, increment
+        from repro.objects.lock import LockSpec, acquire
+        from repro.objects.queue import QueueSpec, enqueue
+        assert LockSpec().partition_key(acquire("a")) is None
+        assert QueueSpec().partition_key(enqueue(1)) is None
+        assert CounterSpec().partition_key(increment()) is None
+        assert RegisterSpec(initial=0).partition_key(write(1)) is None

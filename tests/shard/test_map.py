@@ -1,0 +1,73 @@
+"""ShardMap: stable hashing, assignment algebra, move validation."""
+
+import pytest
+
+from repro.shard import ShardMap, slot_of
+
+
+def test_slot_of_is_stable_across_interpreter_runs():
+    # sha256 of repr(key): these placements are fixed forever, unlike
+    # the PYTHONHASHSEED-randomized built-in hash.
+    assert slot_of("k0", 16) == 13
+    assert slot_of("alpha", 16) == 0
+    assert slot_of(("t", 1), 8) == 5
+
+
+def test_slot_of_stays_in_range():
+    for i in range(200):
+        assert 0 <= slot_of(f"key{i}", 7) < 7
+
+
+def test_uniform_round_robin():
+    shard_map = ShardMap.uniform(16, 4)
+    assert shard_map.version == 1
+    assert shard_map.num_slots == 16
+    assert shard_map.assignment == tuple(s % 4 for s in range(16))
+    assert shard_map.slots_of(2) == frozenset({2, 6, 10, 14})
+
+
+def test_uniform_needs_a_slot_per_group():
+    with pytest.raises(ValueError, match="at least one slot per group"):
+        ShardMap.uniform(3, 4)
+
+
+def test_slots_partition_disjoint_and_complete():
+    shard_map = ShardMap.uniform(10, 3)
+    sets = [shard_map.slots_of(g) for g in range(3)]
+    assert sum(len(s) for s in sets) == 10
+    assert frozenset().union(*sets) == frozenset(range(10))
+
+
+def test_group_for_agrees_with_slot_of():
+    shard_map = ShardMap.uniform(16, 4)
+    for key in ("a", "b", ("tuple", 3), 42):
+        assert shard_map.group_for(key) == \
+            shard_map.assignment[slot_of(key, 16)]
+
+
+def test_move_bumps_version_and_reassigns():
+    v1 = ShardMap.uniform(8, 2)
+    v2 = v1.move({0, 2}, 1)
+    assert v2.version == 2
+    assert v2.slots_of(1) == v1.slots_of(1) | {0, 2}
+    assert v2.slots_of(0) == v1.slots_of(0) - {0, 2}
+    # The original is untouched (maps are immutable values).
+    assert v1.version == 1
+    assert v1.group_of_slot(0) == 0
+
+
+def test_move_validation():
+    shard_map = ShardMap.uniform(8, 2)
+    with pytest.raises(ValueError, match="at least one slot"):
+        shard_map.move([], 1)
+    with pytest.raises(ValueError, match="unknown slot"):
+        shard_map.move({99}, 1)
+    with pytest.raises(ValueError, match="unknown destination"):
+        shard_map.move({0}, 5)
+
+
+def test_constructor_rejects_bad_assignments():
+    with pytest.raises(ValueError, match="at least one slot"):
+        ShardMap(version=1, assignment=(), num_groups=1)
+    with pytest.raises(ValueError, match="unknown group"):
+        ShardMap(version=1, assignment=(0, 3), num_groups=2)

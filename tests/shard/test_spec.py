@@ -1,0 +1,156 @@
+"""ShardedSpec: ownership fencing, freeze/install, conflicts, fingerprints.
+
+These are pure state-machine tests — no simulator, no cluster.  Key
+facts baked in (stable, sha256-based): with ``num_slots=4``, ``"k0"``
+hashes to slot 1, ``"k2"`` to slot 2, ``"k3"`` to slot 3, ``"k9"`` to
+slot 0.
+"""
+
+import pytest
+
+from repro.objects.counter import CounterSpec
+from repro.objects.kvstore import KVStoreSpec, get, put, scan
+from repro.shard import (
+    FREEZE,
+    INSTALL,
+    ShardedSpec,
+    WrongShard,
+    freeze_op,
+    install_op,
+)
+
+KEY_IN_SLOT = {1: "k0", 2: "k2", 3: "k3", 0: "k9"}
+
+
+def make_spec(owned=(0, 1)):
+    return ShardedSpec(KVStoreSpec(), num_slots=4, owned=owned)
+
+
+def test_unshardable_inner_rejected():
+    # A counter's state is one integer — not key-addressable.
+    with pytest.raises(TypeError, match="cannot be sharded"):
+        ShardedSpec(CounterSpec(), num_slots=4, owned=[0])
+
+
+def test_owned_slot_validation():
+    with pytest.raises(ValueError, match="out of range"):
+        make_spec(owned=[0, 7])
+    with pytest.raises(ValueError, match="num_slots"):
+        ShardedSpec(KVStoreSpec(), num_slots=0, owned=[])
+
+
+def test_initial_state():
+    state = make_spec().initial_state()
+    assert state.owned == frozenset({0, 1})
+    assert state.version == 1
+
+
+def test_owned_key_delegates_to_inner():
+    spec = make_spec(owned=(1,))
+    state = spec.initial_state()
+    state, response = spec.apply(state, put(KEY_IN_SLOT[1], "v"))
+    assert response is None
+    state, response = spec.apply(state, get(KEY_IN_SLOT[1]))
+    assert response == "v"
+    assert state.owned == frozenset({1})
+
+
+def test_unowned_key_commits_wrong_shard_without_effect():
+    spec = make_spec(owned=(1,))
+    state = spec.initial_state()
+    before = state
+    state, response = spec.apply(state, put(KEY_IN_SLOT[2], "v"))
+    assert response == WrongShard(1)
+    assert state == before  # committed, but a no-op
+
+
+def test_unpartitionable_op_rejected():
+    spec = make_spec()
+    with pytest.raises(ValueError, match="un-partitionable"):
+        spec.apply(spec.initial_state(), scan())
+
+
+def test_freeze_exports_and_drops_only_owned_intersection():
+    spec = make_spec(owned=(0, 1, 2))
+    state = spec.initial_state()
+    for slot in (0, 1, 2):
+        state, _ = spec.apply(state, put(KEY_IN_SLOT[slot], slot * 10))
+    state, items = spec.apply(state, freeze_op({1, 3}, version=2))
+    # Slot 3 was never owned; only slot 1's item moves.
+    assert items == ((KEY_IN_SLOT[1], 10),)
+    assert state.owned == frozenset({0, 2})
+    assert state.version == 2
+    # The frozen key is gone; the kept keys remain.
+    _, response = spec.apply(state, get(KEY_IN_SLOT[1]))
+    assert response == WrongShard(2)
+    _, response = spec.apply(state, get(KEY_IN_SLOT[2]))
+    assert response == 20
+
+
+def test_freeze_of_departed_slots_is_empty():
+    spec = make_spec(owned=(0,))
+    state = spec.initial_state()
+    state, items = spec.apply(state, freeze_op({1, 2}, version=5))
+    assert items == ()
+    assert state.owned == frozenset({0})
+
+
+def test_install_merges_items_and_grows_ownership():
+    spec = make_spec(owned=(0,))
+    state = spec.initial_state()
+    items = ((KEY_IN_SLOT[1], "a"), (KEY_IN_SLOT[2], "b"))
+    state, count = spec.apply(state, install_op({1, 2}, 3, items))
+    assert count == 2
+    assert state.owned == frozenset({0, 1, 2})
+    assert state.version == 3
+    _, response = spec.apply(state, get(KEY_IN_SLOT[2]))
+    assert response == "b"
+
+
+def test_version_never_goes_backwards():
+    spec = make_spec(owned=(0, 1))
+    state = spec.initial_state()
+    state, _ = spec.apply(state, install_op({2}, 7, ()))
+    assert state.version == 7
+    # A stale freeze (lower version) still moves slots but keeps v7.
+    state, _ = spec.apply(state, freeze_op({2}, 3))
+    assert state.version == 7
+
+
+def test_freeze_and_install_are_not_reads():
+    spec = make_spec()
+    assert not spec.is_read(freeze_op({0}, 2))
+    assert not spec.is_read(install_op({0}, 2, ()))
+    assert spec.is_read(get("k0"))
+    assert not spec.is_read(put("k0", 1))
+
+
+def test_every_read_conflicts_with_freeze_and_install():
+    # The read-fencing linchpin: the conflict-aware read rule makes a
+    # read wait out any concurrent ownership change, so no read is
+    # answered from a frozen range.
+    spec = make_spec()
+    for rmw in (freeze_op({3}, 2), install_op({3}, 2, ())):
+        assert spec.conflicts(get("unrelated-key"), rmw)
+    # Ordinary conflicts still delegate to the inner key-granular rule.
+    assert spec.conflicts(get("k0"), put("k0", 1))
+    assert not spec.conflicts(get("k0"), put("other", 1))
+
+
+def test_partition_key_delegation():
+    spec = make_spec()
+    assert spec.partition_key(get("k0")) == "k0"
+    assert spec.partition_key(freeze_op({0}, 2)) is None
+    assert spec.partition_key(install_op({0}, 2, ())) is None
+
+
+def test_fingerprint_covers_ownership_and_version():
+    spec = make_spec(owned=(0, 1))
+    base = spec.initial_state()
+    shrunk, _ = spec.apply(base, freeze_op({1}, 2))
+    # Same inner contents (empty), different ownership: the checker
+    # must never memoize these as one configuration.
+    assert spec.fingerprint(base) != spec.fingerprint(shrunk)
+    names = {FREEZE, INSTALL}
+    assert freeze_op({0}, 1).name in names
+    assert install_op({0}, 1, ()).name in names

@@ -48,6 +48,15 @@ def test_fault_injection_tour():
     assert "schedule 2" in out
 
 
+def test_sharded_kv():
+    out = run_example("sharded_kv.py")
+    assert "crashed mid-handoff" in out
+    assert "handoff completed anyway" in out
+    assert "all 12 keys read back correctly" in out
+    assert "routed history linearizable: True" in out
+    assert "shard.handoff span(s) recorded" in out
+
+
 @pytest.mark.slow
 def test_read_heavy_cache():
     out = run_example("read_heavy_cache.py", timeout=600.0)

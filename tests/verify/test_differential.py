@@ -220,3 +220,129 @@ def test_segmentation_off_matches_reference_on_concurrent_batch():
     history = History(entries)
     assert bool(check_linearizable(REGISTER, history, segment=False)) == \
         bool(check_linearizable_reference(REGISTER, history))
+
+
+# ----------------------------------------------------------------------
+# Fingerprint-bearing specs: bank, lock, queue
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def bank_histories(draw):
+    """Random bank histories over two accounts, including the coupling
+    operations (transfer, total) that forbid partitioning — exercised
+    whole-history, where memoization runs on BankSpec.fingerprint."""
+    from repro.objects.bank import (
+        balance, deposit, total, transfer, withdraw,
+    )
+    n_ops = draw(st.integers(min_value=1, max_value=6))
+    entries = []
+    for i in range(n_ops):
+        start = draw(st.floats(min_value=0, max_value=30))
+        duration = draw(st.floats(min_value=0.0, max_value=10))
+        is_pending = draw(st.booleans()) and draw(st.booleans())
+        account = draw(st.sampled_from(["a", "b"]))
+        kind = draw(st.sampled_from(
+            ["balance", "deposit", "withdraw", "transfer", "total"]
+        ))
+        amount = draw(st.integers(min_value=1, max_value=3))
+        if kind == "balance":
+            op = balance(account)
+            response = draw(st.integers(min_value=0, max_value=4))
+        elif kind == "deposit":
+            op = deposit(account, amount)
+            response = None
+        elif kind == "withdraw":
+            op = withdraw(account, amount)
+            response = draw(st.sampled_from([0, amount]))
+        elif kind == "transfer":
+            op = transfer("a", "b", amount)
+            response = draw(st.booleans())
+        else:
+            op = total()
+            response = draw(st.integers(min_value=0, max_value=6))
+        entries.append(
+            HistoryEntry(
+                op=op,
+                response=None if is_pending else response,
+                invoked_at=start,
+                responded_at=None if is_pending else start + duration,
+                pid=i,
+            )
+        )
+    return entries
+
+
+@st.composite
+def lock_queue_histories(draw):
+    """Random single-object lock or queue histories (the un-partitionable
+    specs); their fingerprint hooks drive memoization here."""
+    from repro.objects.lock import LockSpec, acquire, owner, release
+    from repro.objects.queue import QueueSpec, dequeue, enqueue, peek
+
+    use_lock = draw(st.booleans())
+    n_ops = draw(st.integers(min_value=1, max_value=6))
+    entries = []
+    for i in range(n_ops):
+        start = draw(st.floats(min_value=0, max_value=25))
+        duration = draw(st.floats(min_value=0.0, max_value=10))
+        is_pending = draw(st.booleans()) and draw(st.booleans())
+        if use_lock:
+            who = draw(st.sampled_from(["p", "q"]))
+            kind = draw(st.sampled_from(["acquire", "release", "owner"]))
+            if kind == "acquire":
+                op, response = acquire(who), draw(st.booleans())
+            elif kind == "release":
+                op, response = release(who), draw(st.booleans())
+            else:
+                op = owner()
+                response = draw(st.sampled_from([None, "p", "q"]))
+        else:
+            kind = draw(st.sampled_from(["enqueue", "dequeue", "peek"]))
+            if kind == "enqueue":
+                op = enqueue(draw(st.integers(min_value=0, max_value=2)))
+                response = None
+            else:
+                op = dequeue() if kind == "dequeue" else peek()
+                response = draw(st.sampled_from([None, 0, 1, 2]))
+        entries.append(
+            HistoryEntry(
+                op=op,
+                response=None if is_pending else response,
+                invoked_at=start,
+                responded_at=None if is_pending else start + duration,
+                pid=i,
+            )
+        )
+    spec = LockSpec() if use_lock else QueueSpec()
+    return spec, entries
+
+
+@given(bank_histories())
+@settings(max_examples=200, deadline=None, derandomize=True)
+def test_bank_verdicts_match_reference(entries):
+    from repro.objects.bank import BankSpec
+    _assert_same_verdict(BankSpec(), entries)
+
+
+@given(lock_queue_histories())
+@settings(max_examples=200, deadline=None, derandomize=True)
+def test_lock_and_queue_verdicts_match_reference(spec_entries):
+    spec, entries = spec_entries
+    _assert_same_verdict(spec, entries)
+
+
+def test_bank_partitioned_check_refused_when_transfer_present():
+    """partition_by_key over a history containing an un-partitionable
+    operation must refuse (undecided/error), never silently split."""
+    import pytest
+    from repro.objects.bank import BankSpec, deposit, transfer
+    entries = [
+        HistoryEntry(op=deposit("a", 2), response=None,
+                     invoked_at=0.0, responded_at=1.0, pid=0),
+        HistoryEntry(op=transfer("a", "b", 1), response=True,
+                     invoked_at=2.0, responded_at=3.0, pid=1),
+    ]
+    with pytest.raises(ValueError):
+        check_linearizable(BankSpec(), History(entries),
+                           partition_by_key=True)
