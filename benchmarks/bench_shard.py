@@ -17,17 +17,30 @@ per-group invariants, global linearizability, and cross-shard
 exactly-once.  Undecided checker verdicts are reported separately;
 real failures fail the benchmark.
 
-Results go to ``BENCH_shard.json`` at the repository root.
+The third part measures the **parallel simulation backend**: the same
+steady-write workload on :class:`~repro.shard.ParallelShardedCluster`
+(one forked worker per group, conservative time windows) against the
+serial backend, in *wall-clock* terms.  Simulated results are
+byte-identical between the backends — the determinism suite pins that —
+so the wall-clock ratio is a pure speedup measurement.  The ≥2.5×
+target at G=4 only applies with ≥4 CPU cores; on smaller machines the
+measured numbers are recorded (with the core count) but not gated.
+
+Results go to ``BENCH_shard.json`` and ``BENCH_parallel.json`` at the
+repository root.
 
 Run with ``PYTHONPATH=src python benchmarks/bench_shard.py``
-(``--quick`` runs reduced sizes and gates against the committed
-baseline without rewriting it).
+(``--quick`` runs reduced sizes, gates against the committed
+BENCH_shard.json baseline without rewriting it, and refreshes
+BENCH_parallel.json — wall clock is machine-dependent, so that file is
+always a fresh measurement).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -37,7 +50,8 @@ from repro.analysis.parallel import default_workers, parallel_imap
 from repro.chaos.cli import _soak_cell
 from repro.core.config import ChtConfig
 from repro.objects.kvstore import KVStoreSpec, increment
-from repro.shard import ShardedCluster, slot_of
+from repro.shard import ParallelShardedCluster, ShardedCluster, slot_of
+from repro.sim.core import Simulator
 from repro.sim.tasks import Future
 
 from _common import Table, banner
@@ -58,6 +72,17 @@ SCALING_TARGET = 2.5
 #: quick speedup should match the committed baseline almost exactly;
 #: the slack only covers legitimate small code changes.
 QUICK_FLOOR = 0.8
+#: Wall-clock acceptance floor for the parallel backend: serial wall
+#: time over parallel wall time at G=4 (one worker per group).  Only
+#: enforced with at least this many cores — conservative windows cannot
+#: beat serial execution without hardware parallelism.
+PARALLEL_TARGET = 2.5
+PARALLEL_TARGET_CORES = 4
+#: Event-loop micro-benchmark (the run()-loop deadline/budget hoisting):
+#: best-of-3 over this many self-rescheduling timer events, with the
+#: pre-optimization number committed for comparison.
+MICRO_EVENTS = 300_000
+MICRO_BEFORE_EVENTS_PER_SEC = 917_513
 
 
 def distinct_slot_keys(num_slots: int) -> list[str]:
@@ -174,6 +199,132 @@ def bench_handoff_soak(quick: bool) -> dict:
     }
 
 
+def bench_event_loop() -> dict:
+    """Satellite micro-benchmark: raw run()-loop event rate.
+
+    Same harness as the committed "before" number: one self-rescheduling
+    timer, best of three passes of ``MICRO_EVENTS`` events.
+    """
+
+    def once() -> float:
+        sim = Simulator()
+
+        def tick() -> None:
+            sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        t0 = time.perf_counter()
+        sim.run(max_events=MICRO_EVENTS)
+        return MICRO_EVENTS / (time.perf_counter() - t0)
+
+    best = max(once() for _ in range(3))
+    return {
+        "harness": f"best of 3 x {MICRO_EVENTS} self-rescheduling timer "
+                   "events",
+        "events_per_sec_before": MICRO_BEFORE_EVENTS_PER_SEC,
+        "events_per_sec_after": round(best),
+        "speedup": round(best / MICRO_BEFORE_EVENTS_PER_SEC, 3),
+    }
+
+
+def _wall_clock_cell(groups: int, horizon: float, parallel: bool,
+                     seed: int = 0) -> dict:
+    """One wall-clock measurement: the steady-write workload on either
+    backend, identical simulated work by construction."""
+    config = ChtConfig(n=3, max_batch_size=BATCH_CAP)
+    facade = ParallelShardedCluster if parallel else ShardedCluster
+    cluster = facade(
+        KVStoreSpec(),
+        config,
+        num_groups=groups,
+        num_slots=NUM_SLOTS,
+        seed=seed,
+        num_clients=NUM_WRITERS,
+        obs=False,
+    ).start()
+    try:
+        cluster.run_until_leaders()
+        keys = distinct_slot_keys(NUM_SLOTS)
+        completions: list[Future] = []
+        routers = [cluster.router(i) for i in range(NUM_WRITERS)]
+        for i, router in enumerate(routers):
+            router._host.spawn(
+                _writer(router, keys[i % NUM_SLOTS], completions),
+                name=f"writer-{i}",
+            )
+        t0 = time.perf_counter()
+        cluster.run(horizon)
+        wall = time.perf_counter() - t0
+        committed = sum(1 for f in completions if f.done)
+        row = {
+            "groups": groups,
+            "wall_seconds": round(wall, 3),
+            "writes": committed,
+            "writes_per_wall_sec": round(committed / wall, 1),
+        }
+        if parallel:
+            row["windows"] = cluster.windows
+            row["barrier_stall_seconds"] = round(cluster.barrier_stall, 3)
+            reports = cluster.finish()
+            events = cluster.sim.events_processed + sum(
+                report["events_processed"] for report in reports.values()
+            )
+        else:
+            events = cluster.sim.events_processed
+        row["events"] = events
+        row["events_per_wall_sec"] = round(events / wall)
+        return row
+    finally:
+        cluster.close()
+
+
+def bench_parallel_backend(quick: bool) -> dict:
+    """Serial vs parallel backend wall clock at G ∈ {1, 2, 4}.
+
+    The parallel cluster runs one worker process per group, so the G=4
+    row is the "4 workers" configuration the acceptance target names.
+    """
+    horizon = 1500.0 if quick else 4000.0
+    counts = (1, 4) if quick else (1, 2, 4)
+    serial = {}
+    parallel = {}
+    for g in counts:
+        serial[str(g)] = _wall_clock_cell(g, horizon, parallel=False)
+        parallel[str(g)] = _wall_clock_cell(g, horizon, parallel=True)
+    cores = os.cpu_count() or 1
+    speedups = {
+        str(g): round(
+            serial[str(g)]["wall_seconds"] / parallel[str(g)]["wall_seconds"],
+            2,
+        )
+        for g in counts
+    }
+    top = str(max(counts))
+    enforced = cores >= PARALLEL_TARGET_CORES and not quick
+    return {
+        "horizon_ms": horizon,
+        "writers": NUM_WRITERS,
+        "cpu_count": cores,
+        "serial": serial,
+        "parallel": parallel,
+        "wall_speedup_vs_serial": speedups,
+        "gate": {
+            "target": PARALLEL_TARGET,
+            "at_groups": int(top),
+            "enforced": enforced,
+            "reason": (
+                "enforced: full run on >= "
+                f"{PARALLEL_TARGET_CORES} cores"
+                if enforced else
+                f"recorded only: {cores} core(s)"
+                + (", quick mode" if quick else "")
+                + f"; the >= {PARALLEL_TARGET}x gate needs "
+                f">= {PARALLEL_TARGET_CORES} cores (CI enforces it)"
+            ),
+        },
+    }
+
+
 def run(quick: bool = False) -> dict:
     scaling = bench_scaling(quick)
     soak = bench_handoff_soak(quick)
@@ -195,6 +346,14 @@ def run(quick: bool = False) -> dict:
         q = bench_scaling(quick=True)
         result["speedup_quick_baseline"] = q["speedup_vs_g1"]
     return result
+
+
+def run_parallel(quick: bool = False) -> dict:
+    return {
+        "quick": quick,
+        "event_loop_micro": bench_event_loop(),
+        "wall_clock": bench_parallel_backend(quick),
+    }
 
 
 def emit(result: dict) -> None:
@@ -221,6 +380,37 @@ def emit(result: dict) -> None:
         print(f"  FAIL {failure}")
 
 
+def emit_parallel(result: dict) -> None:
+    micro = result["event_loop_micro"]
+    print(banner("event-loop micro: run() deadline/budget hoisting"))
+    print(f"{micro['harness']}: {micro['events_per_sec_before']:,} -> "
+          f"{micro['events_per_sec_after']:,} events/s "
+          f"({micro['speedup']:.3f}x)")
+
+    wall = result["wall_clock"]
+    print(banner(
+        f"parallel backend wall clock ({wall['cpu_count']} core(s), "
+        f"{wall['writers']} writers, {wall['horizon_ms']:.0f} ms horizon)"
+    ))
+    table = Table(["groups", "serial wall s", "parallel wall s",
+                   "speedup", "events/s serial", "events/s parallel",
+                   "windows", "stall s"])
+    for g in sorted(wall["serial"], key=int):
+        serial, parallel = wall["serial"][g], wall["parallel"][g]
+        table.add_row(
+            g,
+            serial["wall_seconds"],
+            parallel["wall_seconds"],
+            f'{wall["wall_speedup_vs_serial"][g]:.2f}x',
+            f'{serial["events_per_wall_sec"]:,}',
+            f'{parallel["events_per_wall_sec"]:,}',
+            parallel["windows"],
+            parallel["barrier_stall_seconds"],
+        )
+    print(table.render())
+    print(f"gate: {wall['gate']['reason']}")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
@@ -232,10 +422,28 @@ def main() -> None:
     emit(result)
     out = REPO_ROOT / "BENCH_shard.json"
 
+    parallel_result = run_parallel(quick=args.quick)
+    emit_parallel(parallel_result)
+    # Wall clock is machine-dependent; the artifact is always a fresh
+    # measurement (core count included), never a committed baseline.
+    parallel_out = REPO_ROOT / "BENCH_parallel.json"
+    parallel_out.write_text(json.dumps(parallel_result, indent=2) + "\n")
+    print(f"\nwrote {parallel_out}")
+
     if result["soak"]["failures"]:
         print(f"\nhandoff soak found {len(result['soak']['failures'])} "
               "failures")
         sys.exit(1)
+
+    gate = parallel_result["wall_clock"]["gate"]
+    if gate["enforced"]:
+        top = str(gate["at_groups"])
+        got = parallel_result["wall_clock"]["wall_speedup_vs_serial"][top]
+        verdict = "PASS" if got >= gate["target"] else "FAIL"
+        print(f"[{verdict}] parallel backend G={top} wall-clock speedup "
+              f"{got:.2f}x (target >= {gate['target']}x)")
+        if got < gate["target"]:
+            sys.exit(1)
 
     if args.quick:
         committed = json.loads(out.read_text())["speedup_quick_baseline"]

@@ -41,19 +41,20 @@ def _soak_cell(args: tuple) -> NemesisResult:
 
     Module-level (picklable) and self-contained so it executes
     identically in a forked worker and in the parent process.  Cells are
-    8-tuples historically; sharded soaks append ``(groups, handoffs)``,
-    and older 8-tuple callers keep working.
+    8-tuples historically; sharded soaks append ``(groups, handoffs)``
+    and then ``parallel_sim``, and older shorter-tuple callers keep
+    working.
     """
     (system, n, clients, horizon, seed, ops_per_client, bug, index,
      *rest) = args
-    groups, handoffs = rest if rest else (2, 1)
+    groups, handoffs, parallel_sim = (*rest, 2, 1, False)[:3]
     generator = ScheduleGenerator(
         n=n, num_clients=clients, horizon=horizon, seed=seed,
     )
     runner = NemesisRunner(
         system=system, n=n, num_clients=clients, seed=seed, horizon=horizon,
         ops_per_client=ops_per_client, bug=bug,
-        groups=groups, handoffs=handoffs,
+        groups=groups, handoffs=handoffs, parallel_sim=parallel_sim,
     )
     return runner.run(generator.generate(index))
 
@@ -82,6 +83,10 @@ def _build_parser() -> argparse.ArgumentParser:
     soak.add_argument("--handoffs", type=int, default=1,
                       help="fenced handoffs fired mid-schedule per "
                            "sharded run (system=sharded)")
+    soak.add_argument("--parallel-sim", action="store_true",
+                      help="simulate each shard group in its own worker "
+                           "process (system=sharded; verdicts identical "
+                           "to the serial backend)")
     soak.add_argument("--artifact", default="chaos-repro.json",
                       help="where to write the shrunken repro on failure")
     soak.add_argument("--shrink-budget", type=int, default=200)
@@ -111,7 +116,7 @@ def _soak(args: argparse.Namespace) -> int:
         cells = [
             (system, args.n, args.clients, args.horizon, args.seed,
              args.ops_per_client, args.bug, index, args.groups,
-             args.handoffs)
+             args.handoffs, args.parallel_sim)
             for index in range(args.schedules)
         ]
         # Stream verdicts in index order; workers simulate+verify ahead.
@@ -140,6 +145,8 @@ def _soak(args: argparse.Namespace) -> int:
             )
             # Shrinking replays mutated schedules serially in this
             # process; rebuild the failing cell's generator and runner.
+            # Always on the serial backend: verdicts are identical, and
+            # a tight mutate-replay loop has no use for fork overhead.
             generator = ScheduleGenerator(
                 n=args.n, num_clients=args.clients, horizon=args.horizon,
                 seed=args.seed,

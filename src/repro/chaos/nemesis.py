@@ -35,6 +35,7 @@ from ..core.config import ChtConfig
 from ..objects.kvstore import KVStoreSpec, delete, get, increment, put
 from ..objects.spec import Operation
 from ..shard.cluster import ShardedCluster
+from ..shard.parallel import ParallelShardedCluster
 from ..shard.router import Router
 from ..shard.spec import WrongShard
 from ..sim.failures import FaultSchedule
@@ -121,6 +122,7 @@ class NemesisRunner:
         max_configurations: int = 2_000_000,
         groups: int = 2,
         handoffs: int = 1,
+        parallel_sim: bool = False,
     ) -> None:
         if system not in SYSTEMS:
             raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}")
@@ -131,6 +133,11 @@ class NemesisRunner:
         # runner fires while the fault schedule is playing out.
         self.groups = groups
         self.handoffs = handoffs
+        # Sharded runs only: simulate each group on its own worker
+        # process (ParallelShardedCluster).  Verdicts are byte-identical
+        # to the serial backend — that equivalence is pinned by the
+        # determinism suite — so this trades nothing but wall clock.
+        self.parallel_sim = parallel_sim
         self.seed = seed
         self.horizon = horizon
         self.ops_per_client = ops_per_client
@@ -270,9 +277,36 @@ class NemesisRunner:
           is caught as an ordinary linearizability violation;
         * **structural exactly-once** — every routed operation saw
           exactly one committed non-WrongShard reply across all groups.
+
+        With ``parallel_sim`` the same run executes on the parallel
+        backend: the control plane (routers, handoff driver, verdict
+        inputs) stays in this process while each group simulates in a
+        forked worker.  Bug injection and schedule arming move into the
+        per-group hooks so they execute inside the worker; both hooks
+        draw only site-namespaced randomness, which is why the two
+        backends produce byte-identical traces and verdicts.
         """
         spec = KVStoreSpec()
-        cluster = ShardedCluster(
+        bug = self.bug
+
+        def group_setup(group: ChtCluster, gid: int) -> None:
+            if bug:
+                for replica in group.replicas:
+                    replica.bug_switches.add(bug)
+
+        def on_started(group: ChtCluster, gid: int) -> None:
+            # Arm on the *group's* simulator — the shared one in a
+            # serial run, the worker-local one in a parallel run.
+            schedule.arm(
+                group.sim,
+                group.net,
+                list(group.replicas) + list(group.clients),
+                clocks=group.clocks,
+                leader_probe=self._cht_probe(group),
+            )
+
+        facade = ParallelShardedCluster if self.parallel_sim else ShardedCluster
+        cluster = facade(
             spec,
             ChtConfig(n=self.n),
             num_groups=self.groups,
@@ -280,22 +314,27 @@ class NemesisRunner:
             seed=self.seed,
             num_clients=self.num_clients,
             obs=self.obs,
+            group_setup=group_setup,
+            on_started=on_started,
         )
         self.last_obs = cluster.obs
-        if self.bug:
-            for group in cluster.groups:
-                for replica in group.replicas:
-                    replica.bug_switches.add(self.bug)
-        cluster.start()
-        for group in cluster.groups:
-            schedule.arm(
-                cluster.sim,
-                group.net,
-                list(group.replicas) + list(group.clients),
-                clocks=group.clocks,
-                leader_probe=self._cht_probe(group),
-            )
+        try:
+            return self._drive_sharded(cluster, spec, schedule)
+        finally:
+            cluster.close()
 
+    def _drive_sharded(
+        self, cluster: Any, spec: KVStoreSpec, schedule: FaultSchedule
+    ) -> NemesisResult:
+        """Drive one sharded run through either façade.
+
+        Everything here speaks the shared control-plane surface —
+        ``router`` / ``spawn_handoff`` / ``run_to`` / ``run_until`` /
+        ``owned_slots`` / ``invariant_failures`` — and never touches a
+        group object directly, so it cannot tell (and must not care)
+        whether the groups live on the shared simulator or in workers.
+        """
+        cluster.start()
         routers = [cluster.router(i) for i in range(self.num_clients)]
         futures: list[Future] = []
         expected = self.num_clients * self.ops_per_client
@@ -320,13 +359,13 @@ class NemesisRunner:
                 (j % self.groups, (j + 1) % self.groups)
                 for j in range(self.handoffs)
             ]
-            cluster.coordinator(0).spawn(
+            cluster.control.host.spawn(
                 self._handoff_driver(cluster, times, pairs, handoff_futures),
                 name="handoff-driver",
             )
 
         settle = max(self.horizon, last_disruption(schedule))
-        cluster.sim.run(until=settle)
+        cluster.run_to(settle)
 
         def all_done() -> bool:
             return (
@@ -336,10 +375,18 @@ class NemesisRunner:
                 and all(f.done for f in handoff_futures)
             )
 
-        cluster.sim.run(until=settle + self.liveness_bound, stop_when=all_done)
+        cluster.run_until(all_done, timeout=self.liveness_bound)
 
-        for group in cluster.groups:
-            check_i2_i3(group.replicas)
+        failures = cluster.invariant_failures()
+        if failures:
+            return NemesisResult(
+                False,
+                "invariant",
+                "; ".join(
+                    f"{site}: {msg}"
+                    for site, msg in sorted(failures.items())
+                ),
+            )
 
         if not all_done():
             completed = sum(1 for f in futures if f.done)
@@ -418,7 +465,7 @@ class NemesisRunner:
 
     @staticmethod
     def _handoff_driver(
-        cluster: ShardedCluster,
+        cluster: Any,  # ShardedCluster | ParallelShardedCluster
         times: list[float],
         pairs: list[tuple[int, int]],
         handoff_futures: list[Future],

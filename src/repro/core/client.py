@@ -172,7 +172,7 @@ class ChtCluster:
         self.clocks = ClockModel(
             self.config.n + num_clients,
             self.config.epsilon,
-            rng=self.sim.fork_rng("clocks"),
+            rng=self.sim.fork_rng("clocks", site=site),
             offsets=clock_offsets,
         )
         self.net = Network(
@@ -182,6 +182,7 @@ class ChtCluster:
             post_gst_delay=post_gst_delay,
             pre_gst_delay=pre_gst_delay,
             pre_gst_drop_prob=pre_gst_drop_prob,
+            site=site,
         )
         # Observability opts in per cluster (``obs=True``), or arrives as a
         # shared, already-attached ObsContext in multi-group runs.  Either

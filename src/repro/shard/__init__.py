@@ -16,20 +16,33 @@ and partitioning the keyspace between them:
 * :mod:`router` — a client-side :class:`Router` that caches the shard
   map, routes each operation by its ``partition_key``, and chases
   ``WrongShard`` redirects.
-* :mod:`cluster` — :class:`ShardedCluster`, the multi-group façade with
-  the fenced handoff primitive.
+* :mod:`transport` — the control plane and the transport seam between
+  it and the groups (:class:`LocalTransport` on one shared simulator,
+  :class:`MailboxTransport` across simulators).
+* :mod:`cluster` — :class:`ShardedCluster`, the serial multi-group
+  façade with the fenced handoff primitive.
+* :mod:`parallel` — :class:`ParallelShardedCluster`, the same cluster
+  with one simulator per group on forked workers, window-synchronized
+  by :class:`~repro.sim.parallel.ParallelSim`.
 
-See ``docs/SHARDING.md`` for the design and its safety argument.
+See ``docs/SHARDING.md`` for the design and its safety argument, and
+``docs/PERFORMANCE.md`` for the parallel backend.
 """
 
 from .cluster import ShardedCluster
 from .map import ShardMap, slot_of
+from .parallel import ParallelShardedCluster, group_fingerprint
 from .router import Router
 from .spec import FREEZE, INSTALL, ShardState, ShardedSpec, WrongShard, freeze_op, install_op
+from .transport import ControlPlane, LocalTransport, MailboxTransport
 
 __all__ = [
     "FREEZE",
     "INSTALL",
+    "ControlPlane",
+    "LocalTransport",
+    "MailboxTransport",
+    "ParallelShardedCluster",
     "Router",
     "ShardMap",
     "ShardState",
@@ -38,5 +51,6 @@ __all__ = [
     "WrongShard",
     "freeze_op",
     "install_op",
+    "group_fingerprint",
     "slot_of",
 ]

@@ -1,4 +1,4 @@
-"""The multi-group façade and the fenced shard handoff primitive.
+"""The serial multi-group façade over one shared simulator.
 
 A :class:`ShardedCluster` runs *G* independent CHT groups over **one**
 shared simulator, so their events interleave in a single deterministic
@@ -10,11 +10,21 @@ observability is on, one :class:`~repro.obs.spans.ObsContext` where the
 ``site`` label ``"g0" / "g1" / ...`` keeps their telemetry apart, since
 pids repeat across groups).
 
+Routing and handoffs no longer reach into sibling groups directly:
+the shard map, the routers' driving tasks, and the fenced handoff
+coordinator all live on a :class:`~repro.shard.transport.ControlPlane`,
+which talks to each group's :class:`~repro.shard.transport.GroupPort`
+through a :class:`~repro.shard.transport.LocalTransport`.  The
+parallel façade (:class:`~repro.shard.parallel.ParallelShardedCluster`)
+reuses the same control plane over a mailbox transport, which is what
+makes this serial path the byte-exact determinism oracle for parallel
+runs.
+
 Handoff of a slot range from group ``src`` to ``dst`` is three steps,
 each fenced by the map version it carries:
 
-1. **Publish**: the cluster's shard map is replaced by one where the
-   slots belong to ``dst`` and the version is bumped.  Routers that
+1. **Publish**: the control plane's shard map is replaced by one where
+   the slots belong to ``dst`` and the version is bumped.  Routers that
    refresh now route to ``dst`` and simply retry on ``WrongShard``
    until step 3 lands; routers that do not refresh keep hitting ``src``
    until step 2 commits there, then get ``WrongShard`` and converge.
@@ -35,17 +45,19 @@ always computed against the current map.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional
 
 from ..core.client import ChtCluster, ClientSession
 from ..core.config import ChtConfig
 from ..objects.spec import ObjectSpec
 from ..obs.spans import ObsContext
 from ..sim.core import Simulator
+from ..sim.latency import DelayModel
 from ..sim.tasks import Future
 from .map import ShardMap
 from .router import Router
-from .spec import ShardedSpec, freeze_op, install_op
+from .spec import ShardedSpec
+from .transport import ControlPlane, GroupPort, LocalTransport
 
 __all__ = ["ShardedCluster"]
 
@@ -64,6 +76,9 @@ class ShardedCluster:
         obs: bool = False,
         gst: float = 0.0,
         monitors: bool = True,
+        transport_delay: Optional[DelayModel] = None,
+        group_setup: Optional[Callable[[ChtCluster, int], None]] = None,
+        on_started: Optional[Callable[[ChtCluster, int], None]] = None,
     ) -> None:
         if num_groups < 1:
             raise ValueError("need at least one group")
@@ -78,14 +93,28 @@ class ShardedCluster:
         self.obs: Optional[ObsContext] = (
             ObsContext(self.sim) if obs else None
         )
-        self.map = ShardMap.uniform(num_slots, num_groups)
+        # The control plane is built first so its un-namespaced rng
+        # streams ("network", "process-0", "transport") match the
+        # parallel façade, where it is alone on the parent simulator.
+        self._transport = LocalTransport(transport_delay)
+        self.control = ControlPlane(
+            self.sim,
+            self._transport,
+            ShardMap.uniform(num_slots, num_groups),
+            num_groups,
+            num_clients,
+            delta=self.config.delta,
+            obs=self.obs,
+        )
         # Per group: ``num_clients`` router-facing sessions plus one
         # extra session (the last) reserved as the handoff coordinator,
         # so freeze/install never contend with a workload session's
         # one-outstanding-RMW limit.
-        self.groups: list[ChtCluster] = [
-            ChtCluster(
-                ShardedSpec(spec, num_slots, self.map.slots_of(g)),
+        self.groups: list[ChtCluster] = []
+        self.ports: list[GroupPort] = []
+        for g in range(num_groups):
+            group = ChtCluster(
+                ShardedSpec(spec, num_slots, self.control.map.slots_of(g)),
                 self.config,
                 sim=self.sim,
                 site=f"g{g}",
@@ -94,22 +123,45 @@ class ShardedCluster:
                 gst=gst,
                 monitors=monitors,
             )
-            for g in range(num_groups)
-        ]
-        #: Completed handoff records (dicts), in completion order.
-        self.handoffs: list[dict[str, Any]] = []
-        self._last_handoff: Optional[Future] = None
+            self.groups.append(group)
+            self.ports.append(
+                GroupPort(g, group, self._transport, self.config.delta)
+            )
+        self._group_setup = group_setup
+        self._on_started = on_started
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def map(self) -> ShardMap:
+        """The published shard map (owned by the control plane)."""
+        return self.control.map
+
+    @property
+    def handoffs(self) -> list[dict[str, Any]]:
+        return self.control.handoffs
+
     def start(self) -> "ShardedCluster":
+        # Hook order matches the parallel workers' per-group sequence
+        # (setup, start, on_started), so a group's own event order is
+        # identical under both façades.
+        if self._group_setup is not None:
+            for g, group in enumerate(self.groups):
+                self._group_setup(group, g)
         for group in self.groups:
             group.start()
+        if self._on_started is not None:
+            for g, group in enumerate(self.groups):
+                self._on_started(group, g)
         return self
 
     def run(self, duration: float) -> None:
         self.sim.run_for(duration)
+
+    def run_to(self, until: float) -> None:
+        """Run to an absolute simulation time (parallel-façade parity)."""
+        self.sim.run(until=until)
 
     def run_until(
         self, predicate: Callable[[], bool], timeout: float = 10_000.0
@@ -132,11 +184,14 @@ class ShardedCluster:
                 f"groups {missing} elected no leader within {timeout}"
             )
 
+    def close(self) -> None:
+        """Serial runs hold no external resources; parity no-op."""
+
     # ------------------------------------------------------------------
     # Clients
     # ------------------------------------------------------------------
     def router(self, index: int, **kwargs: Any) -> Router:
-        """A routing client bundling each group's session ``index``."""
+        """A routing client for client-session index ``index``."""
         if not 0 <= index < self.num_clients:
             raise ValueError(
                 f"client index {index} out of range "
@@ -158,83 +213,8 @@ class ShardedCluster:
         slots: Optional[Iterable[int]] = None,
     ) -> Future:
         """Move ``slots`` (default: half of ``src``'s) from ``src`` to
-        ``dst``.  Returns a future resolving with the handoff record once
-        the install commits.  Handoffs are serialized: this one starts
-        only after every previously spawned handoff completes."""
-        if src == dst:
-            raise ValueError("handoff source and destination must differ")
-        for gid in (src, dst):
-            if not 0 <= gid < self.num_groups:
-                raise ValueError(f"unknown group {gid}")
-        future = Future()
-        prev, self._last_handoff = self._last_handoff, future
-        self.coordinator(src).spawn(
-            self._handoff_task(src, dst, slots, prev, future),
-            name=f"handoff-{src}-{dst}",
-        )
-        return future
-
-    def _handoff_task(
-        self,
-        src: int,
-        dst: int,
-        slots: Optional[Iterable[int]],
-        prev: Optional[Future],
-        future: Future,
-    ) -> Generator:
-        if prev is not None and not prev.done:
-            yield prev
-        # Resolve the slot set only now, against the *current* map —
-        # an earlier handoff may have moved slots since spawn time, and
-        # freezing a slot the source no longer owns would install stale
-        # (empty) ownership over the current owner's data.
-        current = self.map.slots_of(src)
-        if slots is None:
-            half = sorted(current)[: max(1, len(current) // 2)]
-            moving = frozenset(half)
-        else:
-            moving = frozenset(slots) & current
-        if not moving:
-            record = {
-                "src": src, "dst": dst, "slots": (), "version":
-                self.map.version, "items": 0, "completed_at": self.sim.now,
-            }
-            future.resolve(record)
-            return
-        new_map = self.map.move(moving, dst)
-        self.map = new_map  # step 1: publish; the version bump fences
-        span = None
-        if self.obs is not None:
-            span = self.obs.tracer.begin(
-                "shard.handoff", "shard", self.coordinator(src).pid,
-                src=src, dst=dst, slots=len(moving),
-                version=new_map.version, site=f"g{src}",
-            )
-            self.obs.registry.counter("shard_handoffs_total").inc()
-        freeze = self.coordinator(src).submit(
-            freeze_op(moving, new_map.version)
-        )
-        yield freeze  # step 2: src stops answering for the range
-        items = freeze.value
-        if span is not None:
-            span.mark("frozen_at", self.sim.now)
-            span.mark("items", len(items))
-        install = self.coordinator(dst).submit(
-            install_op(moving, new_map.version, items)
-        )
-        yield install  # step 3: dst starts answering for the range
-        record = {
-            "src": src,
-            "dst": dst,
-            "slots": tuple(sorted(moving)),
-            "version": new_map.version,
-            "items": len(items),
-            "completed_at": self.sim.now,
-        }
-        self.handoffs.append(record)
-        if span is not None:
-            self.obs.tracer.close(span, "completed")
-        future.resolve(record)
+        ``dst``; see :meth:`ControlPlane.spawn_handoff`."""
+        return self.control.spawn_handoff(src, dst, slots)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -253,3 +233,19 @@ class ShardedCluster:
         alive = [r for r in group.replicas if not r.crashed]
         best = max(alive, key=lambda r: r.applied_upto)
         return best.state.owned
+
+    def invariant_failures(self) -> dict[str, str]:
+        """Per-site I2/I3 violation details; empty when all groups pass.
+
+        Same shape as the parallel façade's query-backed version, so the
+        nemesis renders identical invariant verdicts under both backends.
+        """
+        from ..verify.invariants import check_i2_i3
+
+        failures: dict[str, str] = {}
+        for g, group in enumerate(self.groups):
+            try:
+                check_i2_i3(group.replicas)
+            except AssertionError as exc:
+                failures[f"g{g}"] = str(exc) or "invariant check failed"
+        return failures

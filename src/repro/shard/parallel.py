@@ -1,0 +1,354 @@
+"""The parallel multi-group façade: one simulator per group, in workers.
+
+:class:`ParallelShardedCluster` is the drop-in parallel counterpart of
+:class:`~repro.shard.cluster.ShardedCluster`: same constructor shape,
+same control-plane API (routers, ``spawn_handoff``, ``run`` /
+``run_until``), but each group's :class:`~repro.core.client.ChtCluster`
+lives on a dedicated :class:`~repro.sim.core.Simulator` inside a forked
+worker, synchronized by :class:`~repro.sim.parallel.ParallelSim`'s
+conservative windows.  The control plane (shard map, router tasks,
+handoff coordinator) runs on the parent's simulator, exactly as it does
+on the shared simulator in a serial run.
+
+Determinism contract: with the same seed and the same driving sequence
+of fixed-horizon runs, each group's trace — committed operations with
+timestamps, replica state, network counters — is **byte-identical** to
+the serial run's, because
+
+* every group-scoped rng stream is site-namespaced, so it does not
+  matter whether the simulator is shared or dedicated;
+* cross-group interaction happens only through the transport seam,
+  whose latency draws are per-endpoint and whose deliveries are
+  front-of-time ordered the same way under both transports;
+* groups share no other state at all.
+
+:func:`group_fingerprint` is that trace, serialized canonically; the
+determinism suite compares fingerprints across the two façades.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Iterable, Optional
+
+from ..core.client import ChtCluster
+from ..core.config import ChtConfig
+from ..objects.spec import ObjectSpec
+from ..obs.spans import ObsContext
+from ..sim.core import Simulator
+from ..sim.latency import DelayModel, FixedDelay
+from ..sim.parallel import ParallelSim
+from ..sim.tasks import Future
+from .map import ShardMap
+from .router import Router
+from .spec import ShardedSpec
+from .transport import ControlPlane, GroupPort, MailboxTransport, site_of
+
+__all__ = ["ParallelShardedCluster", "group_fingerprint"]
+
+
+def group_fingerprint(group: ChtCluster) -> str:
+    """One group's run trace, canonically serialized.
+
+    Captures everything the determinism oracle promises: the full
+    per-session operation history (ids, kinds, operations, invocation
+    and response times, responses), each replica's applied prefix and
+    state, and the group network's message accounting.  Two runs whose
+    fingerprints match byte-for-byte processed this group's events in
+    the same order at the same times.
+    """
+    stats = [
+        [
+            list(record.op_id),
+            record.pid,
+            record.kind,
+            repr(record.op),
+            record.invoked_at,
+            record.responded_at,
+            repr(record.response),
+            record.blocked,
+        ]
+        for record in group.stats.records
+    ]
+    replicas = [
+        [replica.pid, replica.applied_upto, repr(replica.state)]
+        for replica in group.replicas
+    ]
+    net = {
+        "sent": sorted(group.net.messages_sent.items()),
+        "delivered": sorted(group.net.messages_delivered.items()),
+        "dropped": sorted(group.net.messages_dropped.items()),
+        "duplicated": sorted(group.net.messages_duplicated.items()),
+        "categories": sorted(group.net.category_sent.items()),
+    }
+    return json.dumps(
+        {"stats": stats, "replicas": replicas, "net": net},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def _best_owned(group: ChtCluster) -> tuple[int, ...]:
+    alive = [r for r in group.replicas if not r.crashed]
+    best = max(alive, key=lambda r: r.applied_upto)
+    return tuple(sorted(best.state.owned))
+
+
+class _GroupNode:
+    """Worker-side bundle: the group, its mailboxes, its query surface."""
+
+    def __init__(
+        self,
+        gid: int,
+        group: ChtCluster,
+        transport: MailboxTransport,
+        obs: Optional[ObsContext],
+    ) -> None:
+        self.gid = gid
+        self.group = group
+        self.obs = obs
+        self.sim = group.sim
+        self.inbox = transport.inbox
+        self.outbox = transport.outbox
+
+    def query(self, name: str, *args: Any) -> Any:
+        group = self.group
+        if name == "owned_slots":
+            return _best_owned(group)
+        if name == "leader_ready":
+            return group.leader() is not None
+        if name == "describe":
+            return group.describe()
+        if name == "invariants":
+            from ..verify.invariants import check_i2_i3
+
+            try:
+                check_i2_i3(group.replicas)
+            except AssertionError as exc:
+                return str(exc) or "invariant check failed"
+            return None
+        if name == "fingerprint":
+            return group_fingerprint(group)
+        if name == "ops_completed":
+            return len(group.stats.completed())
+        raise ValueError(f"unknown query {name!r}")
+
+    def finish(self) -> dict[str, Any]:
+        return {
+            "fingerprint": group_fingerprint(self.group),
+            "describe": self.group.describe(),
+            "events_processed": self.sim.events_processed,
+            "obs": self.obs.snapshot() if self.obs is not None else None,
+        }
+
+
+def _group_builder(
+    spec: ObjectSpec,
+    config: ChtConfig,
+    num_slots: int,
+    slots: frozenset[int],
+    gid: int,
+    seed: int,
+    num_clients: int,
+    gst: float,
+    monitors: bool,
+    obs_enabled: bool,
+    delay: DelayModel,
+    group_setup: Optional[Callable[[ChtCluster, int], None]],
+    on_started: Optional[Callable[[ChtCluster, int], None]],
+) -> Callable[[], _GroupNode]:
+    def build() -> _GroupNode:
+        sim = Simulator(seed=seed)
+        obs = ObsContext(sim) if obs_enabled else None
+        transport = MailboxTransport(delay)
+        group = ChtCluster(
+            ShardedSpec(spec, num_slots, slots),
+            config,
+            sim=sim,
+            site=site_of(gid),
+            num_clients=num_clients + 1,
+            obs=obs if obs is not None else False,
+            gst=gst,
+            monitors=monitors,
+        )
+        port = GroupPort(gid, group, transport, config.delta)
+        # Same per-group order as the serial façade's start():
+        # setup (fault switches), start, on_started (schedule arming).
+        if group_setup is not None:
+            group_setup(group, gid)
+        group.start()
+        if on_started is not None:
+            on_started(group, gid)
+        del port  # endpoint is reachable via the group's inbox handler
+        return _GroupNode(gid, group, transport, obs)
+
+    return build
+
+
+class ParallelShardedCluster:
+    """``num_groups`` CHT groups, each simulated in its own worker."""
+
+    def __init__(
+        self,
+        spec: ObjectSpec,
+        config: Optional[ChtConfig] = None,
+        num_groups: int = 2,
+        num_slots: int = 16,
+        seed: int = 0,
+        num_clients: int = 1,
+        obs: bool = False,
+        gst: float = 0.0,
+        monitors: bool = True,
+        transport_delay: Optional[DelayModel] = None,
+        group_setup: Optional[Callable[[ChtCluster, int], None]] = None,
+        on_started: Optional[Callable[[ChtCluster, int], None]] = None,
+        use_processes: bool = True,
+    ) -> None:
+        if num_groups < 1:
+            raise ValueError("need at least one group")
+        if num_clients < 1:
+            raise ValueError("need at least one client per group")
+        self.inner_spec = spec
+        self.config = config or ChtConfig()
+        self.num_groups = num_groups
+        self.num_clients = num_clients
+        delay = (
+            transport_delay
+            if transport_delay is not None
+            else FixedDelay(self.config.delta)
+        )
+        self.sim = Simulator(seed=seed)
+        self.obs: Optional[ObsContext] = (
+            ObsContext(self.sim) if obs else None
+        )
+        self._transport = MailboxTransport(delay)
+        self.control = ControlPlane(
+            self.sim,
+            self._transport,
+            ShardMap.uniform(num_slots, num_groups),
+            num_groups,
+            num_clients,
+            delta=self.config.delta,
+            obs=self.obs,
+        )
+        builders = {
+            site_of(g): _group_builder(
+                spec,
+                self.config,
+                num_slots,
+                self.control.map.slots_of(g),
+                g,
+                seed,
+                num_clients,
+                gst,
+                monitors,
+                obs,
+                delay,
+                group_setup,
+                on_started,
+            )
+            for g in range(num_groups)
+        }
+        self.engine = ParallelSim(
+            self.sim,
+            self._transport.inbox,
+            self._transport.outbox,
+            lookahead=delay.minimum,
+            builders=builders,
+            use_processes=use_processes,
+            obs=self.obs,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def map(self) -> ShardMap:
+        return self.control.map
+
+    @property
+    def handoffs(self) -> list[dict[str, Any]]:
+        return self.control.handoffs
+
+    def start(self) -> "ParallelShardedCluster":
+        self.engine.start()
+        return self
+
+    def run(self, duration: float) -> None:
+        self.engine.run_for(duration)
+
+    def run_to(self, until: float) -> None:
+        self.engine.run_to(until)
+
+    def run_until(
+        self, predicate: Callable[[], bool], timeout: float = 10_000.0
+    ) -> bool:
+        return self.engine.run_until(predicate, timeout)
+
+    def run_until_leaders(self, timeout: float = 10_000.0) -> None:
+        ok = self.engine.run_until(
+            lambda: all(self.engine.query_all("leader_ready").values()),
+            timeout,
+        )
+        if not ok:
+            ready = self.engine.query_all("leader_ready")
+            missing = [s for s, ok_ in sorted(ready.items()) if not ok_]
+            raise TimeoutError(
+                f"groups {missing} elected no leader within {timeout}"
+            )
+
+    def close(self) -> None:
+        self.engine.close()
+
+    def finish(self) -> dict[str, Any]:
+        """Collect per-group final reports (fingerprints, snapshots) and
+        shut the workers down."""
+        return self.engine.finish()
+
+    # ------------------------------------------------------------------
+    # Clients / handoff
+    # ------------------------------------------------------------------
+    def router(self, index: int, **kwargs: Any) -> Router:
+        if not 0 <= index < self.num_clients:
+            raise ValueError(
+                f"client index {index} out of range "
+                f"(coordinator sessions are not routable)"
+            )
+        return Router(self, index, **kwargs)
+
+    def spawn_handoff(
+        self,
+        src: int,
+        dst: int,
+        slots: Optional[Iterable[int]] = None,
+    ) -> Future:
+        return self.control.spawn_handoff(src, dst, slots)
+
+    # ------------------------------------------------------------------
+    # Introspection (query-based: the groups live in workers)
+    # ------------------------------------------------------------------
+    def owned_slots(self, gid: int) -> frozenset[int]:
+        return frozenset(self.engine.query(site_of(gid), "owned_slots"))
+
+    def describe(self) -> str:
+        parts = [f"map={self.map!r}"]
+        described = self.engine.query_all("describe")
+        for g in range(self.num_groups):
+            parts.append(f"g{g}: {described[site_of(g)]}")
+        return " | ".join(parts)
+
+    def invariant_failures(self) -> dict[str, str]:
+        """Per-site I2/I3 violation details; empty when all groups pass."""
+        results = self.engine.query_all("invariants")
+        return {site: detail for site, detail in results.items() if detail}
+
+    def fingerprints(self) -> dict[str, str]:
+        return self.engine.query_all("fingerprint")
+
+    @property
+    def barrier_stall(self) -> float:
+        return self.engine.barrier_stall
+
+    @property
+    def windows(self) -> int:
+        return self.engine.windows

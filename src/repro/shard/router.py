@@ -1,12 +1,13 @@
 """The routing client: shard-map caching and WrongShard redirect chasing.
 
 A :class:`Router` is the sharded counterpart of one
-:class:`~repro.core.client.ClientSession`.  It bundles one session per
-group (all with the same client index), caches the cluster's shard map,
-and for each submitted operation:
+:class:`~repro.core.client.ClientSession`.  It runs on the cluster's
+control host, caches the control plane's shard map, and for each
+submitted operation:
 
-1. routes it to the session of the group its cached map names for the
-   operation's ``partition_key``;
+1. routes it — via the control plane's transport — to its client-session
+   index at the group its cached map names for the operation's
+   ``partition_key``;
 2. waits for that group's *committed* reply;
 3. on :class:`~repro.shard.spec.WrongShard`, refreshes the map, backs
    off, and resubmits — to the new owner if the map moved, or to the
@@ -42,7 +43,14 @@ __all__ = ["Router"]
 
 
 class Router:
-    """A client-side router over one :class:`ShardedCluster`."""
+    """A client-side router over one sharded cluster façade.
+
+    The façade (serial or parallel) provides ``control`` (the
+    :class:`~repro.shard.transport.ControlPlane`), ``inner_spec``,
+    ``config``, ``map``, and ``obs``; the router itself never touches a
+    group object, which is what lets it run unchanged when the groups
+    live in worker processes.
+    """
 
     def __init__(
         self,
@@ -53,9 +61,6 @@ class Router:
     ) -> None:
         self.cluster = cluster
         self.index = index
-        # One session per group, all with this router's client index, so
-        # an operation can chase its key to whichever group owns it.
-        self.sessions = [group.clients[index] for group in cluster.groups]
         self.map = cluster.map
         self.stats = RunStats()
         self.redirects = 0
@@ -71,10 +76,9 @@ class Router:
             else cluster.config.retry_period
         )
         self.max_redirects = max_redirects
-        # Generators driving routed operations run on the group-0
-        # session's task scheduler; they only touch futures, never that
-        # group's protocol state.
-        self._host = self.sessions[0]
+        # Generators driving routed operations run on the control host's
+        # task scheduler; they only touch futures and the transport.
+        self._host = cluster.control.host
         self._count = 0
         self._outstanding_rmw: Future | None = None
 
@@ -123,9 +127,10 @@ class Router:
         self, op: Operation, key: Any, op_id: tuple, future: Future
     ) -> Generator:
         obs = self.cluster.obs
+        control = self.cluster.control
         for _ in range(self.max_redirects):
             gid = self.map.group_for(key)
-            attempt = self.sessions[gid].submit(op)
+            attempt = control.submit(gid, self.index, op)
             yield attempt  # pinning rule: wait for the committed reply
             value = attempt.value
             self.attempts[op_id].append((gid, value))

@@ -1,0 +1,412 @@
+"""The cluster transport seam and the shared control plane.
+
+PR 5's sharded façade wired routers and the handoff coordinator straight
+into sibling groups' client sessions, which only works when every group
+shares one simulator.  This module replaces those direct references with
+a star-shaped message seam:
+
+* the **control plane** (shard map, routers' driving tasks, the handoff
+  coordinator) runs on a dedicated :class:`ControlHost` process hosted
+  by the *control* simulator — the shared simulator in a serial run, the
+  parent process's simulator under :class:`~repro.sim.parallel.ParallelSim`;
+* each **group** exposes a :class:`GroupPort` that accepts ``submit``
+  envelopes (run this operation as session ``index``) and answers with
+  ``reply`` envelopes carrying the committed response;
+* all crossings go through a :class:`Transport`, which samples a
+  latency per envelope: :class:`LocalTransport` schedules the delivery
+  on the one shared simulator (serial mode), :class:`MailboxTransport`
+  buffers it for the window driver (parallel mode).
+
+Determinism across the two transports rests on three properties:
+
+1. **Per-endpoint draws.**  Each endpoint owns a forked ``"transport"``
+   rng stream (site-namespaced for groups) and a monotone send counter,
+   so latency draws are a function of that endpoint's send order alone —
+   identical whether the endpoint lives on a shared or dedicated
+   simulator.
+2. **Front-of-time delivery.**  Both transports hand the payload to the
+   destination ahead of the destination's own events at the delivery
+   instant (``call_at_front`` directly, or via the parallel inbox).
+3. **Site stagger.**  Every endpoint adds a tiny site-specific constant
+   (``site_index * 1e-6``) to each draw, so envelopes from *different*
+   sites never share a delivery instant at the control host; same-site
+   ties are ordered by send sequence in both transports.  The stagger is
+   orders of magnitude below every protocol timescale in the repository.
+
+The minimum transport latency is the parallel backend's lookahead; see
+:attr:`Transport.lookahead` and docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, Optional
+
+from ..sim.clocks import ClockModel
+from ..sim.core import Simulator
+from ..sim.latency import DelayModel, FixedDelay
+from ..sim.mailbox import Inbox, Outbox, WireMessage
+from ..sim.network import Network
+from ..sim.process import Process
+from ..sim.tasks import Future
+from .map import ShardMap
+from .spec import freeze_op, install_op
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.client import ChtCluster
+    from ..obs.spans import ObsContext
+
+__all__ = [
+    "CONTROL_SITE",
+    "TransportEndpoint",
+    "LocalTransport",
+    "MailboxTransport",
+    "ControlHost",
+    "ControlPlane",
+    "GroupPort",
+    "site_of",
+    "site_index",
+]
+
+CONTROL_SITE = "ctl"
+
+#: Per-site latency stagger; see the module docstring, property 3.
+_STAGGER = 1e-6
+
+
+def site_of(gid: int) -> str:
+    return f"g{gid}"
+
+
+def site_index(site: str) -> int:
+    """0 for the control site, ``gid + 1`` for group sites."""
+    if site == CONTROL_SITE:
+        return 0
+    return int(site[1:]) + 1
+
+
+class TransportEndpoint:
+    """One site's sending half: latency draws, FIFO clamp, send seq."""
+
+    def __init__(
+        self,
+        site: str,
+        sim: Simulator,
+        delay_model: DelayModel,
+        transport: "Transport",
+    ) -> None:
+        self.site = site
+        self.sim = sim
+        self.delay_model = delay_model
+        self.transport = transport
+        self._stagger = site_index(site) * _STAGGER
+        # Group endpoints namespace the stream by site so the draws are
+        # the same on a shared and a dedicated simulator; the control
+        # endpoint's stream is plain "transport" in both worlds.
+        self.rng = sim.fork_rng(
+            "transport", site=None if site == CONTROL_SITE else site
+        )
+        self._seq = 0
+        self._last_delivery: dict[str, float] = {}
+
+    def send(self, dst: str, payload: Any) -> None:
+        now = self.sim.now
+        delay = self.delay_model.sample(
+            site_index(self.site), site_index(dst), self.rng
+        )
+        deliver_at = now + delay + self._stagger
+        # FIFO per (src, dst) site pair, like the in-group network links.
+        floor = self._last_delivery.get(dst, 0.0)
+        if deliver_at < floor:
+            deliver_at = floor
+        self._last_delivery[dst] = deliver_at
+        seq = self._seq
+        self._seq = seq + 1
+        self.transport.dispatch(
+            WireMessage(self.site, seq, now, deliver_at, dst, payload)
+        )
+
+
+class Transport:
+    """Factory for endpoints plus the delivery strategy."""
+
+    def __init__(self, delay_model: Optional[DelayModel] = None) -> None:
+        self.delay_model = delay_model
+
+    def _resolve_delay(self, default: DelayModel) -> DelayModel:
+        if self.delay_model is None:
+            self.delay_model = default
+        return self.delay_model
+
+    @property
+    def lookahead(self) -> float:
+        """Minimum cross-site delivery latency (the window length)."""
+        if self.delay_model is None:
+            raise RuntimeError("no endpoint built yet; delay model unset")
+        return self.delay_model.minimum
+
+    def endpoint(
+        self,
+        site: str,
+        sim: Simulator,
+        handler: Callable[[Any], None],
+        default_delay: DelayModel,
+    ) -> TransportEndpoint:
+        raise NotImplementedError
+
+    def dispatch(self, message: WireMessage) -> None:
+        raise NotImplementedError
+
+
+class LocalTransport(Transport):
+    """All sites share one simulator; deliveries are scheduled directly.
+
+    ``call_at_front`` keeps same-instant deliveries ahead of the
+    destination's own events and FIFO in dispatch (= send) order,
+    matching the parallel inbox's flush order.
+    """
+
+    def __init__(self, delay_model: Optional[DelayModel] = None) -> None:
+        super().__init__(delay_model)
+        self._handlers: dict[str, Callable[[Any], None]] = {}
+        self._sim: Optional[Simulator] = None
+
+    def endpoint(
+        self,
+        site: str,
+        sim: Simulator,
+        handler: Callable[[Any], None],
+        default_delay: DelayModel,
+    ) -> TransportEndpoint:
+        if self._sim is None:
+            self._sim = sim
+        elif self._sim is not sim:
+            raise ValueError("LocalTransport sites must share one simulator")
+        self._handlers[site] = handler
+        return TransportEndpoint(
+            site, sim, self._resolve_delay(default_delay), self
+        )
+
+    def dispatch(self, message: WireMessage) -> None:
+        self._sim.call_at_front(
+            message.deliver_at, self._deliver, message.dst, message.payload
+        )
+
+    def _deliver(self, dst: str, payload: Any) -> None:
+        self._handlers[dst](payload)
+
+
+class MailboxTransport(Transport):
+    """One site per process; envelopes go through outbox/inbox pairs.
+
+    Each side of the parallel run constructs its own instance for its
+    single local site; the window driver routes drained envelopes to
+    the destination side's inbox.
+    """
+
+    def __init__(self, delay_model: Optional[DelayModel] = None) -> None:
+        super().__init__(delay_model)
+        self.outbox = Outbox()
+        self.inbox: Optional[Inbox] = None
+
+    def endpoint(
+        self,
+        site: str,
+        sim: Simulator,
+        handler: Callable[[Any], None],
+        default_delay: DelayModel,
+    ) -> TransportEndpoint:
+        if self.inbox is not None:
+            raise ValueError("MailboxTransport hosts exactly one site")
+        self.inbox = Inbox(sim, handler)
+        return TransportEndpoint(
+            site, sim, self._resolve_delay(default_delay), self
+        )
+
+    def dispatch(self, message: WireMessage) -> None:
+        self.outbox.append(message)
+
+
+class ControlHost(Process):
+    """The process hosting routers' driving tasks and the handoff task.
+
+    It lives on its own single-process network purely so the task/timer
+    machinery (Sleep backoffs, workload think time) works; it never
+    sends or receives network messages, and its clock is exact
+    (offset 0), so local time equals simulation time.
+    """
+
+    def on_message(self, src: int, msg: Any) -> None:  # pragma: no cover
+        raise AssertionError("the control host exchanges no network messages")
+
+
+class ControlPlane:
+    """Shard map, request bridging, and fenced handoffs for one cluster.
+
+    Both cluster façades — serial :class:`~repro.shard.cluster.ShardedCluster`
+    and parallel :class:`~repro.shard.parallel.ParallelShardedCluster` —
+    delegate here, so routing and handoff logic exist once and behave
+    identically over either transport.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: Transport,
+        shard_map: ShardMap,
+        num_groups: int,
+        num_clients: int,
+        delta: float,
+        obs: "Optional[ObsContext]" = None,
+    ) -> None:
+        self.sim = sim
+        self.transport = transport
+        self.map = shard_map
+        self.num_groups = num_groups
+        self.num_clients = num_clients
+        self.obs = obs
+        net = Network(sim, delta=delta)
+        clocks = ClockModel(1, 0.0, offsets=[0.0])
+        self.host = ControlHost(0, sim, net, clocks)
+        self.endpoint = transport.endpoint(
+            CONTROL_SITE, sim, self._on_message, FixedDelay(delta)
+        )
+        #: Completed handoff records (dicts), in completion order.
+        self.handoffs: list[dict[str, Any]] = []
+        self._last_handoff: Optional[Future] = None
+        self._pending: dict[int, Future] = {}
+        self._req = 0
+
+    # ------------------------------------------------------------------
+    # Request bridging
+    # ------------------------------------------------------------------
+    def submit(self, gid: int, index: int, op: Any) -> Future:
+        """Run ``op`` as group ``gid``'s session ``index``; the future
+        resolves with the session's committed response."""
+        self._req += 1
+        future = Future()
+        self._pending[self._req] = future
+        self.endpoint.send(site_of(gid), ("submit", index, self._req, op))
+        return future
+
+    def _on_message(self, payload: tuple) -> None:
+        kind, req_id, value = payload
+        assert kind == "reply", payload
+        self._pending.pop(req_id).resolve(value)
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Handoff
+    # ------------------------------------------------------------------
+    def spawn_handoff(
+        self,
+        src: int,
+        dst: int,
+        slots: Optional[Iterable[int]] = None,
+    ) -> Future:
+        """Move ``slots`` (default: half of ``src``'s) from ``src`` to
+        ``dst``.  Returns a future resolving with the handoff record once
+        the install commits.  Handoffs are serialized: this one starts
+        only after every previously spawned handoff completes."""
+        if src == dst:
+            raise ValueError("handoff source and destination must differ")
+        for gid in (src, dst):
+            if not 0 <= gid < self.num_groups:
+                raise ValueError(f"unknown group {gid}")
+        future = Future()
+        prev, self._last_handoff = self._last_handoff, future
+        self.host.spawn(
+            self._handoff_task(src, dst, slots, prev, future),
+            name=f"handoff-{src}-{dst}",
+        )
+        return future
+
+    def _handoff_task(
+        self,
+        src: int,
+        dst: int,
+        slots: Optional[Iterable[int]],
+        prev: Optional[Future],
+        future: Future,
+    ) -> Generator:
+        if prev is not None and not prev.done:
+            yield prev
+        # Resolve the slot set only now, against the *current* map —
+        # an earlier handoff may have moved slots since spawn time, and
+        # freezing a slot the source no longer owns would install stale
+        # (empty) ownership over the current owner's data.
+        current = self.map.slots_of(src)
+        if slots is None:
+            half = sorted(current)[: max(1, len(current) // 2)]
+            moving = frozenset(half)
+        else:
+            moving = frozenset(slots) & current
+        if not moving:
+            record = {
+                "src": src, "dst": dst, "slots": (), "version":
+                self.map.version, "items": 0, "completed_at": self.sim.now,
+            }
+            future.resolve(record)
+            return
+        new_map = self.map.move(moving, dst)
+        self.map = new_map  # step 1: publish; the version bump fences
+        coordinator = self.num_clients  # the reserved session index
+        span = None
+        if self.obs is not None:
+            span = self.obs.tracer.begin(
+                "shard.handoff", "shard", self.host.pid,
+                src=src, dst=dst, slots=len(moving),
+                version=new_map.version, site=site_of(src),
+            )
+            self.obs.registry.counter("shard_handoffs_total").inc()
+        freeze = self.submit(src, coordinator, freeze_op(moving, new_map.version))
+        yield freeze  # step 2: src stops answering for the range
+        items = freeze.value
+        if span is not None:
+            span.mark("frozen_at", self.sim.now)
+            span.mark("items", len(items))
+        install = self.submit(
+            dst, coordinator, install_op(moving, new_map.version, items)
+        )
+        yield install  # step 3: dst starts answering for the range
+        record = {
+            "src": src,
+            "dst": dst,
+            "slots": tuple(sorted(moving)),
+            "version": new_map.version,
+            "items": len(items),
+            "completed_at": self.sim.now,
+        }
+        self.handoffs.append(record)
+        if span is not None:
+            self.obs.tracer.close(span, "completed")
+        future.resolve(record)
+
+
+class GroupPort:
+    """One group's receiving half: submit envelopes in, replies out."""
+
+    def __init__(
+        self,
+        gid: int,
+        group: "ChtCluster",
+        transport: Transport,
+        delta: float,
+    ) -> None:
+        self.gid = gid
+        self.group = group
+        self.endpoint = transport.endpoint(
+            site_of(gid), group.sim, self._on_message, FixedDelay(delta)
+        )
+
+    def _on_message(self, payload: tuple) -> None:
+        kind, index, req_id, op = payload
+        assert kind == "submit", payload
+        future = self.group.clients[index].submit(op)
+        future.on_resolve(
+            lambda value: self.endpoint.send(
+                CONTROL_SITE, ("reply", req_id, value)
+            )
+        )

@@ -29,10 +29,17 @@ from __future__ import annotations
 import hashlib
 import heapq
 import itertools
+import math
 import random
 from typing import Any, Callable, Iterable, Optional
 
 __all__ = ["Event", "Simulator", "SimulationError"]
+
+#: Base for front-of-time sequence numbers (:meth:`Simulator.call_at_front`).
+#: Normal events count up from 0, so anything at or above this base but
+#: still negative sorts ahead of every normal event at the same time while
+#: keeping FIFO order among front events themselves.
+_FRONT_SEQ_BASE = -(1 << 62)
 
 
 class SimulationError(RuntimeError):
@@ -84,6 +91,7 @@ class Simulator:
         self.rng = random.Random(seed)
         self._heap: list[tuple] = []
         self._seq = itertools.count()
+        self._front_seq = _FRONT_SEQ_BASE
         self._alive: set[int] = set()
         self._fork_counts: dict[str, int] = {}
         self._events_processed = 0
@@ -156,6 +164,28 @@ class Simulator:
         self._alive.add(seq)
         if len(heap) > 512 and len(heap) > 2 * len(self._alive):
             self._compact()
+
+    def call_at_front(self, time: float, callback: Callable[..., None],
+                      *args: Any) -> None:
+        """Schedule ``callback`` at ``time``, ahead of every normally
+        scheduled event with the same timestamp.
+
+        Used by the parallel backend's inbox: a cross-partition message
+        timestamped ``T`` must run before the receiving simulator's own
+        events at ``T``, because in the single-simulator oracle the
+        message was scheduled by a sender running strictly before ``T``
+        and therefore carries a smaller sequence number than anything
+        the receiver schedules once ``T`` is reached.  Front events keep
+        FIFO order among themselves.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        seq = self._front_seq
+        self._front_seq = seq + 1
+        heapq.heappush(self._heap, (time, seq, callback, args))
+        self._alive.add(seq)
 
     def call_later(self, delay: float, callback: Callable[..., None],
                    *args: Any) -> None:
@@ -235,6 +265,7 @@ class Simulator:
         until: Optional[float] = None,
         max_events: Optional[int] = None,
         stop_when: Optional[Callable[[], bool]] = None,
+        exclusive: bool = False,
     ) -> None:
         """Run the event loop.
 
@@ -248,19 +279,34 @@ class Simulator:
         stop_when:
             Predicate evaluated after every event; the loop exits once it
             returns True.
+        exclusive:
+            Process events strictly *before* ``until`` and leave events at
+            exactly ``until`` on the heap (the clock still advances to
+            ``until``).  The parallel backend runs each sync window
+            exclusively so boundary-timestamped events fall into the next
+            window, after that window's cross-partition ingest.
         """
         processed = 0
         self._stopped = False
         heap = self._heap
         alive = self._alive
         pop = heapq.heappop
+        # The horizon/budget checks are folded into constants hoisted out
+        # of the loop: ``deadline`` is +inf for an unbounded run and the
+        # largest representable float below ``until`` for an exclusive
+        # window, so one float compare replaces two None tests per event.
+        if until is None:
+            deadline = math.inf
+        elif exclusive:
+            deadline = math.nextafter(until, -math.inf)
+        else:
+            deadline = until
+        budget = -1 if max_events is None else max_events
         # The loop below is the hottest code in the repository; it inlines
         # step() so per-event cost is one pop, one set probe, and the
         # callback itself.
         while heap and not self._stopped:
-            if until is not None and heap[0][0] > until:
-                break
-            if max_events is not None and processed >= max_events:
+            if heap[0][0] > deadline or processed == budget:
                 break
             time, seq, callback, args = pop(heap)
             if seq not in alive:
@@ -275,7 +321,7 @@ class Simulator:
             if stop_when is not None and stop_when():
                 break
         if until is not None and self.now < until and not self._stopped:
-            if not heap or heap[0][0] > until:
+            if not heap or heap[0][0] > deadline:
                 self.now = until
 
     def run_for(self, duration: float, **kwargs: Any) -> None:
@@ -298,7 +344,7 @@ class Simulator:
         """Scheduled events that are neither fired nor cancelled.  O(1)."""
         return len(self._alive)
 
-    def fork_rng(self, label: str) -> random.Random:
+    def fork_rng(self, label: str, site: Optional[str] = None) -> random.Random:
         """Derive an independent, deterministic RNG stream for a component.
 
         The stream is a pure function of ``(seed, label, k)`` where ``k``
@@ -306,7 +352,15 @@ class Simulator:
         parent stream's position or on what other labels were forked
         before, so adding a component cannot silently reseed every other
         component's randomness.
+
+        ``site`` namespaces the label (``"{site}/{label}"``).  Sharded
+        clusters pass each group's site so a group's streams are the same
+        whether all groups share one simulator (the serial oracle) or each
+        group runs on its own simulator (the parallel backend) — without
+        it, fork *counts* for a shared label would entangle the groups.
         """
+        if site is not None:
+            label = f"{site}/{label}"
         k = self._fork_counts.get(label, 0)
         self._fork_counts[label] = k + 1
         digest = hashlib.sha256(

@@ -1,0 +1,132 @@
+"""Timestamped mailboxes for cross-simulator messaging.
+
+The parallel backend (:mod:`repro.sim.parallel`) runs one simulator per
+partition.  Partitions exchange :class:`WireMessage` envelopes through
+per-partition outboxes and inboxes instead of scheduling directly into
+each other's heaps:
+
+* a sender's :class:`Outbox` buffers every envelope produced during a
+  sync window; the window driver drains it **once per window** and
+  routes the batch, so crossing the process boundary costs one transfer
+  per partition per window, never one per message;
+* the receiver's :class:`Inbox` ingests a batch at a window boundary
+  and schedules one *flush* event per distinct delivery time via
+  :meth:`~repro.sim.core.Simulator.call_at_front`, so a cross-partition
+  message timestamped ``T`` is handled before any of the receiving
+  simulator's own events at ``T`` — mirroring the single-simulator
+  oracle, where the delivery was scheduled (with a smaller sequence
+  number) by a sender running strictly before ``T``.
+
+Conservative-time safety lives here too: :meth:`Inbox.ingest` rejects
+any envelope timestamped before the local clock.  Under the window
+protocol this can never fire — a message sent in window ``[t, t')``
+carries ``deliver_at >= t + lookahead >= t'``, and the receiver ingests
+it at ``t'`` — so a trip of this check means the lookahead was wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .core import SimulationError, Simulator
+
+__all__ = ["WireMessage", "Outbox", "Inbox"]
+
+
+@dataclass(frozen=True)
+class WireMessage:
+    """One cross-partition envelope.
+
+    ``src``/``seq`` identify the sending endpoint and its send order;
+    together with ``sent_at`` they give every inbox the same total order
+    for same-instant deliveries regardless of transfer batching.
+    """
+
+    src: str
+    seq: int
+    sent_at: float
+    deliver_at: float
+    dst: str
+    payload: Any
+
+
+class Outbox:
+    """Per-partition buffer of outbound envelopes, drained per window."""
+
+    __slots__ = ("_messages",)
+
+    def __init__(self) -> None:
+        self._messages: list[WireMessage] = []
+
+    def append(self, message: WireMessage) -> None:
+        self._messages.append(message)
+
+    def drain(self) -> list[WireMessage]:
+        """Return and clear everything buffered since the last drain."""
+        batch, self._messages = self._messages, []
+        return batch
+
+    def __len__(self) -> int:
+        return len(self._messages)
+
+
+def _arrival_order(message: WireMessage) -> tuple[float, str, int]:
+    # Send time first: in the single-simulator oracle, same-time
+    # deliveries fire in send order (call_at_front is FIFO).  The
+    # (src, seq) tail is a deterministic tie-break for same-instant
+    # sends; per-site latency stagger (repro.shard.transport) keeps
+    # cross-site ties from arising at all, so it only ever orders
+    # messages from one endpoint — whose seq order *is* send order.
+    return (message.sent_at, message.src, message.seq)
+
+
+class Inbox:
+    """Delivers ingested envelopes into one simulator's timeline.
+
+    ``handler(payload)`` runs at each envelope's ``deliver_at``, ahead
+    of the simulator's own events at that time (see module docstring).
+    """
+
+    __slots__ = ("sim", "handler", "_buckets")
+
+    def __init__(self, sim: Simulator, handler: Callable[[Any], None]) -> None:
+        self.sim = sim
+        self.handler = handler
+        self._buckets: dict[float, list[WireMessage]] = {}
+
+    def ingest(self, messages: list[WireMessage]) -> None:
+        """Accept a batch drained from remote outboxes.
+
+        One flush event is scheduled per *distinct* delivery time, not
+        per message; a bucket may keep collecting across later ingests
+        (a long latency draw can overshoot several windows) until its
+        flush fires.
+        """
+        buckets = self._buckets
+        now = self.sim.now
+        for message in messages:
+            when = message.deliver_at
+            if when < now:
+                raise SimulationError(
+                    f"conservative sync violated: {message.dst} received "
+                    f"{message.src}#{message.seq} timestamped {when} "
+                    f"at local time {now}"
+                )
+            bucket = buckets.get(when)
+            if bucket is None:
+                buckets[when] = [message]
+                self.sim.call_at_front(when, self._flush, when)
+            else:
+                bucket.append(message)
+
+    def _flush(self, when: float) -> None:
+        batch = self._buckets.pop(when)
+        batch.sort(key=_arrival_order)
+        handler = self.handler
+        for message in batch:
+            handler(message.payload)
+
+    @property
+    def pending(self) -> int:
+        return sum(len(b) for b in self._buckets.values())

@@ -134,6 +134,7 @@ class Network:
         pre_gst_drop_prob: float = 0.0,
         trace: bool = False,
         fifo: bool = True,
+        site: Optional[str] = None,
     ) -> None:
         if delta <= 0:
             raise ValueError("delta must be positive")
@@ -154,7 +155,11 @@ class Network:
             )
         self.pre_gst_delay = pre_gst_delay or self.post_gst_delay
         self.pre_gst_drop_prob = pre_gst_drop_prob
-        self.rng = sim.fork_rng("network")
+        # Site label namespacing this network's rng streams (see
+        # Simulator.fork_rng); a sharded group's network draws the same
+        # delays whether its simulator is shared or dedicated.
+        self.site = site
+        self.rng = sim.fork_rng("network", site=site)
         self.processes: dict[int, "Process"] = {}
         self.partitions: list[Partition] = []
         self.messages_sent: Counter[str] = Counter()
@@ -246,7 +251,7 @@ class Network:
         """Arm a slow-link window (see :class:`DelayBurst`)."""
         burst = DelayBurst(start, end, low, high)
         if self._burst_rng is None:
-            self._burst_rng = self.sim.fork_rng("delay-bursts")
+            self._burst_rng = self.sim.fork_rng("delay-bursts", site=self.site)
         self.delay_bursts.append(burst)
         return burst
 

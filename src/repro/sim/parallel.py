@@ -1,0 +1,364 @@
+"""Conservative parallel discrete-event simulation over worker processes.
+
+:class:`ParallelSim` runs one *control* simulator in the calling process
+and one partition simulator per site, each on its own forked worker.
+Partitions exchange messages only through timestamped mailboxes
+(:mod:`repro.sim.mailbox`); the engine advances everyone in lockstep
+**windows** of length ``lookahead``:
+
+1. route every pending envelope due inside the window to its
+   destination's inbound batch;
+2. command each worker to ingest its batch and run its simulator to the
+   window end (exclusively — boundary events belong to the next window);
+   the control simulator does the same, concurrently with the workers;
+3. collect each side's drained outbox and file the envelopes under
+   their delivery times (the *pending* store);
+4. barrier, advance to the next window.
+
+Safety is the classic conservative argument: ``lookahead`` is the
+minimum cross-partition delivery latency, so an envelope sent at time
+``s`` inside window ``[t, t')`` has ``deliver_at >= s + lookahead >=
+t + lookahead >= t'`` — it is ingested at the earliest at ``t'``, never
+in the receiving simulator's past.  Windows never exceed ``lookahead``
+(the last window before a target time is simply shorter), which keeps
+the bound through uneven horizons.
+
+Reaching an exact target time ``U`` takes one extra *boundary* step:
+exclusive windows stop with events at exactly ``U`` unprocessed, so the
+engine ingests envelopes timestamped ``U`` and runs one inclusive pass
+at ``U`` — reproducing the serial semantics of ``run(until=U)``.
+
+A worker failure (crash, assertion, KeyboardInterrupt) surfaces as a
+:class:`ParallelSimError` carrying the remote traceback; the engine
+then tears every worker down rather than hanging on the barrier.
+"""
+
+from __future__ import annotations
+
+import heapq
+import multiprocessing
+import time
+import traceback
+from typing import Any, Callable, Optional, Protocol
+
+from .core import Simulator
+from .mailbox import Inbox, Outbox, WireMessage
+
+__all__ = ["ParallelSim", "ParallelSimError", "SimPartition"]
+
+
+class ParallelSimError(RuntimeError):
+    """A partition worker died; carries the remote traceback."""
+
+    def __init__(self, site: str, remote_traceback: str) -> None:
+        super().__init__(
+            f"partition {site!r} failed\n"
+            f"--- remote traceback ---\n{remote_traceback}"
+        )
+        self.site = site
+        self.remote_traceback = remote_traceback
+
+
+class SimPartition(Protocol):
+    """What a builder must return: one partition's simulator + mailboxes."""
+
+    sim: Simulator
+    inbox: Inbox
+    outbox: Outbox
+
+    def query(self, name: str, *args: Any) -> Any: ...
+
+    def finish(self) -> Any: ...
+
+
+def _worker_main(build: Callable[[], "SimPartition"], conn: Any) -> None:
+    """Worker loop: build the partition, then serve window commands.
+
+    Every reply is ``("ok", value)`` or ``("error", traceback)``; the
+    parent converts the latter into a :class:`ParallelSimError`, so the
+    original stack is never swallowed by a hung pipe join.
+    """
+    try:
+        node = build()
+        while True:
+            cmd = conn.recv()
+            op = cmd[0]
+            if op == "window":
+                _, t_end, exclusive, inbound = cmd
+                if inbound:
+                    node.inbox.ingest(inbound)
+                node.sim.run(until=t_end, exclusive=exclusive)
+                conn.send(("ok", node.outbox.drain()))
+            elif op == "query":
+                _, name, args = cmd
+                conn.send(("ok", node.query(name, *args)))
+            elif op == "finish":
+                conn.send(("ok", node.finish()))
+                return
+            else:  # pragma: no cover - protocol bug
+                raise AssertionError(f"unknown command {op!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        conn.close()
+
+
+class ParallelSim:
+    """Window-synchronized execution of one control sim + N partitions.
+
+    Parameters
+    ----------
+    control_sim:
+        The parent-side simulator (the control plane lives here).
+    control_inbox / control_outbox:
+        The parent side's mailboxes (from its ``MailboxTransport``).
+    lookahead:
+        Minimum cross-partition delivery latency; must be positive.
+    builders:
+        ``site -> zero-arg callable`` constructing that partition
+        (executed inside the forked worker, so closures need no
+        pickling).  Must return a :class:`SimPartition`.
+    use_processes:
+        With False — or when forking is unavailable, e.g. inside a
+        daemonic pool worker — partitions are built and stepped in the
+        calling process instead.  Identical simulation semantics, no
+        wall-clock parallelism; useful for tests and nested harnesses.
+    obs:
+        Optional parent ObsContext; when set, every window emits a
+        ``sync.window`` span recording wall-clock barrier stall.
+    """
+
+    def __init__(
+        self,
+        control_sim: Simulator,
+        control_inbox: Inbox,
+        control_outbox: Outbox,
+        lookahead: float,
+        builders: dict[str, Callable[[], "SimPartition"]],
+        use_processes: bool = True,
+        obs: Optional[Any] = None,
+    ) -> None:
+        if lookahead <= 0:
+            raise ValueError(
+                "parallel simulation needs a positive lookahead: the "
+                "cross-partition delay model must have minimum > 0"
+            )
+        self.control_sim = control_sim
+        self.control_inbox = control_inbox
+        self.control_outbox = control_outbox
+        self.lookahead = lookahead
+        self.builders = builders
+        self.sites = list(builders)
+        self.obs = obs
+        if use_processes and multiprocessing.current_process().daemon:
+            # Daemonic workers may not fork children; fall back rather
+            # than crash so schedule-level pools can nest parallel sims.
+            use_processes = False
+        self.use_processes = use_processes
+        self.windows = 0
+        self.barrier_stall = 0.0  # cumulative wall seconds waiting on workers
+        self._procs: dict[str, Any] = {}
+        self._conns: dict[str, Any] = {}
+        self._nodes: dict[str, SimPartition] = {}  # in-process mode
+        self._pending: dict[str, list[tuple]] = {
+            site: [] for site in [*self.sites, "__control__"]
+        }
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.control_sim.now
+
+    def start(self) -> "ParallelSim":
+        if self._started:
+            return self
+        self._started = True
+        if not self.use_processes:
+            for site, build in self.builders.items():
+                self._nodes[site] = build()
+            return self
+        ctx = multiprocessing.get_context("fork")
+        for site, build in self.builders.items():
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(build, child_conn),
+                name=f"parallel-sim-{site}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs[site] = proc
+            self._conns[site] = parent_conn
+        return self
+
+    def close(self) -> None:
+        """Tear down every worker; safe to call repeatedly."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns.values():
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs.values():
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck in C code
+                proc.kill()
+                proc.join(timeout=5.0)
+        self._conns.clear()
+        self._procs.clear()
+        self._nodes.clear()
+
+    # ------------------------------------------------------------------
+    # Pending-envelope store
+    # ------------------------------------------------------------------
+    def _route(self, batch: list[WireMessage]) -> None:
+        for message in batch:
+            dst = message.dst if message.dst in self._pending else "__control__"
+            heapq.heappush(
+                self._pending[dst],
+                (message.deliver_at, message.src, message.seq, message),
+            )
+
+    def _take(self, site: str, t_end: float, exclusive: bool) -> list[WireMessage]:
+        heap = self._pending[site]
+        batch: list[WireMessage] = []
+        while heap and (
+            heap[0][0] < t_end or (not exclusive and heap[0][0] == t_end)
+        ):
+            batch.append(heapq.heappop(heap)[3])
+        return batch
+
+    # ------------------------------------------------------------------
+    # Window protocol
+    # ------------------------------------------------------------------
+    def _recv(self, site: str) -> Any:
+        conn = self._conns[site]
+        status, value = conn.recv()
+        if status == "error":
+            remote = value
+            self.close()
+            raise ParallelSimError(site, remote)
+        return value
+
+    def _window(self, t_end: float, exclusive: bool) -> None:
+        span = None
+        if self.obs is not None:
+            span = self.obs.tracer.begin(
+                "sync.window", "sim", 0, t_end=t_end, exclusive=exclusive
+            )
+        self.windows += 1
+        if self.use_processes:
+            # Workers compute their window concurrently with the control
+            # simulator; the barrier is the recv loop below.
+            for site in self.sites:
+                inbound = self._take(site, t_end, exclusive)
+                self._conns[site].send(("window", t_end, exclusive, inbound))
+            self._run_control(t_end, exclusive)
+            control_done = time.perf_counter()
+            for site in self.sites:
+                self._route(self._recv(site))
+            stall = time.perf_counter() - control_done
+            self.barrier_stall += stall
+            if span is not None:
+                span.mark("stall_ms", stall * 1e3)
+        else:
+            for site in self.sites:
+                inbound = self._take(site, t_end, exclusive)
+                node = self._nodes[site]
+                if inbound:
+                    node.inbox.ingest(inbound)
+                node.sim.run(until=t_end, exclusive=exclusive)
+                self._route(node.outbox.drain())
+            self._run_control(t_end, exclusive)
+        if span is not None:
+            self.obs.tracer.close(span, "completed")
+
+    def _run_control(self, t_end: float, exclusive: bool) -> None:
+        inbound = self._take("__control__", t_end, exclusive)
+        if inbound:
+            self.control_inbox.ingest(inbound)
+        self.control_sim.run(until=t_end, exclusive=exclusive)
+        self._route(self.control_outbox.drain())
+
+    # ------------------------------------------------------------------
+    # Driving
+    # ------------------------------------------------------------------
+    def run_to(self, until: float) -> None:
+        """Advance every partition to exactly ``until``."""
+        if not self._started:
+            raise RuntimeError("call start() before running")
+        t = self.now
+        while t < until:
+            t_next = min(t + self.lookahead, until)
+            self._window(t_next, exclusive=True)
+            t = t_next
+        # Boundary: events (and envelopes) at exactly `until` run now,
+        # giving run_to the inclusive semantics of serial run(until=U).
+        self._window(until, exclusive=False)
+
+    def run_for(self, duration: float) -> None:
+        self.run_to(self.now + duration)
+
+    def run_until(
+        self, predicate: Callable[[], bool], timeout: float = 10_000.0
+    ) -> bool:
+        """Window-step until ``predicate()`` holds or ``timeout`` elapses.
+
+        The predicate is evaluated between windows (a serial run stops
+        mid-window); callers must use predicates that, once true, stay
+        true for the rest of the window — every convergence predicate in
+        this repository is monotone in that sense.
+        """
+        deadline = self.now + timeout
+        while True:
+            if predicate():
+                return True
+            if self.now >= deadline:
+                break
+            t_next = min(self.now + self.lookahead, deadline)
+            self._window(t_next, exclusive=True)
+        self._window(deadline, exclusive=False)
+        return predicate()
+
+    # ------------------------------------------------------------------
+    # Worker access
+    # ------------------------------------------------------------------
+    def query(self, site: str, name: str, *args: Any) -> Any:
+        """Synchronously evaluate ``node.query(name, *args)`` at a site."""
+        if not self.use_processes:
+            return self._nodes[site].query(name, *args)
+        self._conns[site].send(("query", name, args))
+        return self._recv(site)
+
+    def query_all(self, name: str, *args: Any) -> dict[str, Any]:
+        if not self.use_processes:
+            return {s: self._nodes[s].query(name, *args) for s in self.sites}
+        for site in self.sites:
+            self._conns[site].send(("query", name, args))
+        return {site: self._recv(site) for site in self.sites}
+
+    def finish(self) -> dict[str, Any]:
+        """Collect each partition's final report and shut workers down."""
+        if not self.use_processes:
+            reports = {s: self._nodes[s].finish() for s in self.sites}
+            self.close()
+            return reports
+        for site in self.sites:
+            self._conns[site].send(("finish",))
+        reports = {site: self._recv(site) for site in self.sites}
+        for proc in self._procs.values():
+            proc.join(timeout=10.0)
+        self.close()
+        return reports

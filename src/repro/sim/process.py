@@ -53,7 +53,7 @@ class Process:
         # cost is one load + comparison, and no obs code is ever entered.
         self.obs = sim.obs
         self.stable: dict[str, Any] = {}
-        self.rng = sim.fork_rng(f"process-{pid}")
+        self.rng = sim.fork_rng(f"process-{pid}", site=site)
         self._clock = clocks[pid]
         self._tasks: list[Task] = []
         self._timers: list[Event] = []

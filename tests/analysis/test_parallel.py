@@ -6,8 +6,10 @@ import pytest
 
 from repro.analysis.parallel import (
     WORKERS_ENV,
+    WorkerCrash,
     cell_count,
     default_workers,
+    parallel_imap,
     parallel_map,
     parallel_starmap,
     run_cells,
@@ -25,6 +27,18 @@ def _describe(system, extra, seed):
 def _fail_on(x):
     if x == 3:
         raise ValueError("boom")
+    return x
+
+
+def _die_on(x):
+    if x == 2:
+        os._exit(13)  # no exception, no result: the worker just vanishes
+    return x
+
+
+def _interrupt_on(x):
+    if x == 1:
+        raise KeyboardInterrupt
     return x
 
 
@@ -52,6 +66,41 @@ class TestParallelMap:
             parallel_map(_fail_on, [1, 2, 3, 4], workers=2)
         with pytest.raises(ValueError):
             parallel_map(_fail_on, [1, 2, 3, 4], workers=1)
+
+    def test_worker_exception_carries_the_remote_traceback(self):
+        with pytest.raises(ValueError) as excinfo:
+            parallel_map(_fail_on, [1, 2, 3, 4], workers=2)
+        cause = excinfo.value.__cause__
+        assert isinstance(cause, WorkerCrash)
+        assert "worker traceback" in str(cause)
+        assert "_fail_on" in str(cause)  # the worker-side frame, by name
+
+
+class TestPoolTeardown:
+    """A worker that dies without reporting must raise, not hang."""
+
+    def test_map_surfaces_a_vanished_worker(self):
+        with pytest.raises(WorkerCrash, match="died without returning"):
+            parallel_map(_die_on, [0, 1, 2, 3], workers=2)
+
+    def test_imap_surfaces_a_vanished_worker(self):
+        with pytest.raises(WorkerCrash, match="died without returning"):
+            list(parallel_imap(_die_on, [0, 1, 2, 3], workers=2))
+
+    def test_imap_streams_in_order_and_survives_early_break(self):
+        seen = []
+        for value in parallel_imap(_square, range(10), workers=2):
+            seen.append(value)
+            if len(seen) == 3:
+                break
+        assert seen == [0, 1, 4]
+
+    def test_keyboard_interrupt_in_a_cell_reaches_the_parent(self):
+        with pytest.raises(KeyboardInterrupt):
+            parallel_map(_interrupt_on, [0, 1, 2], workers=2)
+        # ... and as an ordinary exception the serial path raises too.
+        with pytest.raises(KeyboardInterrupt):
+            parallel_map(_interrupt_on, [0, 1, 2], workers=1)
 
 
 class TestStarmapAndCells:

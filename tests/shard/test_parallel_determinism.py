@@ -1,0 +1,163 @@
+"""The determinism oracle: serial and parallel traces are byte-identical.
+
+Each scenario drives a :class:`ShardedCluster` (one shared simulator)
+and a :class:`ParallelShardedCluster` (one simulator per group) through
+the *same* sequence of fixed-horizon runs and control-plane actions,
+then compares per-group fingerprints — the full operation history,
+replica states, and network counters, canonically serialized.  Equality
+is exact string equality: the parallel backend is only trustworthy
+because this suite pins it to the serial semantics byte for byte.
+
+In-process parallel mode is used for most cases (same simulation
+semantics as forked workers, minus the process plumbing, and fast
+enough to afford G=4); one spot check runs real forked workers.
+"""
+
+import pytest
+
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec, increment, put
+from repro.shard import ParallelShardedCluster, ShardedCluster, group_fingerprint
+
+SEED = 11
+SLOTS = 8
+HORIZON = 2600.0
+
+
+def _build(parallel, groups, use_processes=False, **kwargs):
+    facade = ParallelShardedCluster if parallel else ShardedCluster
+    if parallel:
+        kwargs["use_processes"] = use_processes
+    return facade(
+        KVStoreSpec(),
+        ChtConfig(n=3),
+        num_groups=groups,
+        num_slots=SLOTS,
+        seed=SEED,
+        num_clients=2,
+        **kwargs,
+    ).start()
+
+
+def _drive_steady_writes(cluster):
+    """Interleaved writes from two routers, submitted at aligned times."""
+    cluster.run_to(500.0)  # elections settle identically on both backends
+    r0, r1 = cluster.router(0), cluster.router(1)
+    futures = []
+    for round_index, at in enumerate((500.0, 900.0, 1300.0, 1700.0)):
+        futures.append(r0.submit(put(f"p{round_index}", f"v{round_index}")))
+        futures.append(r1.submit(increment(f"i{round_index % 2}")))
+        cluster.run_to(at + 400.0)
+    cluster.run_to(HORIZON)
+    assert all(f.done for f in futures), "scenario ops must all complete"
+    return futures
+
+
+def _drive_handoff(cluster):
+    """Writes racing a mid-run handoff of half of group 0's slots."""
+    cluster.run_to(500.0)
+    r0 = cluster.router(0)
+    first = r0.submit(put("k1", "before"))
+    cluster.run_to(900.0)
+    handoff = cluster.spawn_handoff(0, 1)
+    second = cluster.router(1).submit(increment("c1"))
+    cluster.run_to(1600.0)
+    third = r0.submit(put("k2", "after"))
+    cluster.run_to(HORIZON)
+    assert first.done and second.done and third.done
+    assert handoff.done and len(cluster.handoffs) == 1
+    return cluster.handoffs
+
+
+def _crash_replica_zero(group, gid):
+    # Scripted fault, scheduled inside the group's own simulator: the
+    # serial backend runs this closure on the shared sim, a worker runs
+    # it on its private sim — the resulting trace must not differ.
+    group.sim.schedule_at(700.0, group.replicas[0].crash)
+    group.sim.schedule_at(1400.0, group.replicas[0].recover)
+
+
+def _drive_through_crash(cluster):
+    cluster.run_to(500.0)
+    r0 = cluster.router(0)
+    futures = [r0.submit(put("k3", "pre-crash"))]
+    cluster.run_to(1000.0)  # replica 0 of every group is down here
+    futures.append(r0.submit(increment("c3")))
+    cluster.run_to(2000.0)  # recovered and caught up
+    futures.append(r0.submit(put("k4", "post-recovery")))
+    cluster.run_to(HORIZON)
+    assert all(f.done for f in futures)
+    return futures
+
+
+def _fingerprints(cluster, parallel, groups):
+    if parallel:
+        prints = cluster.fingerprints()
+        return [prints[f"g{g}"] for g in range(groups)]
+    return [group_fingerprint(cluster.groups[g]) for g in range(groups)]
+
+
+def _compare(drive, groups, use_processes=False, **kwargs):
+    serial = _build(False, groups, **kwargs)
+    drive(serial)
+    expected = _fingerprints(serial, False, groups)
+
+    parallel = _build(True, groups, use_processes=use_processes, **kwargs)
+    try:
+        drive(parallel)
+        actual = _fingerprints(parallel, True, groups)
+    finally:
+        parallel.close()
+
+    for g in range(groups):
+        assert actual[g] == expected[g], (
+            f"group {g} trace diverged between serial and parallel backends"
+        )
+    return serial, expected
+
+
+@pytest.mark.parametrize("groups", [2, 4])
+def test_steady_writes_trace_identical(groups):
+    _compare(_drive_steady_writes, groups)
+
+
+@pytest.mark.parametrize("groups", [2, 4])
+def test_mid_run_handoff_trace_identical(groups):
+    serial = _build(False, groups)
+    serial_handoffs = _drive_handoff(serial)
+    expected = _fingerprints(serial, False, groups)
+
+    parallel = _build(True, groups)
+    try:
+        parallel_handoffs = _drive_handoff(parallel)
+        actual = _fingerprints(parallel, True, groups)
+        # The control-plane record — map versions, freeze/install
+        # timestamps — must match to the float, not just the group
+        # traces.
+        assert parallel_handoffs == serial_handoffs
+    finally:
+        parallel.close()
+    assert actual == expected
+
+
+@pytest.mark.parametrize("groups", [2, 4])
+def test_leader_crash_trace_identical(groups):
+    _compare(_drive_through_crash, groups,
+             group_setup=None, on_started=_crash_replica_zero)
+
+
+def test_forked_workers_match_the_serial_trace():
+    """The real thing: G=4 with one forked worker per group, a scripted
+    crash, and a mid-run handoff — byte-identical to the shared-sim run."""
+    def drive(cluster):
+        cluster.run_to(500.0)
+        r0 = cluster.router(0)
+        first = r0.submit(put("k1", "x"))
+        cluster.run_to(900.0)
+        handoff = cluster.spawn_handoff(0, 1)
+        second = cluster.router(1).submit(increment("c1"))
+        cluster.run_to(HORIZON)
+        assert first.done and second.done and handoff.done
+
+    _compare(drive, groups=4, use_processes=True,
+             on_started=_crash_replica_zero)

@@ -121,7 +121,7 @@ def test_redirect_races_a_retransmission_exactly_once():
 
     # Cut the router's group-0 session off before it can deliver the
     # request; the session-layer retry will carry it after the heal.
-    session0 = router.sessions[0]
+    session0 = cluster.groups[0].clients[0]
     start = cluster.sim.now
     cluster.groups[0].net.isolate(session0.pid, start, start + 400.0)
     future = router.submit(increment(key))

@@ -350,3 +350,71 @@ def test_fork_rng_independent_of_fork_order():
     d = Simulator(seed=3)
     d.fork_rng("net")
     assert d.fork_rng("net").random() == second
+
+
+def test_fork_rng_site_namespacing():
+    # A sited fork is its own stream -- distinct from the bare label and
+    # from other sites -- but identical across simulators with the same
+    # seed, which is what lets a group's stream match between a shared
+    # simulator and a dedicated per-group one.
+    a = Simulator(seed=5)
+    bare = a.fork_rng("network").random()
+    g0 = a.fork_rng("network", site="g0").random()
+    g1 = a.fork_rng("network", site="g1").random()
+    assert len({bare, g0, g1}) == 3
+
+    b = Simulator(seed=5)
+    assert b.fork_rng("network", site="g0").random() == g0
+
+
+def test_call_at_front_runs_before_same_time_events():
+    sim = Simulator()
+    order = []
+    sim.schedule_at(5.0, lambda: order.append("normal"))
+    sim.call_at_front(5.0, lambda: order.append("front-a"))
+    sim.call_at_front(5.0, lambda: order.append("front-b"))
+    sim.schedule_at(4.0, lambda: order.append("earlier"))
+    sim.run()
+    # Front events beat normal events at the same instant, FIFO among
+    # themselves, and never jump ahead of strictly earlier events.
+    assert order == ["earlier", "front-a", "front-b", "normal"]
+
+
+def test_call_at_front_rejects_the_past():
+    sim = Simulator()
+    sim.schedule_at(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at_front(5.0, lambda: None)
+
+
+def test_exclusive_run_leaves_boundary_events_pending():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(5.0, lambda: fired.append("early"))
+    sim.schedule_at(10.0, lambda: fired.append("boundary"))
+    sim.run(until=10.0, exclusive=True)
+    assert fired == ["early"]
+    assert sim.now == 10.0  # clock still advances to the window end
+    # The boundary event is not lost: an inclusive pass picks it up.
+    sim.run(until=10.0)
+    assert fired == ["early", "boundary"]
+
+
+def test_exclusive_windows_compose_to_an_inclusive_run():
+    def build():
+        sim = Simulator()
+        log = []
+        for t in (1.0, 2.5, 5.0, 7.5, 10.0):
+            sim.schedule_at(t, lambda t=t: log.append((t, sim.now)))
+        return sim, log
+
+    serial_sim, serial_log = build()
+    serial_sim.run(until=10.0)
+
+    windowed_sim, windowed_log = build()
+    for t_end in (2.5, 5.0, 7.5, 10.0):
+        windowed_sim.run(until=t_end, exclusive=True)
+    windowed_sim.run(until=10.0)  # boundary pass
+    assert windowed_log == serial_log
+    assert windowed_sim.now == serial_sim.now == 10.0

@@ -1,0 +1,125 @@
+"""Timestamped mailboxes: batching, ordering, and conservative safety."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.core import SimulationError, Simulator
+from repro.sim.mailbox import Inbox, Outbox, WireMessage
+
+
+def msg(src="a", seq=0, sent_at=0.0, deliver_at=1.0, dst="b", payload=None):
+    return WireMessage(src, seq, sent_at, deliver_at, dst, payload)
+
+
+def test_outbox_drains_everything_once():
+    outbox = Outbox()
+    first, second = msg(seq=0), msg(seq=1)
+    outbox.append(first)
+    outbox.append(second)
+    assert len(outbox) == 2
+    assert outbox.drain() == [first, second]
+    assert len(outbox) == 0
+    assert outbox.drain() == []
+
+
+def test_inbox_delivers_at_the_envelope_time():
+    sim = Simulator()
+    seen = []
+    inbox = Inbox(sim, lambda payload: seen.append((sim.now, payload)))
+    inbox.ingest([msg(deliver_at=3.0, payload="x"),
+                  msg(seq=1, deliver_at=7.0, payload="y")])
+    assert inbox.pending == 2
+    sim.run()
+    assert seen == [(3.0, "x"), (7.0, "y")]
+    assert inbox.pending == 0
+
+
+def test_inbox_delivery_beats_local_events_at_the_same_instant():
+    # The single-simulator oracle scheduled this delivery from a sender
+    # running strictly before T, so it sits ahead of local events at T;
+    # the inbox must reproduce that order.
+    sim = Simulator()
+    order = []
+    inbox = Inbox(sim, lambda payload: order.append(payload))
+    sim.schedule_at(5.0, lambda: order.append("local"))
+    inbox.ingest([msg(deliver_at=5.0, payload="wire")])
+    sim.run()
+    assert order == ["wire", "local"]
+
+
+def test_same_instant_deliveries_fire_in_send_order():
+    sim = Simulator()
+    order = []
+    inbox = Inbox(sim, lambda payload: order.append(payload))
+    # Ingested out of order, across two ingest calls, one bucket.
+    inbox.ingest([msg(src="a", seq=1, sent_at=2.0, deliver_at=5.0,
+                      payload="second")])
+    inbox.ingest([msg(src="a", seq=0, sent_at=1.0, deliver_at=5.0,
+                      payload="first")])
+    sim.run()
+    assert order == ["first", "second"]
+
+
+def test_ingest_rejects_an_envelope_from_the_past():
+    sim = Simulator()
+    inbox = Inbox(sim, lambda payload: None)
+    sim.schedule_at(10.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError, match="conservative sync violated"):
+        inbox.ingest([msg(deliver_at=9.0)])
+
+
+@st.composite
+def batches(draw):
+    """Batches of envelopes as window ingests: (ingest_time, messages),
+    every message timestamped at or after its ingest time."""
+    out = []
+    t = 0.0
+    for batch_index in range(draw(st.integers(min_value=1, max_value=4))):
+        t += draw(st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+        n = draw(st.integers(min_value=0, max_value=5))
+        messages = [
+            msg(
+                src=draw(st.sampled_from(["a", "b", "c"])),
+                seq=i,
+                sent_at=t,
+                deliver_at=t + draw(st.floats(min_value=0.0, max_value=10.0,
+                                              allow_nan=False)),
+                payload=(batch_index, i),
+            )
+            for i in range(n)
+        ]
+        out.append((t, messages))
+    return out
+
+
+@given(batches())
+@settings(max_examples=200, deadline=None, derandomize=True)
+def test_no_delivery_ever_runs_in_the_past(plan):
+    """The satellite property: however ingests interleave with local
+    time, the handler never observes an envelope whose timestamp is
+    behind the local clock — the conservative-sync guarantee a worker
+    relies on."""
+    sim = Simulator()
+    delivered_at = {}
+
+    def handler(payload):
+        delivered_at[payload] = sim.now
+
+    inbox = Inbox(sim, handler)
+    deadline = {}
+    ingested_at = {}
+    for ingest_at, messages in plan:
+        sim.run(until=ingest_at)
+        inbox.ingest(messages)
+        for message in messages:
+            deadline[message.payload] = message.deliver_at
+            ingested_at[message.payload] = sim.now
+    sim.run()
+    assert inbox.pending == 0
+    assert set(delivered_at) == set(deadline)
+    for payload, when in delivered_at.items():
+        # Exactly on time, and never behind the clock that ingested it.
+        assert when == deadline[payload]
+        assert when >= ingested_at[payload]

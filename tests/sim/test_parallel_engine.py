@@ -1,0 +1,169 @@
+"""The conservative window engine, exercised over toy partitions.
+
+Two ping-ping partitions (each ticks periodically and mails the other)
+are enough to pin the engine's contract: inclusive ``run_to`` semantics,
+process/in-process equivalence, worker-failure surfacing, and the
+window accounting the benchmarks report.
+"""
+
+import pytest
+
+from repro.sim.core import Simulator
+from repro.sim.mailbox import Inbox, Outbox, WireMessage
+from repro.sim.parallel import ParallelSim, ParallelSimError
+
+LATENCY = 2.0
+
+
+class _Node:
+    """A partition that ticks every time unit and mails its peer."""
+
+    def __init__(self, site, peer, seed=0, crash_at=None):
+        self.sim = Simulator(seed=seed)
+        self.site = site
+        self.peer = peer
+        self.outbox = Outbox()
+        self.inbox = Inbox(self.sim, self._on_message)
+        self.received = []
+        self._seq = 0
+        self.sim.schedule_at(1.0, self._tick)
+        if crash_at is not None:
+            self.sim.schedule_at(
+                crash_at, self._boom, f"scripted fault at t={crash_at}"
+            )
+
+    def _tick(self):
+        now = self.sim.now
+        self.outbox.append(WireMessage(
+            self.site, self._seq, now, now + LATENCY, self.peer,
+            (self.site, now),
+        ))
+        self._seq += 1
+        self.sim.schedule_at(now + 1.0, self._tick)
+
+    def _boom(self, message):
+        raise RuntimeError(message)
+
+    def _on_message(self, payload):
+        self.received.append((self.sim.now, payload))
+
+    def query(self, name, *args):
+        if name == "received":
+            return list(self.received)
+        if name == "now":
+            return self.sim.now
+        if name == "boom":
+            raise RuntimeError("query exploded on purpose")
+        raise ValueError(name)
+
+    def finish(self):
+        return {"received": len(self.received), "now": self.sim.now}
+
+
+def _engine(use_processes, crash_at=None, peer_of_a="b"):
+    control_sim = Simulator()
+    control_received = []
+    control_inbox = Inbox(
+        control_sim, lambda payload: control_received.append(payload)
+    )
+    engine = ParallelSim(
+        control_sim,
+        control_inbox,
+        Outbox(),
+        lookahead=LATENCY,
+        builders={
+            "a": lambda: _Node("a", peer_of_a, crash_at=crash_at),
+            "b": lambda: _Node("b", "a"),
+        },
+        use_processes=use_processes,
+    )
+    return engine, control_received
+
+
+def test_positive_lookahead_required():
+    sim = Simulator()
+    with pytest.raises(ValueError, match="positive lookahead"):
+        ParallelSim(sim, Inbox(sim, lambda p: None), Outbox(),
+                    lookahead=0.0, builders={})
+
+
+@pytest.mark.parametrize("use_processes", [False, True])
+def test_run_to_is_inclusive_and_delivers_on_time(use_processes):
+    engine, _ = _engine(use_processes)
+    try:
+        engine.start()
+        engine.run_to(10.0)
+        assert engine.now == 10.0
+        assert engine.windows > 0
+        for site in ("a", "b"):
+            received = engine.query(site, "received")
+            # Pings sent at 1..10 arrive at 3..12; by t=10 exactly the
+            # first eight landed — including the deliver_at == 10 one,
+            # which the boundary pass must not strand.
+            assert [when for when, _ in received] == [
+                float(t) for t in range(3, 11)
+            ]
+            assert engine.query(site, "now") == 10.0
+    finally:
+        engine.close()
+
+
+def test_process_and_in_process_modes_agree():
+    results = {}
+    for mode in (False, True):
+        engine, _ = _engine(mode)
+        try:
+            engine.start()
+            engine.run_to(7.0)
+            results[mode] = engine.query_all("received")
+        finally:
+            engine.close()
+    assert results[False] == results[True]
+
+
+def test_messages_to_unknown_sites_route_to_the_control_inbox():
+    engine, control_received = _engine(False, peer_of_a="ctl")
+    try:
+        engine.start()
+        ok = engine.run_until(lambda: len(control_received) >= 3,
+                              timeout=100.0)
+        assert ok
+        assert control_received[:3] == [("a", 1.0), ("a", 2.0), ("a", 3.0)]
+        assert engine.now < 100.0  # stopped at the predicate, not timeout
+    finally:
+        engine.close()
+
+
+def test_worker_exception_surfaces_with_the_remote_traceback():
+    engine, _ = _engine(True, crash_at=5.0)
+    try:
+        engine.start()
+        with pytest.raises(ParallelSimError) as excinfo:
+            engine.run_to(10.0)
+        assert excinfo.value.site == "a"
+        assert "scripted fault at t=5.0" in excinfo.value.remote_traceback
+        assert "_boom" in excinfo.value.remote_traceback
+    finally:
+        engine.close()
+
+
+def test_query_exception_surfaces_and_tears_down():
+    engine, _ = _engine(True)
+    try:
+        engine.start()
+        engine.run_to(3.0)
+        with pytest.raises(ParallelSimError, match="exploded on purpose"):
+            engine.query("a", "boom")
+    finally:
+        engine.close()
+
+
+@pytest.mark.parametrize("use_processes", [False, True])
+def test_finish_collects_reports_and_shuts_down(use_processes):
+    engine, _ = _engine(use_processes)
+    engine.start()
+    engine.run_to(6.0)
+    reports = engine.finish()
+    assert set(reports) == {"a", "b"}
+    for report in reports.values():
+        assert report == {"received": 4, "now": 6.0}
