@@ -1,0 +1,213 @@
+"""Durability benchmark: steady-write overhead and recovery cost.
+
+Three measurements, all on the in-simulation durable store
+(:class:`repro.durable.MemStorage`):
+
+1. **Steady-write overhead** — the same closed-loop write workload with
+   durability off vs on, same seed.  Outside fault windows every sync
+   completes inline (zero events, zero RNG draws), so the *simulated*
+   throughput ratio must be exactly 1.0; the acceptance gate allows
+   ratio ≥ 0.9 (≤10% overhead).  The Python-side wall-clock ratio is
+   recorded alongside but not gated — it is machine-dependent.
+
+2. **Recovery time vs WAL length** — commit increasing op counts with
+   compaction disabled, crash + restart a replica, and time
+   ``recover()`` (snapshot read + WAL replay + state fold) in wall
+   clock.  Replay cost must grow with the WAL, and the replayed record
+   counts are recorded so regressions in replay complexity are visible.
+
+3. **Snapshot-interval sweep** — the same workload under several
+   ``compaction_interval`` settings.  Tighter snapshot cadence bounds
+   the WAL tail a restart must replay: the recorded ``wal_records`` at
+   crash time must be monotonically non-increasing as the interval
+   shrinks.
+
+Results go to ``BENCH_durability.json`` at the repository root.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_durability.py``
+(``--quick`` runs reduced sizes and does not rewrite the committed
+baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec, increment
+
+from _common import Table, banner
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Steady-write acceptance floor: durable/plain committed-ops ratio.
+OVERHEAD_FLOOR = 0.9
+
+
+def steady_writes(durability: bool, window: float, seed: int = 3) -> dict:
+    """Committed writes over a measurement window, plus wall clock."""
+    started = time.perf_counter()
+    cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=seed,
+                         num_clients=4, durability=durability)
+    cluster.start()
+    cluster.run_until_leader()
+    def closed_loop(client, key):
+        # One closed-loop writer per session: resubmit on completion.
+        def spin():
+            client.submit(increment(key)).on_resolve(lambda _value: spin())
+        return spin
+
+    for i, client in enumerate(cluster.clients):
+        closed_loop(client, f"k{i}")()
+    cluster.run(window)
+    wall = time.perf_counter() - started
+    committed = len(cluster.stats.completed("rmw"))
+    assert committed > 0, "no writes committed in the window"
+    return {
+        "committed": committed,
+        "sim_now": cluster.sim.now,
+        "wall_s": round(wall, 4),
+    }
+
+
+def bench_overhead(quick: bool) -> dict:
+    window = 2_000.0 if quick else 8_000.0
+    plain = steady_writes(False, window)
+    durable = steady_writes(True, window)
+    ratio = durable["committed"] / plain["committed"]
+    table = Table(
+        ["mode", "committed", "wall s"],
+        title="steady writes (window %.0f sim-ms)" % window,
+    ).add_rows([
+        ["plain", plain["committed"], plain["wall_s"]],
+        ["durable", durable["committed"], durable["wall_s"]],
+    ])
+    return {
+        "window": window,
+        "plain": plain,
+        "durable": durable,
+        "throughput_ratio": ratio,
+        "wall_ratio": round(plain["wall_s"] / durable["wall_s"], 3),
+        "table": table,
+        "gate": ratio >= OVERHEAD_FLOOR,
+    }
+
+
+def recovery_cost(ops: int, compaction_interval: int, seed: int = 5) -> dict:
+    """Crash + restart one replica after ``ops`` commits; time recovery."""
+    config = ChtConfig(n=3, compaction_interval=compaction_interval)
+    cluster = ChtCluster(KVStoreSpec(), config, seed=seed, durability=True)
+    cluster.start()
+    leader = cluster.run_until_leader()
+    for i in range(ops):
+        cluster.execute(leader.pid, increment(f"k{i % 8}"))
+    cluster.run(300.0)
+    victim = next(r for r in cluster.replicas if r.pid != leader.pid)
+    storage = victim.durable.storage
+    wal_records = storage.wal_records()
+    wal_bytes = storage.wal_bytes()
+    cluster.crash(victim.pid)
+    started = time.perf_counter()
+    cluster.recover(victim.pid)
+    recover_wall = time.perf_counter() - started
+    assert victim.applied_upto > 0, "recovery restored nothing"
+    return {
+        "ops": ops,
+        "compaction_interval": compaction_interval,
+        "wal_records": wal_records,
+        "wal_bytes": wal_bytes,
+        "recovered_applied_upto": victim.applied_upto,
+        "recover_wall_ms": round(recover_wall * 1_000.0, 3),
+    }
+
+
+def bench_recovery_scaling(quick: bool) -> dict:
+    op_counts = (20, 60) if quick else (50, 150, 400)
+    rows = [recovery_cost(ops, compaction_interval=0) for ops in op_counts]
+    table = Table(
+        ["ops", "wal records", "wal bytes", "recover ms"],
+        title="recovery wall-clock vs WAL length (compaction off)",
+    ).add_rows(
+        [r["ops"], r["wal_records"], r["wal_bytes"], r["recover_wall_ms"]]
+        for r in rows
+    )
+    growing = all(
+        rows[i + 1]["wal_records"] > rows[i]["wal_records"]
+        for i in range(len(rows) - 1)
+    )
+    return {"rows": rows, "table": table, "gate": growing}
+
+
+def bench_snapshot_sweep(quick: bool) -> dict:
+    ops = 60 if quick else 200
+    intervals = (0, 20, 5) if quick else (0, 50, 20, 5)
+    rows = [recovery_cost(ops, compaction_interval=iv) for iv in intervals]
+    table = Table(
+        ["interval", "wal records", "recover ms", "applied upto"],
+        title=f"snapshot-interval sweep ({ops} ops)",
+    ).add_rows(
+        [r["compaction_interval"], r["wal_records"], r["recover_wall_ms"],
+         r["recovered_applied_upto"]] for r in rows
+    )
+    # Sorted by effective cadence (0 = never): tighter snapshots must
+    # not leave a longer WAL tail to replay.
+    by_cadence = sorted(rows, key=lambda r: (r["compaction_interval"] == 0,
+                                             r["compaction_interval"]),
+                        reverse=True)
+    bounded = all(
+        by_cadence[i + 1]["wal_records"] <= by_cadence[i]["wal_records"]
+        for i in range(len(by_cadence) - 1)
+    )
+    return {"rows": rows, "table": table, "gate": bounded}
+
+
+def run(quick: bool = False) -> dict:
+    overhead = bench_overhead(quick)
+    scaling = bench_recovery_scaling(quick)
+    sweep = bench_snapshot_sweep(quick)
+    return {
+        "quick": quick,
+        "overhead": {k: v for k, v in overhead.items() if k != "table"},
+        "recovery_scaling": {k: v for k, v in scaling.items()
+                             if k != "table"},
+        "snapshot_sweep": {k: v for k, v in sweep.items() if k != "table"},
+        "tables": [overhead["table"], scaling["table"], sweep["table"]],
+        "gates": {
+            "steady_write_overhead_le_10pct": overhead["gate"],
+            "recovery_cost_tracks_wal_length": scaling["gate"],
+            "snapshots_bound_replay": sweep["gate"],
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+
+    print(banner("durability: overhead and recovery cost"))
+    result = run(quick=args.quick)
+    for table in result.pop("tables"):
+        print(table.render())
+        print()
+    print("gates:")
+    failed = False
+    for name, ok in result["gates"].items():
+        print(f"  {name}: {'PASS' if ok else 'FAIL'}")
+        failed = failed or not ok
+    if not args.quick:
+        out = REPO_ROOT / "BENCH_durability.json"
+        with open(out, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Durable restart: replicas that survive a real power cycle.
+
+Every replica gets an on-disk backend (append-only WAL + checksummed
+snapshot file).  The example writes through consensus, kills a replica
+and restarts it from its own files, then powers the *whole deployment*
+off — discarding every in-memory object — and rebuilds it over the same
+directories.  The data, the committed batches, and the reply cache all
+come back from storage.
+
+Run:  python examples/durable_restart.py
+"""
+
+import os
+import tempfile
+
+from repro import ChtCluster, ChtConfig
+from repro.durable import FileStorage
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.verify import check_linearizable
+
+
+def build_cluster(root: str, seed: int) -> ChtCluster:
+    """A cluster whose replica ``p`` persists under ``root/replica-p``."""
+    cluster = ChtCluster(
+        KVStoreSpec(),
+        ChtConfig(n=3, delta=10.0, epsilon=2.0),
+        seed=seed,
+        durability=lambda replica: FileStorage(
+            os.path.join(root, f"replica-{replica.pid}")
+        ),
+    )
+    cluster.start()
+    return cluster
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="cht-durable-") as root:
+        # --- first incarnation: write through consensus ----------------
+        cluster = build_cluster(root, seed=7)
+        leader = cluster.run_until_leader()
+        print(f"leader elected: process {leader.pid}")
+        for fruit, price in [("apples", 3), ("pears", 2), ("plums", 5)]:
+            cluster.execute(leader.pid, put(fruit, price))
+        print("wrote 3 keys through the RMW path")
+
+        # A single replica restarts from its own WAL while the others
+        # keep serving.
+        victim = next(r for r in cluster.replicas if r.pid != leader.pid)
+        cluster.crash(victim.pid)
+        assert victim.applied_upto == 0, "crash must erase memory"
+        cluster.recover(victim.pid)
+        print(f"process {victim.pid} restarted from its WAL: "
+              f"applied_upto={victim.applied_upto}, "
+              f"wal_bytes={victim.durable.storage.wal_bytes()}")
+        cluster.run(500.0)
+        assert cluster.execute(victim.pid, get("pears")) == 2
+
+        result = check_linearizable(
+            cluster.spec, cluster.history(), partition_by_key=True
+        )
+        print(f"history linearizable: {bool(result)}")
+
+        # --- power off: every in-memory object is discarded ------------
+        del cluster, leader, victim
+        print("powered off the whole deployment")
+
+        # --- second incarnation over the same directories ---------------
+        # Leader timestamps are local-clock readings and the recovered
+        # promise outranks early post-restart tenures, so the new
+        # incarnation's first leader emerges only once its clock passes
+        # the recovered promise — give the election room to get there.
+        reborn = build_cluster(root, seed=8)
+        recovered = [r.applied_upto for r in reborn.replicas]
+        print(f"rebuilt from disk: applied_upto per replica = {recovered}")
+        assert all(upto > 0 for upto in recovered)
+        leader = reborn.run_until_leader()
+        for fruit, price in [("apples", 3), ("pears", 2), ("plums", 5)]:
+            assert reborn.execute(leader.pid, get(fruit)) == price
+        print("all 3 keys read back after the power cycle")
+
+        # The reply cache came back too: exactly-once holds across the
+        # restart, not just within one incarnation.
+        cached = sum(len(r.last_applied) for r in reborn.replicas)
+        print(f"recovered reply-cache entries across replicas: {cached}")
+        assert cached > 0
+
+        reborn.execute(leader.pid, put("apples", 4))
+        assert reborn.execute(leader.pid, get("apples")) == 4
+        print("post-recovery write and read OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,20 +41,22 @@ def _soak_cell(args: tuple) -> NemesisResult:
 
     Module-level (picklable) and self-contained so it executes
     identically in a forked worker and in the parent process.  Cells are
-    8-tuples historically; sharded soaks append ``(groups, handoffs)``
-    and then ``parallel_sim``, and older shorter-tuple callers keep
-    working.
+    8-tuples historically; sharded soaks append ``(groups, handoffs)``,
+    then ``parallel_sim``, then ``durability``, and older shorter-tuple
+    callers keep working.
     """
     (system, n, clients, horizon, seed, ops_per_client, bug, index,
      *rest) = args
-    groups, handoffs, parallel_sim = (*rest, 2, 1, False)[:3]
+    groups, handoffs, parallel_sim, durability = (*rest, 2, 1, False, False)[:4]
     generator = ScheduleGenerator(
         n=n, num_clients=clients, horizon=horizon, seed=seed,
+        durability=durability,
     )
     runner = NemesisRunner(
         system=system, n=n, num_clients=clients, seed=seed, horizon=horizon,
         ops_per_client=ops_per_client, bug=bug,
         groups=groups, handoffs=handoffs, parallel_sim=parallel_sim,
+        durability=durability,
     )
     return runner.run(generator.generate(index))
 
@@ -87,6 +89,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="simulate each shard group in its own worker "
                            "process (system=sharded; verdicts identical "
                            "to the serial backend)")
+    soak.add_argument("--durability", action="store_true",
+                      help="attach in-sim durable storage to every CHT "
+                           "replica and add crash-restart + storage-fault "
+                           "windows to generated schedules (cht/sharded "
+                           "systems only)")
     soak.add_argument("--artifact", default="chaos-repro.json",
                       help="where to write the shrunken repro on failure")
     soak.add_argument("--shrink-budget", type=int, default=200)
@@ -106,6 +113,12 @@ def _soak(args: argparse.Namespace) -> int:
         if system not in SYSTEMS:
             print(f"unknown system {system!r}; pick from {SYSTEMS}")
             return 2
+        if args.durability and system == "multipaxos":
+            print(
+                "--durability requires the CHT durable-storage seam; "
+                "drop multipaxos from --systems"
+            )
+            return 2
     started = time.time()
     workers = args.workers if args.workers > 0 else default_workers()
     total = 0
@@ -116,7 +129,7 @@ def _soak(args: argparse.Namespace) -> int:
         cells = [
             (system, args.n, args.clients, args.horizon, args.seed,
              args.ops_per_client, args.bug, index, args.groups,
-             args.handoffs, args.parallel_sim)
+             args.handoffs, args.parallel_sim, args.durability)
             for index in range(args.schedules)
         ]
         # Stream verdicts in index order; workers simulate+verify ahead.
@@ -149,13 +162,14 @@ def _soak(args: argparse.Namespace) -> int:
             # a tight mutate-replay loop has no use for fork overhead.
             generator = ScheduleGenerator(
                 n=args.n, num_clients=args.clients, horizon=args.horizon,
-                seed=args.seed,
+                seed=args.seed, durability=args.durability,
             )
             runner = NemesisRunner(
                 system=system, n=args.n, num_clients=args.clients,
                 seed=args.seed, horizon=args.horizon,
                 ops_per_client=args.ops_per_client, bug=args.bug,
                 groups=args.groups, handoffs=args.handoffs,
+                durability=args.durability,
             )
             schedule = generator.generate(index)
             print(

@@ -30,7 +30,9 @@ from typing import Any, Optional
 from ..sim.failures import (
     ClockDesync,
     Crash,
+    CrashRestart,
     DelayBurstWindow,
+    DiskFaultWindow,
     DuplicationWindow,
     FaultSchedule,
     LeaderCrash,
@@ -61,6 +63,7 @@ class ScheduleGenerator:
         seed: int = 0,
         delta: float = 10.0,
         epsilon: float = 2.0,
+        durability: bool = False,
     ) -> None:
         if n < 3:
             raise ValueError("chaos schedules need n >= 3 replicas")
@@ -71,6 +74,11 @@ class ScheduleGenerator:
         self.delta = delta
         self.epsilon = epsilon
         self.f_max = (n - 1) // 2
+        # Durability mode adds CrashRestart + storage-fault windows.
+        # Those draws come *after* every legacy draw, so for a fixed
+        # (seed, index) a durability-off schedule is unchanged by this
+        # generator growing the new fault kinds.
+        self.durability = durability
 
     # ------------------------------------------------------------------
     def generate(self, index: int) -> FaultSchedule:
@@ -125,10 +133,26 @@ class ScheduleGenerator:
                 continue
             desyncs.append(candidate)
 
+        crash_restarts: list[CrashRestart] = []
+        disk_faults: list[DiskFaultWindow] = []
+        if self.durability:
+            # Drawn last (see __init__): legacy schedules stay identical.
+            storm = list(zip(crashes, recoveries))
+            crash_restarts = self._gen_crash_restarts(
+                rng, start_span, heal_by, storm,
+                reserved=1 if leader_crashes else 0,
+            )
+            disk_faults = [
+                self._gen_disk_fault(rng, start_span, heal_by)
+                for _ in range(rng.randint(0, 2))
+            ]
+
         schedule = FaultSchedule(
             crashes=crashes,
             recoveries=recoveries,
             leader_crashes=leader_crashes,
+            crash_restarts=crash_restarts,
+            disk_faults=disk_faults,
             partitions=partitions,
             one_way_partitions=one_way,
             losses=losses,
@@ -191,6 +215,72 @@ class ScheduleGenerator:
             crashes.append(Crash(pid=pid, at=at))
             recoveries.append(Recover(pid=pid, at=end))
         return crashes, recoveries
+
+    def _gen_crash_restarts(
+        self,
+        rng: random.Random,
+        start_span: float,
+        heal_by: float,
+        storm: list,
+        reserved: int,
+    ) -> list[CrashRestart]:
+        """At least one durable crash-restart; never over the crash budget.
+
+        Restarts share the concurrent-crash budget with the crash storm
+        (their downtime is a crash interval like any other), and a slot
+        stays reserved for leader-targeted crashes exactly as in
+        ``_gen_crash_storm``.
+        """
+        budget = max(self.f_max - reserved, 1)
+        intervals = [
+            (crash.at, rec.at, crash.pid) for crash, rec in storm
+        ]
+        out: list[CrashRestart] = []
+        want = rng.choices([1, 2, 3], weights=[3, 2, 1])[0]
+        for _ in range(want * 3):  # rejection headroom
+            if len(out) >= want:
+                break
+            pid = rng.randrange(self.n)
+            at = rng.uniform(0.0, start_span)
+            downtime = rng.uniform(80.0, 400.0)
+            end = min(at + downtime, heal_by)
+            if end <= at:
+                continue
+            same_pid = any(
+                p == pid and s < end and at < e for s, e, p in intervals
+            )
+            concurrent = sum(
+                1 for s, e, _ in intervals if s < end and at < e
+            )
+            if same_pid or concurrent + 1 > budget:
+                continue
+            intervals.append((at, end, pid))
+            out.append(CrashRestart(pid=pid, at=at, downtime=end - at))
+        if not out:
+            # A durability soak without a single restart checks nothing
+            # new; fall back to a short early restart of replica 0,
+            # which always fits the budget on its own.
+            out.append(CrashRestart(
+                pid=0, at=rng.uniform(0.0, 0.3 * start_span),
+                downtime=rng.uniform(80.0, 150.0),
+            ))
+        return out
+
+    def _gen_disk_fault(
+        self, rng: random.Random, start_span: float, heal_by: float
+    ) -> DiskFaultWindow:
+        kind = rng.choices(
+            ["slow", "stall", "torn"], weights=[2, 2, 3]
+        )[0]
+        start, end = self._window(rng, start_span, heal_by, 50.0, 400.0)
+        low = high = 0.0
+        if kind == "slow":
+            low = rng.uniform(0.2 * self.delta, self.delta)
+            high = rng.uniform(low, 3.0 * self.delta)
+        return DiskFaultWindow(
+            pid=rng.randrange(self.n), kind=kind,
+            start=start, end=end, low=low, high=high,
+        )
 
     def _split_groups(
         self, rng: random.Random
@@ -295,6 +385,17 @@ def schedule_to_dict(schedule: FaultSchedule) -> dict:
             {"at": lc.at, "downtime": lc.downtime}
             for lc in schedule.leader_crashes
         ],
+        "crash_restarts": [
+            {"pid": cr.pid, "at": cr.at, "downtime": cr.downtime}
+            for cr in schedule.crash_restarts
+        ],
+        "disk_faults": [
+            {
+                "pid": df.pid, "kind": df.kind, "start": df.start,
+                "end": df.end, "low": df.low, "high": df.high,
+            }
+            for df in schedule.disk_faults
+        ],
         "partitions": [
             {
                 "group_a": sorted(p.group_a),
@@ -342,6 +443,18 @@ def schedule_from_dict(data: dict) -> FaultSchedule:
         leader_crashes=[
             LeaderCrash(at=lc["at"], downtime=lc["downtime"])
             for lc in data["leader_crashes"]
+        ],
+        # .get: artifacts written before the durability faults existed.
+        crash_restarts=[
+            CrashRestart(pid=cr["pid"], at=cr["at"], downtime=cr["downtime"])
+            for cr in data.get("crash_restarts", [])
+        ],
+        disk_faults=[
+            DiskFaultWindow(
+                pid=df["pid"], kind=df["kind"], start=df["start"],
+                end=df["end"], low=df["low"], high=df["high"],
+            )
+            for df in data.get("disk_faults", [])
         ],
         partitions=[
             PartitionWindow(

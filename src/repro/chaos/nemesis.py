@@ -38,6 +38,7 @@ from ..shard.cluster import ShardedCluster
 from ..shard.parallel import ParallelShardedCluster
 from ..shard.router import Router
 from ..shard.spec import WrongShard
+from ..durable import attach_memory_durability, durable_audit
 from ..sim.failures import FaultSchedule
 from ..sim.tasks import Future, Sleep
 from ..verify.history import History
@@ -66,6 +67,10 @@ def last_disruption(schedule: FaultSchedule) -> float:
         t = max(t, r.at)
     for lc in schedule.leader_crashes:
         t = max(t, lc.at + lc.downtime)
+    for cr in schedule.crash_restarts:
+        t = max(t, cr.at + cr.downtime)
+    for df in schedule.disk_faults:
+        t = max(t, df.end)
     for p in schedule.partitions:
         t = max(t, p.start if p.end == float("inf") else p.end)
     for p in schedule.one_way_partitions:
@@ -123,10 +128,22 @@ class NemesisRunner:
         groups: int = 2,
         handoffs: int = 1,
         parallel_sim: bool = False,
+        durability: bool = False,
     ) -> None:
         if system not in SYSTEMS:
             raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}")
+        if durability and system == "multipaxos":
+            raise ValueError(
+                "durability mode needs the CHT durable-storage seam; the "
+                "multipaxos baseline does not implement it"
+            )
         self.system = system
+        # Durability mode: replicas get in-sim durable stores, so
+        # CrashRestart faults genuinely erase memory and recover via
+        # snapshot + WAL replay, DiskFaultWindow entries can target
+        # their storage, and the post-run verdicts include the durable
+        # audit (cross-replica durable I1/I2 agreement).
+        self.durability = durability
         self.n = n
         self.num_clients = num_clients
         # Sharded runs only: group count and how many fenced handoffs the
@@ -226,6 +243,7 @@ class NemesisRunner:
 
         if self.system == "cht":
             check_i2_i3(cluster.replicas)
+            durable_audit(cluster.replicas)
 
         if not all_done():
             completed = sum(1 for f in futures if f.done)
@@ -288,11 +306,17 @@ class NemesisRunner:
         """
         spec = KVStoreSpec()
         bug = self.bug
+        durability = self.durability
 
         def group_setup(group: ChtCluster, gid: int) -> None:
             if bug:
                 for replica in group.replicas:
                     replica.bug_switches.add(bug)
+            if durability:
+                # Runs inside the forked worker under parallel_sim; the
+                # disk RNG streams are keyed by (site, pid), so serial
+                # and parallel backends draw identical device behaviour.
+                attach_memory_durability(group)
 
         def on_started(group: ChtCluster, gid: int) -> None:
             # Arm on the *group's* simulator — the shared one in a
@@ -505,6 +529,7 @@ class NemesisRunner:
                 seed=self.seed,
                 num_clients=self.num_clients,
                 obs=self.obs,
+                durability=self.durability,
             )
             self.last_obs = cluster.obs
 

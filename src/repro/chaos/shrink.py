@@ -63,6 +63,8 @@ def logical_faults(schedule: FaultSchedule) -> list[tuple[str, tuple]]:
         units.append(("recoveries", (rec,)))
     for name in (
         "leader_crashes",
+        "crash_restarts",
+        "disk_faults",
         "partitions",
         "one_way_partitions",
         "losses",
@@ -102,7 +104,7 @@ def _narrowed(entry: object) -> Optional[object]:
         if length <= 25.0:
             return None
         return replace(entry, end=start + length / 2)  # type: ignore[arg-type]
-    if hasattr(entry, "downtime"):  # LeaderCrash
+    if hasattr(entry, "downtime"):  # LeaderCrash, CrashRestart
         if entry.downtime <= 50.0:
             return None
         return replace(entry, downtime=entry.downtime / 2)  # type: ignore[arg-type]
@@ -227,6 +229,7 @@ def save_artifact(
         "bug": runner.bug,
         "groups": runner.groups,
         "handoffs": runner.handoffs,
+        "durability": runner.durability,
         "fault_count": schedule.fault_count(),
         "logical_faults": len(logical_faults(schedule)),
         "schedule": schedule_to_dict(schedule),
@@ -262,6 +265,8 @@ def load_artifact(path: str) -> tuple[NemesisRunner, FaultSchedule, dict]:
         # Sharded-run keys; absent from pre-sharding artifacts.
         groups=artifact.get("groups", 2),
         handoffs=artifact.get("handoffs", 1),
+        # Durability key; absent from pre-durability artifacts.
+        durability=artifact.get("durability", False),
     )
     return runner, schedule_from_dict(artifact["schedule"]), artifact
 

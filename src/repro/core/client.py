@@ -154,6 +154,7 @@ class ChtCluster:
         obs: "bool | ObsContext" = False,
         sim: Optional[Simulator] = None,
         site: Optional[str] = None,
+        durability: "bool | Callable[[ChtReplica], Any]" = False,
     ) -> None:
         self.spec = spec
         self.config = config or ChtConfig()
@@ -200,6 +201,28 @@ class ChtCluster:
         self.replicas: list[ChtReplica] = [
             self._build_replica(pid) for pid in range(self.config.n)
         ]
+        # Crash-restart durability.  ``True`` gives every replica an
+        # in-sim faulty store (repro.durable.MemStorage); a callable
+        # maps each replica to a storage layer/backend of its own (the
+        # on-disk FileStorage path used by examples).  Default off: the
+        # legacy crash-stop model where stable state survives in memory.
+        self.durability = bool(durability)
+        if durability:
+            from ..durable import (ReplicaDurability, Storage,
+                                   attach_memory_durability)
+            if callable(durability):
+                for replica in self.replicas:
+                    layer = durability(replica)
+                    if isinstance(layer, Storage):
+                        layer = ReplicaDurability(layer)
+                    replica.attach_durability(layer)
+                    # A persistent backend may hold state from an earlier
+                    # incarnation of this deployment (the examples' "power
+                    # off" path): load it before the replica starts.
+                    # Recovering from empty storage is the identity.
+                    replica._recover_from_storage()
+            else:
+                attach_memory_durability(self)
         self.clients: list[ClientSession] = [
             ClientSession(
                 self.config.n + i,

@@ -17,9 +17,17 @@ be deleted wholesale leaving a plain linearizable replicated object whose
 reads go through consensus.
 
 Stable versus volatile state: batches, the estimate, and the promise
-timestamp survive crashes (they are the Paxos acceptor state and the log —
-kept on "disk"), while leases, leadership tenure, and client tasks are
-volatile and reset by :meth:`on_crash`.
+timestamp survive crashes (they are the Paxos acceptor state and the log),
+while leases, leadership tenure, and client tasks are volatile and reset
+by :meth:`on_crash`.  The class-level ``STABLE_ATTRS`` /
+``_VOLATILE_FACTORIES`` / ``INFRA_ATTRS`` tables classify every instance
+attribute and drive the reset (pinned by
+tests/core/test_volatile_reset.py).  Without a durability layer the
+stable attributes simply survive in memory — perfect write-ahead
+persistence.  With :meth:`attach_durability` every stable-state mutation
+also appends to a write-ahead log behind a group-commit ``sync`` barrier,
+a crash erases *all* of memory, and :meth:`on_recover` rebuilds the
+stable state from snapshot + WAL replay (see docs/DURABILITY.md).
 """
 
 from __future__ import annotations
@@ -28,6 +36,8 @@ import math
 from dataclasses import replace
 from typing import Any, Generator, Iterable, Optional
 
+from ..durable.layer import SEQ_RESERVE_BLOCK, ReplicaDurability
+from ..durable.wal import BatchRec, EstimateRec, PromiseRec, SeqReserve, SnapRecord
 from ..objects.spec import NOOP, ObjectSpec, Operation, OpInstance
 from ..sim.clocks import ClockModel
 from ..sim.core import Simulator
@@ -137,6 +147,20 @@ class ChtReplica(Process):
         # response recovery).
         self.pruned_upto: int = 0
         self.last_applied: dict[int, tuple[int, Any]] = {}
+        # The op-id counter is stable, not volatile: invariant I1 forbids
+        # an op id from ever appearing in two batches, so a restarted
+        # replica must not reissue ids.  (It was historically listed
+        # under volatile state but — correctly — never reset.)  Without
+        # a durability layer it survives in memory like the rest of the
+        # stable block; with one it restarts above the durably reserved
+        # block (see _recover_from_storage).
+        self._op_seq = 0
+
+        # Durability seam: None means the legacy crash-stop model where
+        # stable state survives in memory.  attach_durability installs a
+        # ReplicaDurability whose WAL/snapshot then carries the stable
+        # state across crashes instead.
+        self.durable: Optional[ReplicaDurability] = None
 
         # --- volatile state -------------------------------------------
         self.pending_batches: dict[int, frozenset] = {}
@@ -152,7 +176,6 @@ class ChtReplica(Process):
         self._last_commit: Optional[Commit] = None
         self._catchup_target: int = 0
         self._fetching: bool = False
-        self._op_seq = 0
         self._client_read_tasks: set[tuple[int, int]] = set()
         # Observability: submission timestamps (sim time) for the
         # commit-latency queue-wait phase.  Only populated when an
@@ -173,6 +196,40 @@ class ChtReplica(Process):
             p for p in range(config.n) if p != pid
         )
 
+    # Classification of every instance attribute ChtReplica.__init__
+    # defines beyond the Process base class.  on_crash is driven by the
+    # volatile table, and tests/core/test_volatile_reset.py fails when a
+    # new attribute is added without classifying it here — an
+    # unclassified field is exactly how accidental durability (or
+    # accidental amnesia) slips in.
+    STABLE_ATTRS = frozenset({
+        "batches", "estimate", "max_leader_ts_seen", "applied_upto",
+        "state", "committed_op_ids", "pruned_upto", "last_applied",
+        "_op_seq",
+    })
+    _VOLATILE_FACTORIES = {
+        "pending_batches": dict,
+        "lease": lambda: None,
+        "tenure": lambda: None,
+        "submit_queue": dict,
+        "_queue_since": lambda: None,
+        "op_futures": dict,
+        "_acks": dict,
+        "_est_replies": dict,
+        "_last_commit": lambda: None,
+        "_catchup_target": lambda: 0,
+        "_fetching": lambda: False,
+        "_client_read_tasks": set,
+        "_submit_times": dict,
+    }
+    # Identity, configuration, and run-long instrumentation: not state
+    # of the replicated object, untouched by crashes.
+    INFRA_ATTRS = frozenset({
+        "spec", "config", "stats", "batch_monitor", "_site_label",
+        "leader_service", "bug_switches", "commit_log", "tenure_history",
+        "_others", "durable",
+    })
+
     # ==================================================================
     # Lifecycle
     # ==================================================================
@@ -181,27 +238,101 @@ class ChtReplica(Process):
         self.leader_service.start()
         self.spawn(self._thread2(), name="thread2")
 
+    def attach_durability(self, layer: ReplicaDurability) -> None:
+        """Route stable-state mutations through a WAL/snapshot seam.
+
+        Must be attached before :meth:`start`.  From then on a crash
+        erases *everything* in memory and recovery replays the storage
+        (the crash-stop memory model keeps applying when no layer is
+        attached).
+        """
+        self.durable = layer
+
     def on_crash(self) -> None:
-        # Volatile state vanishes with the process; stable state (batches,
-        # estimate, promise, applied prefix) is preserved, modelling
-        # write-ahead persistence.
-        self.pending_batches = {}
-        self.lease = None
-        self.tenure = None
-        self.submit_queue = {}
-        self._queue_since = None
-        self.op_futures = {}
-        self._acks = {}
-        self._est_replies = {}
-        self._last_commit = None
-        self._catchup_target = 0
-        self._fetching = False
-        self._client_read_tasks = set()
-        self._submit_times = {}
+        # Every volatile attribute vanishes with the process; the
+        # classification table drives the reset so a newly added field
+        # cannot be silently forgotten.
+        for attr, factory in self._VOLATILE_FACTORIES.items():
+            setattr(self, attr, factory())
+        if self.durable is not None:
+            # Durable mode: memory is gone wholesale.  The stable block
+            # lives on the storage model now; on_recover rebuilds it
+            # from snapshot + WAL replay.
+            self.durable.on_crash()
+            self.batches = {}
+            self.estimate = None
+            self.max_leader_ts_seen = -math.inf
+            self.applied_upto = 0
+            self.state = self.spec.initial_state()
+            self.committed_op_ids = set()
+            self.pruned_upto = 0
+            self.last_applied = {}
+            self._op_seq = 0
 
     def on_recover(self) -> None:
+        if self.durable is not None:
+            self._recover_from_storage()
         self.leader_service.on_recover()
         self.start()
+
+    def _recover_from_storage(self) -> None:
+        """Rebuild the stable block from snapshot + WAL replay."""
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin(
+                "recovery", "recovery", self.pid, **self._site_label
+            )
+        recovered = self.durable.recover(self.spec)
+        self.batches = dict(recovered.batches)
+        self.estimate = recovered.estimate
+        self.max_leader_ts_seen = recovered.promise
+        self.applied_upto = recovered.applied_upto
+        self.state = recovered.state
+        self.committed_op_ids = set(recovered.committed_op_ids)
+        self.pruned_upto = recovered.pruned_upto
+        self.last_applied = dict(recovered.last_applied)
+        # Never reuse an op id: restart a full reservation block above
+        # the recovered floor, covering ids whose reservation record was
+        # still unsynced at the crash.
+        self._op_seq = recovered.seq_floor(self.pid) + SEQ_RESERVE_BLOCK
+        # An uncommitted durable estimate is a pending batch again.
+        est = recovered.estimate
+        if est is not None and est.k not in self.batches:
+            self.pending_batches[est.k] = est.ops
+        # Re-announce recovered batches to the run-wide monitor: the
+        # re-record is idempotent when the durable value matches what
+        # this pid reported before the crash, and raises (an invariant
+        # verdict) when storage handed back a divergent batch.
+        if self.batch_monitor is not None:
+            # Sync-before-externalize: any promise this pid vouched for
+            # in an EstReply/PrepareAck/self-ack must survive the
+            # restart, or estimate transfer can read around it.
+            self.batch_monitor.check_recovered_promise(
+                self.pid, self.max_leader_ts_seen
+            )
+            for j in sorted(self.batches):
+                self.batch_monitor.record_batch(
+                    self.pid, j, self.batches[j], self.sim.now
+                )
+        if obs is not None:
+            storage = self.durable.storage
+            obs.tracer.close(
+                span, "recovered",
+                replayed_batches=recovered.replayed_batches,
+                wal_records=recovered.wal_records,
+                wal_bytes=storage.wal_bytes(),
+                snapshot_upto=recovered.snapshot_upto,
+                snapshot_age=(
+                    self.sim.now - recovered.snapshot_taken_at
+                    if recovered.snapshot_taken_at is not None else -1.0
+                ),
+                applied_upto=self.applied_upto,
+                torn_tail=recovered.torn_tail,
+            )
+            obs.registry.counter(
+                "recoveries_total", pid=self.pid, **self._site_label
+            ).inc()
 
     # ==================================================================
     # Public operation API (Thread 1)
@@ -235,7 +366,26 @@ class ChtReplica(Process):
 
     def _next_op_id(self) -> tuple[int, int]:
         self._op_seq += 1
+        if self.durable is not None:
+            # Cover the id with a durable block reservation (one WAL
+            # record per SEQ_RESERVE_BLOCK ids); the barriers below sync
+            # it before the id can leave this process.
+            self.durable.reserve_seq(self._op_seq)
         return (self.pid, self._op_seq)
+
+    def _sync_barrier(self) -> Generator:
+        """Suspend until every WAL record appended so far is durable.
+
+        The group-commit point: concurrent barriers (and the lazy batch
+        appends behind them) coalesce into one device flush.  With no
+        storage fault active the flush completes inline — no event, no
+        RNG draw — so fault-free runs are trace-identical to
+        durability-off runs.
+        """
+        future = Future()
+        self.durable.sync(future.resolve)
+        if not future.done:
+            yield future
 
     # ------------------------------------------------------------------
     # RMW submission (paper lines 2-6)
@@ -243,6 +393,10 @@ class ChtReplica(Process):
     def _submit_task(self, instance: OpInstance, future: Future) -> Generator:
         # Send (o, (p, i)) to the believed leader, periodically, until the
         # operation has been applied locally and its response resolved.
+        if self.durable is not None:
+            # The id's block reservation must be durable before the id
+            # leaves this process: a restart must never reissue it (I1).
+            yield from self._sync_barrier()
         while not future.done:
             target = self.leader_service.believed_leader()
             if target == self.pid:
@@ -260,6 +414,12 @@ class ChtReplica(Process):
         op_id = instance.op_id
         if op_id in self.committed_op_ids or op_id in self.submit_queue:
             return  # duplicate (invariant I1: never commit an op twice)
+        cached = self.last_applied.get(op_id[0])
+        if cached is not None and op_id[1] <= cached[0]:
+            # Already applied, but the batch that committed it was folded
+            # into a snapshot (so committed_op_ids no longer knows it).
+            # Re-committing a floating retransmission would re-execute.
+            return
         if not self.submit_queue:
             # First op of a fresh batch: the accumulation window (when
             # configured) runs from here.
@@ -471,6 +631,16 @@ class ChtReplica(Process):
             if not self.leader_service.am_leader(t, self.local_time):
                 self._est_replies.pop(t, None)
                 return None
+            if self.max_leader_ts_seen > t:
+                # Our own promise already outranks this tenure, so every
+                # acceptor that honors promises will reject EstReq(t) and
+                # line 52 would abort us later anyway.  Bailing here
+                # matters after a durable restart: the recovered promise
+                # can exceed the first post-restart tenure's timestamp,
+                # and without this check the candidate would broadcast a
+                # doomed EstReq forever while its leases keep renewing.
+                self._est_replies.pop(t, None)
+                return None
             self.broadcast(EstReq(t))
             yield from self._wait(enough, timeout=cfg.retry_period)
         return self._est_replies.pop(t)
@@ -644,14 +814,34 @@ class ChtReplica(Process):
         committed = False
         try:
             # Line 53: adopt the batch as our own estimate.
-            self.estimate = Estimate(ops, t, j)
+            estimate = Estimate(ops, t, j)
+            durable = self.durable
+            if durable is not None and estimate != self.estimate:
+                durable.append_promise(t)
+                durable.append_estimate(estimate)
+            self.estimate = estimate
             self.pending_batches[j] = ops
             prev = self.batches.get(j - 1)
             assert prev is not None or j == 1 or self.applied_upto >= j - 1, (
                 f"leader missing batch {j - 1}"
             )
 
+            if durable is not None \
+                    and "skip_promise_fsync" not in self.bug_switches:
+                # Group-commit barrier: the self-ack below counts toward
+                # the majority, so the adopted estimate (and the lazy
+                # batch records behind it) must be durable first.
+                yield from self._sync_barrier()
+                # The barrier suspended us; re-run the line-52 check in
+                # case a newer leader was promised meanwhile.
+                if self.max_leader_ts_seen > t:
+                    return False
+
             key = (t, j)
+            if durable is not None and self.batch_monitor is not None:
+                # The self-ack externalizes the promise exactly like a
+                # follower's PrepareAck does.
+                self.batch_monitor.record_externalized_promise(self.pid, t)
             self._acks[key] = {self.pid}
             acks = self._acks[key]
             prepare_start = self.local_time
@@ -844,13 +1034,27 @@ class ChtReplica(Process):
         if msg.t < self.max_leader_ts_seen:
             return
         self.max_leader_ts_seen = msg.t
+        durable = self.durable
+        if durable is not None:
+            durable.append_promise(msg.t)
+            if "skip_promise_fsync" not in self.bug_switches:
+                # The reply externalizes the promise: sync first.  The
+                # reply is built at flush completion, so it carries the
+                # freshest estimate (reading fresher is always safe).
+                durable.sync(lambda: self._send_est_reply(src, msg.t))
+                return
+        self._send_est_reply(src, msg.t)
+
+    def _send_est_reply(self, dst: int, t: float) -> None:
         est = self.estimate
         if est is not None and est.k >= 2:
             prev_index = est.k - 1
             prev = self.batches.get(prev_index)
         else:
             prev_index, prev = 0, None
-        self.send(src, EstReply(msg.t, est, prev_index, prev))
+        if self.durable is not None and self.batch_monitor is not None:
+            self.batch_monitor.record_externalized_promise(self.pid, t)
+        self.send(dst, EstReply(t, est, prev_index, prev))
 
     def _on_est_reply(self, src: int, msg: EstReply) -> None:
         if msg.prev_batch is not None:
@@ -865,11 +1069,32 @@ class ChtReplica(Process):
         if msg.t < self.max_leader_ts_seen:
             return  # stale leader; our promise forbids adopting this
         self.max_leader_ts_seen = msg.t
+        durable = self.durable
+        if durable is not None:
+            # WAL order matters: the predecessor batch (stored above)
+            # precedes the estimate, so a suffix-only tail loss can
+            # never strand a durable estimate without its predecessor
+            # (durable I2).
+            durable.append_promise(msg.t)
         estimate = Estimate(msg.ops, msg.t, msg.j)
         if self.estimate is None or estimate.freshness >= self.estimate.freshness:
+            if durable is not None and estimate != self.estimate:
+                durable.append_estimate(estimate)
             self.estimate = estimate
             self.pending_batches[msg.j] = msg.ops
-        self.send(src, PrepareAck(msg.t, msg.j))
+        ack = PrepareAck(msg.t, msg.j)
+        if durable is not None \
+                and "skip_promise_fsync" not in self.bug_switches:
+            # The ack makes this acceptor count toward the majority:
+            # promise + estimate must be durable before it is sent.
+            durable.sync(lambda: self._send_prepare_ack(src, ack))
+            return
+        self._send_prepare_ack(src, PrepareAck(msg.t, msg.j))
+
+    def _send_prepare_ack(self, dst: int, ack: PrepareAck) -> None:
+        if self.durable is not None and self.batch_monitor is not None:
+            self.batch_monitor.record_externalized_promise(self.pid, ack.t)
+        self.send(dst, ack)
 
     def _on_prepare_ack(self, src: int, msg: PrepareAck) -> None:
         acks = self._acks.get((msg.t, msg.j))
@@ -946,6 +1171,12 @@ class ChtReplica(Process):
                 )
             return
         self.batches[j] = ops
+        if self.durable is not None:
+            # Lazy (group-commit): the record rides the next sync
+            # barrier.  Commit durability is carried by the majority of
+            # synced estimates; a batch record lost to a crash is
+            # repaired by ordinary catch-up after recovery.
+            self.durable.append_batch(j, ops)
         if self.batch_monitor is not None:
             self.batch_monitor.record_batch(self.pid, j, ops, self.sim.now)
         for instance in ops:
@@ -1011,6 +1242,39 @@ class ChtReplica(Process):
         for j in range(self.pruned_upto + 1, target + 1):
             self.batches.pop(j, None)
         self.pruned_upto = target
+        if self.durable is not None:
+            self._durable_checkpoint()
+
+    def _durable_checkpoint(self) -> None:
+        """Fold the applied prefix into a durable snapshot.
+
+        The WAL is rewritten to just the still-live tail: the op-id
+        reservation, the promise, batches above the snapshot point, and
+        the estimate — batch records strictly before the estimate, so
+        the rewritten log preserves the durable-I2 append order.
+        """
+        durable = self.durable
+        snap = SnapRecord(
+            upto=self.applied_upto,
+            state=self.state,
+            last_applied=tuple(
+                (pid, seq, response)
+                for pid, (seq, response) in sorted(self.last_applied.items())
+            ),
+            taken_at=self.sim.now,
+        )
+        tail: list = []
+        if durable.seq_reserved:
+            tail.append(SeqReserve(durable.seq_reserved))
+        if self.max_leader_ts_seen != -math.inf:
+            tail.append(PromiseRec(self.max_leader_ts_seen))
+        for j in sorted(self.batches):
+            if j > snap.upto:
+                tail.append(BatchRec(j, self.batches[j]))
+        est = self.estimate
+        if est is not None:
+            tail.append(EstimateRec(est.ops, est.ts, est.k))
+        durable.checkpoint(snap, tail)
 
     def _make_snapshot(self) -> Snapshot:
         return Snapshot(
@@ -1052,6 +1316,11 @@ class ChtReplica(Process):
             ):
                 future.resolve(COMPACTED)
         self._apply_ready()
+        if self.durable is not None:
+            # The folded prefix has no batch records of its own: persist
+            # the jump so a restart cannot strand a later-adopted
+            # estimate behind batches this replica never held.
+            self._durable_checkpoint()
 
     # ------------------------------------------------------------------
     # Catch-up (fetch committed batches we missed)

@@ -1,0 +1,33 @@
+"""Crash-restart durability: WAL records, storage backends, recovery.
+
+See docs/DURABILITY.md for the durability model, the storage fault
+matrix, and what invariants I1–I3 require of the WAL discipline.
+"""
+
+from .wal import (BatchRec, EstimateRec, PromiseRec, RecoveredState,
+                  SeqReserve, SnapRecord, decode_wal, encode_record,
+                  rebuild)
+from .storage import FaultWindow, MemStorage, Storage
+from .disk import FileStorage
+from .layer import (SEQ_RESERVE_BLOCK, ReplicaDurability,
+                    attach_memory_durability, durable_audit)
+
+__all__ = [
+    "BatchRec",
+    "EstimateRec",
+    "PromiseRec",
+    "SeqReserve",
+    "SnapRecord",
+    "RecoveredState",
+    "encode_record",
+    "decode_wal",
+    "rebuild",
+    "Storage",
+    "MemStorage",
+    "FileStorage",
+    "FaultWindow",
+    "SEQ_RESERVE_BLOCK",
+    "ReplicaDurability",
+    "attach_memory_durability",
+    "durable_audit",
+]

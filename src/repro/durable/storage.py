@@ -1,0 +1,248 @@
+"""Storage backends: the interface plus the in-simulation faulty store.
+
+:class:`MemStorage` is the verification-path backend.  It models a disk
+as an append-only record log with a *synced prefix*: ``append`` is free
+and volatile, ``sync`` asks the device to make everything appended so
+far durable and reports completion through a callback.  A crash keeps
+exactly the synced prefix — plus, under a ``torn`` fault window, a
+random prefix of the unsynced tail (unsynced writes *may* persist; a
+correct recovery path must cope with more surviving than was acked).
+
+Fault windows (:meth:`MemStorage.add_window`):
+
+``slow``
+    Each sync completes after a uniform ``[low, high]`` device delay.
+``stall``
+    Syncs issued inside the window complete only when it ends — the
+    fsync-loss model: a crash before the window closes loses every
+    write the caller was still waiting on.
+``torn``
+    No latency effect; a crash inside the window persists a random
+    prefix of the unsynced tail instead of dropping it whole.
+
+Outside any window a sync completes *inline, synchronously, with zero
+simulator events and zero RNG draws* — which is what makes a
+durability-enabled fault-free run trace-identical to a durability-off
+run (pinned by tests/durable/test_determinism.py).
+
+Device order is honest: operations complete FIFO through one queue, and
+queued syncs coalesce into a single device flush covering the whole log
+(group commit).  Completions are epoch-guarded so a flush still in
+flight when the process crashes never acks to the restarted process.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from .wal import SnapRecord, record_size
+
+__all__ = ["Storage", "FaultWindow", "MemStorage"]
+
+
+class Storage:
+    """What :class:`~repro.durable.layer.ReplicaDurability` needs.
+
+    ``append`` buffers a record (volatile).  ``sync`` makes everything
+    appended so far durable and then calls ``on_done`` — possibly
+    synchronously, possibly later, possibly *never* if the process
+    crashes first.  ``write_snapshot`` atomically replaces the durable
+    footprint with ``snapshot + tail``; ``load`` returns
+    ``(snapshot, records, stats)`` holding only what survived;
+    ``on_crash`` applies the backend's crash semantics.
+    """
+
+    def append(self, rec: Any) -> None:
+        raise NotImplementedError
+
+    def sync(self, on_done: Callable[[], None]) -> None:
+        raise NotImplementedError
+
+    def write_snapshot(self, snapshot: SnapRecord, tail: list,
+                       on_done: Optional[Callable[[], None]] = None) -> None:
+        raise NotImplementedError
+
+    def load(self) -> tuple[Optional[SnapRecord], list, dict]:
+        raise NotImplementedError
+
+    def on_crash(self) -> None:
+        raise NotImplementedError
+
+    def wal_bytes(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """One injected device-fault interval (see module docstring)."""
+
+    kind: str  # "slow" | "stall" | "torn"
+    start: float
+    end: float
+    low: float = 0.0
+    high: float = 0.0
+
+    KINDS = ("slow", "stall", "torn")
+
+
+class MemStorage(Storage):
+    """Simulated disk: record log + synced prefix + fault windows."""
+
+    def __init__(self, sim: Any, rng: Optional[random.Random] = None) -> None:
+        self.sim = sim
+        # The device's own RNG stream; cluster wiring forks it per-pid
+        # (label "disk-<pid>") so adding disks never perturbs protocol
+        # or network draws.
+        self.rng = rng if rng is not None else random.Random(0)
+        self._log: list = []
+        self._synced_upto = 0
+        self._snapshot: Optional[SnapRecord] = None
+        self._bytes = 0
+        # Crash guard: completions scheduled before a crash must not ack
+        # to the restarted process.
+        self._epoch = 0
+        self._inflight = False
+        self._queue: deque = deque()
+        self._windows: list[FaultWindow] = []
+        self.stats = {
+            "appends": 0,
+            "sync_requests": 0,
+            "syncs": 0,
+            "snapshots": 0,
+            "torn_crashes": 0,
+            "crashes": 0,
+        }
+
+    # -- configuration -------------------------------------------------
+
+    def add_window(self, kind: str, start: float, end: float,
+                   low: float = 0.0, high: float = 0.0) -> None:
+        if kind not in FaultWindow.KINDS:
+            raise ValueError(f"unknown fault window kind {kind!r}")
+        if end < start:
+            raise ValueError(f"window ends before it starts: {start}..{end}")
+        if kind == "slow" and high < low:
+            raise ValueError(f"slow window has high < low: {low}..{high}")
+        self._windows.append(FaultWindow(kind, start, end, low, high))
+
+    def _active_window(self, kind: Optional[str] = None
+                       ) -> Optional[FaultWindow]:
+        now = self.sim.now
+        for window in self._windows:
+            if window.start <= now < window.end:
+                if kind is None or window.kind == kind:
+                    return window
+        return None
+
+    # -- the Storage interface -----------------------------------------
+
+    def append(self, rec: Any) -> None:
+        self._log.append(rec)
+        self._bytes += record_size(rec)
+        self.stats["appends"] += 1
+
+    def sync(self, on_done: Callable[[], None]) -> None:
+        self.stats["sync_requests"] += 1
+        if (len(self._log) == self._synced_upto and not self._queue
+                and not self._inflight):
+            on_done()  # nothing to flush and the device is idle
+            return
+        self._queue.append(("sync", len(self._log), [on_done]))
+        self._pump()
+
+    def write_snapshot(self, snapshot: SnapRecord, tail: list,
+                       on_done: Optional[Callable[[], None]] = None) -> None:
+        self._queue.append(("snap", len(self._log), snapshot,
+                            tuple(tail), on_done))
+        self._pump()
+
+    def load(self) -> tuple[Optional[SnapRecord], list, dict]:
+        # Only the synced prefix is durable.  After a crash the log *is*
+        # its synced prefix, so recovery sees everything that survived;
+        # on a live replica (end-of-run durable audit) this keeps
+        # unsynced lazy appends honestly volatile.
+        stats = dict(self.stats)
+        stats["wal_bytes"] = self.wal_bytes()
+        return self._snapshot, list(self._log[:self._synced_upto]), stats
+
+    def on_crash(self) -> None:
+        self._epoch += 1
+        self._inflight = False
+        self._queue.clear()
+        self.stats["crashes"] += 1
+        kept = 0
+        tail = len(self._log) - self._synced_upto
+        if tail > 0 and self._active_window("torn") is not None:
+            # Unsynced writes may partially persist: keep a random
+            # prefix of the tail (strictly less than all of it).
+            kept = self.rng.randrange(tail)
+            self.stats["torn_crashes"] += 1
+        del self._log[self._synced_upto + kept:]
+        self._synced_upto = len(self._log)
+        self._bytes = sum(record_size(r) for r in self._log)
+
+    def wal_bytes(self) -> int:
+        return self._bytes
+
+    def wal_records(self) -> int:
+        return len(self._log)
+
+    # -- device queue --------------------------------------------------
+
+    def _pump(self) -> None:
+        if self._inflight or not self._queue:
+            return
+        op = self._queue.popleft()
+        if op[0] == "sync":
+            # Group commit: fold every queued sync into one device
+            # flush that covers the whole log as of now.
+            callbacks = list(op[2])
+            while self._queue and self._queue[0][0] == "sync":
+                callbacks.extend(self._queue.popleft()[2])
+            op = ("sync", len(self._log), callbacks)
+        delay = 0.0
+        window = self._active_window()
+        if window is not None:
+            if window.kind == "slow":
+                delay = self.rng.uniform(window.low, window.high)
+            elif window.kind == "stall":
+                delay = max(window.end - self.sim.now, 0.0)
+        self._inflight = True
+        if delay <= 0.0:
+            self._complete(self._epoch, op)
+        else:
+            self.sim.schedule_at(self.sim.now + delay,
+                                 self._complete, self._epoch, op)
+
+    def _complete(self, epoch: int, op: tuple) -> None:
+        if epoch != self._epoch:
+            return  # the process crashed while this flush was in flight
+        self._inflight = False
+        if op[0] == "sync":
+            _, target, callbacks = op
+            if target > self._synced_upto:
+                self._synced_upto = target
+            self.stats["syncs"] += 1
+            for callback in callbacks:
+                callback()
+        else:
+            _, cut, snapshot, tail, callback = op
+            # Atomic replacement: snapshot + tail supersede the log
+            # prefix [0:cut); records appended since the request keep
+            # their (un)synced status relative to the new layout.
+            suffix = self._log[cut:]
+            self._log = list(tail) + suffix
+            self._snapshot = snapshot
+            self._synced_upto = len(tail) + max(0, self._synced_upto - cut)
+            self._queue = deque(
+                (q[0], len(tail) + max(0, q[1] - cut), *q[2:])
+                for q in self._queue
+            )
+            self._bytes = sum(record_size(r) for r in self._log)
+            self.stats["snapshots"] += 1
+            if callback is not None:
+                callback()
+        self._pump()

@@ -239,13 +239,18 @@ class ShardedCluster:
 
         Same shape as the parallel façade's query-backed version, so the
         nemesis renders identical invariant verdicts under both backends.
+        Groups running with a durability layer additionally get their
+        durable footprints audited (reload-as-a-restart-would + durable
+        I1/I2); the audit is a no-op for groups without one.
         """
+        from ..durable import durable_audit
         from ..verify.invariants import check_i2_i3
 
         failures: dict[str, str] = {}
         for g, group in enumerate(self.groups):
             try:
                 check_i2_i3(group.replicas)
+                durable_audit(group.replicas)
             except AssertionError as exc:
                 failures[f"g{g}"] = str(exc) or "invariant check failed"
         return failures

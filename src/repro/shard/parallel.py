@@ -120,10 +120,12 @@ class _GroupNode:
         if name == "describe":
             return group.describe()
         if name == "invariants":
+            from ..durable import durable_audit
             from ..verify.invariants import check_i2_i3
 
             try:
                 check_i2_i3(group.replicas)
+                durable_audit(group.replicas)
             except AssertionError as exc:
                 return str(exc) or "invariant check failed"
             return None

@@ -2,8 +2,9 @@
 
 A :class:`FaultSchedule` declaratively lists the faults to inject into a run
 (crashes, recoveries, partitions — symmetric and one-directional — message
-loss, duplication bursts, slow-link delay windows, clock desync, and
-leader-targeted crashes), and arms them on a simulator.  Keeping fault
+loss, duplication bursts, slow-link delay windows, clock desync,
+leader-targeted crashes, crash-restarts that replay durable state, and
+storage-fault windows on durable replicas), and arms them on a simulator.  Keeping fault
 plans declarative makes experiment scripts short, makes the injected
 scenario visible in one place, and lets the chaos engine
 (:mod:`repro.chaos`) generate, serialize, and *shrink* schedules.
@@ -30,6 +31,8 @@ __all__ = [
     "Crash",
     "Recover",
     "LeaderCrash",
+    "CrashRestart",
+    "DiskFaultWindow",
     "PartitionWindow",
     "OneWayPartitionWindow",
     "LossWindow",
@@ -70,6 +73,45 @@ class LeaderCrash:
 
     at: float
     downtime: float = 200.0
+
+
+@dataclass
+class CrashRestart:
+    """Crash process ``pid`` at ``at`` and restart it ``downtime`` later.
+
+    Unlike a plain :class:`Crash`/:class:`Recover` pair — which in the
+    legacy model keeps stable state alive in memory — a CrashRestart is
+    the *durability* fault: on a replica with an attached durability
+    layer the crash erases all of memory and the restart genuinely
+    rebuilds from snapshot + WAL replay.  The fire is skipped when the
+    target is already crashed (composability with crash storms) and the
+    restart is skipped when something else already recovered it.
+    """
+
+    pid: int
+    at: float
+    downtime: float = 150.0
+
+
+@dataclass
+class DiskFaultWindow:
+    """Inject a storage fault on ``pid``'s durable store over
+    ``[start, end)``.
+
+    ``kind`` is one of the storage model's windows: ``"slow"`` (each
+    flush takes a uniform ``[low, high]`` device delay), ``"stall"``
+    (flushes issued inside the window complete only when it ends —
+    fsync loss if the process crashes first), or ``"torn"`` (a crash
+    inside the window persists a random prefix of the unsynced WAL
+    tail instead of dropping it whole).
+    """
+
+    pid: int
+    kind: str
+    start: float
+    end: float
+    low: float = 0.0
+    high: float = 0.0
 
 
 @dataclass
@@ -156,6 +198,8 @@ class FaultSchedule:
     crashes: Sequence[Crash] = field(default_factory=list)
     recoveries: Sequence[Recover] = field(default_factory=list)
     leader_crashes: Sequence[LeaderCrash] = field(default_factory=list)
+    crash_restarts: Sequence[CrashRestart] = field(default_factory=list)
+    disk_faults: Sequence[DiskFaultWindow] = field(default_factory=list)
     partitions: Sequence[PartitionWindow] = field(default_factory=list)
     one_way_partitions: Sequence[OneWayPartitionWindow] = field(
         default_factory=list
@@ -196,6 +240,15 @@ class FaultSchedule:
                 lambda e=lc: self._fire_leader_crash(
                     e, sim, by_pid, leader_probe
                 ),
+            )
+        for cr in self.crash_restarts:
+            sim.schedule_at(
+                cr.at,
+                lambda e=cr: self._fire_crash_restart(e, sim, by_pid),
+            )
+        for df in self.disk_faults:
+            by_pid[df.pid].durable.storage.add_window(
+                df.kind, df.start, df.end, df.low, df.high
             )
         for part in self.partitions:
             net.add_partition(part.group_a, part.group_b, part.start, part.end)
@@ -242,6 +295,20 @@ class FaultSchedule:
             check_pid(desync.pid, desync)
             if clocks is None:
                 raise ValueError("clock desync requires a ClockModel")
+        for cr in self.crash_restarts:
+            check_pid(cr.pid, cr)
+        for df in self.disk_faults:
+            check_pid(df.pid, df)
+            target = by_pid[df.pid]
+            storage = getattr(
+                getattr(target, "durable", None), "storage", None
+            )
+            if storage is None or not hasattr(storage, "add_window"):
+                raise ValueError(
+                    f"fault entry {df!r} requires process {df.pid} to have "
+                    f"a durability layer with fault-window support "
+                    f"(attach repro.durable.MemStorage first)"
+                )
         if self.leader_crashes and leader_probe is None:
             raise ValueError(
                 "leader-targeted crashes require a leader_probe callable"
@@ -270,6 +337,21 @@ class FaultSchedule:
             return
         target.crash()
         sim.schedule_at(sim.now + entry.downtime, target.recover)
+
+    @staticmethod
+    def _fire_crash_restart(
+        entry: CrashRestart, sim: Simulator, by_pid: dict
+    ) -> None:
+        target = by_pid[entry.pid]
+        if target.crashed:
+            return  # a crash storm got there first; let its plan play out
+        target.crash()
+
+        def restart() -> None:
+            if target.crashed:
+                target.recover()
+
+        sim.schedule_at(sim.now + entry.downtime, restart)
 
     def _arm_losses(self, net: Network) -> None:
         windows = list(self.losses)

@@ -69,12 +69,21 @@ class BatchMonitor:
     The monitor also keeps the first (real-time) commit instant per batch,
     which experiments use to measure commit latency, and exposes cluster
     snapshots for I2/I3 verification.
+
+    For durable runs it additionally tracks the highest *externalized*
+    promise per process — the leader time a replica has vouched for in an
+    EstReply, PrepareAck, or its own commit self-ack.  Sync-before-
+    externalize means a restart must recover a promise at least that
+    high; a durable recovery below the floor is a safety violation (the
+    replica could now re-promise to an older leader it already disavowed,
+    breaking estimate transfer).
     """
 
     def __init__(self) -> None:
         self.batch_values: dict[int, Any] = {}
         self.commit_times: dict[int, float] = {}
         self._op_home: dict[Any, int] = {}
+        self.externalized_promises: dict[int, float] = {}
 
     def record_batch(self, pid: int, j: int, ops: frozenset, now: float) -> None:
         """A process stored ``Batch[j] = ops`` at real time ``now``."""
@@ -97,6 +106,22 @@ class BatchMonitor:
                     )
                 self._op_home[instance.op_id] = j
 
+    def record_externalized_promise(self, pid: int, t: float) -> None:
+        """Process ``pid`` sent a message that vouches for promise ``t``."""
+        if t > self.externalized_promises.get(pid, float("-inf")):
+            self.externalized_promises[pid] = t
+
+    def check_recovered_promise(self, pid: int, recovered_t: float) -> None:
+        """A durable recovery of ``pid`` restored promise ``recovered_t``;
+        raise if it regressed below what ``pid`` already externalized."""
+        floor = self.externalized_promises.get(pid)
+        if floor is not None and recovered_t < floor:
+            raise InvariantViolation(
+                f"durable promise regressed at process {pid}: externalized "
+                f"promise {floor} before the crash but recovered only "
+                f"{recovered_t} — a promise was acked without being synced"
+            )
+
     # ------------------------------------------------------------------
     def highest_committed(self) -> int:
         return max(self.batch_values, default=0)
@@ -114,12 +139,21 @@ def check_i2_i3(replicas: Iterable[Any]) -> None:
 
     ``replicas`` must expose ``batches`` (dict j -> ops), ``estimate``
     (None or an object with a ``k`` attribute), and ``crashed``.
+
+    A batch folded below a replica's applied prefix (log compaction, a
+    snapshot install, or a durable recovery that jumped ``pruned_upto``)
+    is *known* in folded form — its effects are in the state — so it
+    counts for both invariants even though it left the ``batches`` dict.
     """
     alive = [r for r in replicas if not r.crashed]
     n = len(list(alive)) + sum(1 for r in replicas if r.crashed)
+
+    def knows(replica: Any, i: int) -> bool:
+        return i in replica.batches or getattr(replica, "applied_upto", 0) >= i
+
     for replica in alive:
         est = replica.estimate
-        if est is not None and est.k > 1 and (est.k - 1) not in replica.batches:
+        if est is not None and est.k > 1 and not knows(replica, est.k - 1):
             raise InvariantViolation(
                 f"I2 violated at process {replica.pid}: estimate batch "
                 f"{est.k} but batch {est.k - 1} unknown"
@@ -129,7 +163,7 @@ def check_i2_i3(replicas: Iterable[Any]) -> None:
         for j in replica.batches:
             for i in range(1, j):
                 holders = sum(
-                    1 for r in alive if i in r.batches
+                    1 for r in alive if knows(r, i)
                 ) + sum(1 for r in replicas if r.crashed)
                 # Crashed processes may have known the batch before dying;
                 # they count toward the majority bound conservatively.

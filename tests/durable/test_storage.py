@@ -1,0 +1,197 @@
+"""MemStorage device semantics and the on-disk FileStorage backend."""
+
+import random
+
+import pytest
+
+from repro.durable.disk import FileStorage
+from repro.durable.storage import MemStorage
+from repro.durable.wal import BatchRec, PromiseRec, SnapRecord
+from repro.sim.core import Simulator
+
+
+def make_store(seed=7):
+    sim = Simulator(seed=1)
+    return sim, MemStorage(sim, rng=random.Random(seed))
+
+
+def synced(store, n):
+    """Append ``n`` promise records and sync them inline."""
+    for i in range(n):
+        store.append(PromiseRec(float(i)))
+    done = []
+    store.sync(lambda: done.append(True))
+    assert done, "fault-free sync must complete inline"
+
+
+class TestMemStorage:
+    def test_fault_free_sync_is_inline_and_eventless(self):
+        sim, store = make_store()
+        before = sim.events_processed
+        synced(store, 3)
+        assert sim.events_processed == before
+        snap, records, _ = store.load()
+        assert snap is None and len(records) == 3
+
+    def test_crash_loses_unsynced_tail(self):
+        sim, store = make_store()
+        synced(store, 3)
+        store.append(PromiseRec(99.0))
+        store.append(PromiseRec(100.0))
+        store.on_crash()
+        _, records, _ = store.load()
+        assert [r.t for r in records] == [0.0, 1.0, 2.0]
+
+    def test_live_load_exposes_only_the_synced_prefix(self):
+        # An end-of-run durability audit must see what a restart would,
+        # not the volatile tail still sitting in the device queue.
+        sim, store = make_store()
+        synced(store, 2)
+        store.append(PromiseRec(99.0))
+        _, records, _ = store.load()
+        assert len(records) == 2
+
+    def test_slow_window_delays_completion(self):
+        sim, store = make_store()
+        store.add_window("slow", 0.0, 100.0, low=5.0, high=5.0)
+        store.append(PromiseRec(1.0))
+        done = []
+        store.sync(lambda: done.append(sim.now))
+        assert not done
+        sim.run_for(10.0)
+        assert done == [5.0]
+
+    def test_stall_window_completes_at_window_end(self):
+        sim, store = make_store()
+        store.add_window("stall", 0.0, 50.0)
+        store.append(PromiseRec(1.0))
+        done = []
+        store.sync(lambda: done.append(sim.now))
+        sim.run_for(49.0)
+        assert not done
+        sim.run_for(2.0)
+        assert done == [50.0]
+
+    def test_crash_during_stall_is_fsync_loss(self):
+        sim, store = make_store()
+        store.add_window("stall", 0.0, 50.0)
+        store.append(PromiseRec(1.0))
+        done = []
+        store.sync(lambda: done.append(True))
+        sim.run_for(10.0)
+        store.on_crash()
+        sim.run_for(100.0)
+        assert not done            # epoch guard: stale flush never acks
+        _, records, _ = store.load()
+        assert records == []       # the awaited write is gone
+
+    def test_torn_crash_keeps_a_prefix_of_the_unsynced_tail(self):
+        sim, store = make_store(seed=3)
+        synced(store, 2)
+        for i in range(6):
+            store.append(PromiseRec(100.0 + i))
+        store.add_window("torn", 0.0, 100.0)
+        store.on_crash()
+        _, records, stats = store.load()
+        assert 2 <= len(records) <= 8
+        # Whatever survived is a strict log prefix — no holes.
+        expected = [0.0, 1.0] + [100.0 + i for i in range(6)]
+        assert [r.t for r in records] == expected[:len(records)]
+        assert stats["torn_crashes"] == 1
+
+    def test_queued_syncs_coalesce_into_one_flush(self):
+        sim, store = make_store()
+        store.add_window("slow", 0.0, 100.0, low=5.0, high=5.0)
+        done = []
+        for i in range(3):
+            store.append(PromiseRec(float(i)))
+            store.sync(lambda: done.append(sim.now))
+        sim.run_for(30.0)
+        assert len(done) == 3
+        assert store.stats["sync_requests"] == 3
+        assert store.stats["syncs"] < 3    # group commit
+
+    def test_snapshot_replaces_log_and_preserves_tail(self):
+        sim, store = make_store()
+        synced(store, 3)
+        snap = SnapRecord(upto=2, state={"x": 1}, last_applied=(),
+                          taken_at=1.0)
+        tail = [PromiseRec(50.0), BatchRec(3, frozenset())]
+        store.write_snapshot(snap, tail)
+        got_snap, records, _ = store.load()
+        assert got_snap == snap
+        assert records == tail
+        store.on_crash()               # snapshot + tail are durable
+        got_snap, records, _ = store.load()
+        assert got_snap == snap and records == tail
+
+    def test_unknown_window_kind_rejected(self):
+        _, store = make_store()
+        with pytest.raises(ValueError):
+            store.add_window("sticky", 0.0, 1.0)
+
+
+class TestFileStorage:
+    def test_records_survive_a_process_restart(self, tmp_path):
+        root = str(tmp_path / "r0")
+        store = FileStorage(root)
+        store.append(PromiseRec(1.0))
+        store.append(BatchRec(1, frozenset()))
+        done = []
+        store.sync(lambda: done.append(True))
+        assert done
+        reopened = FileStorage(root)
+        snap, records, stats = reopened.load()
+        assert snap is None
+        assert records == [PromiseRec(1.0), BatchRec(1, frozenset())]
+        assert not stats["torn_tail"]
+
+    def test_unsynced_buffer_lost_on_crash(self, tmp_path):
+        store = FileStorage(str(tmp_path / "r0"))
+        store.append(PromiseRec(1.0))
+        store.on_crash()
+        _, records, _ = store.load()
+        assert records == []
+
+    def test_snapshot_roundtrip_subsumes_wal(self, tmp_path):
+        root = str(tmp_path / "r0")
+        store = FileStorage(root)
+        store.append(PromiseRec(1.0))
+        store.sync(lambda: None)
+        snap = SnapRecord(upto=4, state={"a": 2}, last_applied=((7, 1, 2),),
+                          taken_at=3.0)
+        store.write_snapshot(snap, [PromiseRec(9.0)])
+        got_snap, records, _ = FileStorage(root).load()
+        assert got_snap == snap
+        assert records == [PromiseRec(9.0)]
+
+    def test_torn_wal_tail_reported_not_fatal(self, tmp_path):
+        root = str(tmp_path / "r0")
+        store = FileStorage(root)
+        store.append(PromiseRec(1.0))
+        store.append(PromiseRec(2.0))
+        store.sync(lambda: None)
+        wal = tmp_path / "r0" / "wal.log"
+        wal.write_bytes(wal.read_bytes()[:-2])
+        _, records, stats = FileStorage(root).load()
+        assert records == [PromiseRec(1.0)]
+        assert stats["torn_tail"]
+
+    def test_corrupt_snapshot_is_fatal(self, tmp_path):
+        root = str(tmp_path / "r0")
+        store = FileStorage(root)
+        snap = SnapRecord(upto=1, state={}, last_applied=(), taken_at=0.0)
+        store.write_snapshot(snap, [])
+        snap_file = tmp_path / "r0" / "snapshot.bin"
+        data = bytearray(snap_file.read_bytes())
+        data[-1] ^= 0xFF
+        snap_file.write_bytes(bytes(data))
+        with pytest.raises(ValueError, match="corrupt snapshot"):
+            FileStorage(root).load()
+
+    def test_wal_bytes_grow_with_synced_records(self, tmp_path):
+        store = FileStorage(str(tmp_path / "r0"))
+        assert store.wal_bytes() == 0
+        store.append(PromiseRec(1.0))
+        store.sync(lambda: None)
+        assert store.wal_bytes() > 0

@@ -1,0 +1,138 @@
+"""WAL framing, torn-tail decoding, and recovery-state rebuilding."""
+
+import math
+
+import pytest
+
+from repro.core.messages import Estimate
+from repro.durable.wal import (
+    BatchRec,
+    EstimateRec,
+    PromiseRec,
+    SeqReserve,
+    SnapRecord,
+    decode_wal,
+    encode_record,
+    rebuild,
+    record_size,
+)
+from repro.objects.kvstore import KVStoreSpec, put
+from repro.objects.spec import OpInstance
+from repro.verify.invariants import InvariantViolation
+
+
+def inst(pid, seq, key="k", value=1):
+    return OpInstance((pid, seq), put(key, value))
+
+
+SAMPLE_RECORDS = [
+    PromiseRec(12.5),
+    EstimateRec(frozenset({inst(1, 1)}), 12.5, 3),
+    BatchRec(2, frozenset({inst(0, 4, "a", 9)})),
+    SeqReserve(64),
+    SnapRecord(upto=2, state={"k": 1}, last_applied=((1, 1, None),),
+               taken_at=40.0),
+]
+
+
+class TestFraming:
+    def test_roundtrip_all_record_types(self):
+        data = b"".join(encode_record(r) for r in SAMPLE_RECORDS)
+        records, torn = decode_wal(data)
+        assert records == SAMPLE_RECORDS
+        assert not torn
+
+    def test_empty_log(self):
+        assert decode_wal(b"") == ([], False)
+
+    def test_truncated_tail_is_torn_not_fatal(self):
+        data = b"".join(encode_record(r) for r in SAMPLE_RECORDS)
+        records, torn = decode_wal(data[:-3])
+        assert records == SAMPLE_RECORDS[:-1]
+        assert torn
+
+    def test_short_header_is_torn(self):
+        data = encode_record(PromiseRec(1.0))
+        records, torn = decode_wal(data + b"\x05")
+        assert records == [PromiseRec(1.0)]
+        assert torn
+
+    def test_corrupt_crc_stops_replay(self):
+        good = encode_record(PromiseRec(1.0))
+        bad = bytearray(encode_record(PromiseRec(2.0)))
+        bad[-1] ^= 0xFF  # flip a payload byte: CRC mismatch
+        records, torn = decode_wal(good + bytes(bad))
+        assert records == [PromiseRec(1.0)]
+        assert torn
+
+    def test_record_size_hints_positive(self):
+        for rec in SAMPLE_RECORDS:
+            assert record_size(rec) > 0
+
+
+class TestRebuild:
+    def setup_method(self):
+        self.spec = KVStoreSpec()
+
+    def test_empty_log_is_initial_state(self):
+        rs = rebuild(self.spec, None, [])
+        assert rs.promise == -math.inf
+        assert rs.estimate is None
+        assert rs.batches == {}
+        assert rs.applied_upto == 0
+        assert rs.state == self.spec.initial_state()
+        assert rs.seq_reserved == 0
+
+    def test_contiguous_batches_fold_into_state(self):
+        b1 = frozenset({inst(1, 1, "x", 1)})
+        b2 = frozenset({inst(1, 2, "y", 2)})
+        rs = rebuild(self.spec, None, [BatchRec(1, b1), BatchRec(2, b2)])
+        assert rs.applied_upto == 2
+        assert rs.state.get("x") == 1 and rs.state.get("y") == 2
+        # Reply cache rebuilt from the fold.
+        assert rs.last_applied[1] == (2, None)
+        assert rs.committed_op_ids == {(1, 1), (1, 2)}
+
+    def test_gap_stops_the_fold_but_keeps_batches(self):
+        b1 = frozenset({inst(1, 1, "x", 1)})
+        b3 = frozenset({inst(1, 3, "z", 3)})
+        rs = rebuild(self.spec, None, [BatchRec(1, b1), BatchRec(3, b3)])
+        assert rs.applied_upto == 1
+        assert rs.state.get("z") is None
+        assert set(rs.batches) == {1, 3}
+
+    def test_freshest_estimate_wins_and_bounds_promise(self):
+        old = EstimateRec(frozenset({inst(1, 1)}), 5.0, 1)
+        new = EstimateRec(frozenset({inst(1, 2)}), 9.0, 2)
+        rs = rebuild(self.spec, None, [old, new, PromiseRec(7.0)])
+        assert rs.estimate == Estimate(new.ops, 9.0, 2)
+        # The adopted estimate implies a promise at least as high.
+        assert rs.promise >= 9.0
+
+    def test_divergent_batch_in_log_is_an_i1_verdict(self):
+        a = frozenset({inst(1, 1, "x", 1)})
+        b = frozenset({inst(2, 1, "x", 2)})
+        with pytest.raises(InvariantViolation):
+            rebuild(self.spec, None, [BatchRec(1, a), BatchRec(1, b)])
+
+    def test_snapshot_seeds_state_and_prunes_older_batches(self):
+        snap = SnapRecord(upto=2, state=self.spec.initial_state().set("s", 7),
+                          last_applied=((1, 2, None),), taken_at=10.0)
+        stale = BatchRec(1, frozenset({inst(1, 1, "old", 0)}))
+        b3 = frozenset({inst(1, 3, "n", 3)})
+        rs = rebuild(self.spec, snap, [stale, BatchRec(3, b3)])
+        assert rs.pruned_upto == 2
+        assert 1 not in rs.batches
+        assert rs.applied_upto == 3
+        assert rs.state.get("s") == 7 and rs.state.get("n") == 3
+        assert rs.last_applied[1] == (3, None)
+
+    def test_seq_floor_covers_every_id_source(self):
+        est = EstimateRec(frozenset({inst(3, 9)}), 4.0, 2)
+        b1 = frozenset({inst(3, 5, "x", 1)})
+        rs = rebuild(self.spec, None,
+                     [SeqReserve(2), BatchRec(1, b1), est])
+        assert rs.seq_floor(3) == 9      # estimate op beats everything
+        assert rs.seq_floor(0) == 2      # block reservation only
+        rs2 = rebuild(self.spec, None, [BatchRec(1, b1)])
+        assert rs2.seq_floor(3) == 5     # committed + reply-cache entry

@@ -40,6 +40,13 @@ def test_distributed_lock():
     assert "lock history linearizable: True" in out
 
 
+def test_durable_restart():
+    out = run_example("durable_restart.py")
+    assert "restarted from its WAL" in out
+    assert "all 3 keys read back after the power cycle" in out
+    assert "post-recovery write and read OK" in out
+
+
 def test_fault_injection_tour():
     out = run_example("fault_injection_tour.py")
     assert "total money: 252" in out
