@@ -1,0 +1,260 @@
+"""Read-tier benchmark: scaling, renewal traffic, and blocking tail.
+
+Three measurements of the leaseholder read tier:
+
+1. **Read throughput scaling** — a closed-loop read workload routed
+   through the tier, sweeping the leaseholder count with the client
+   population scaled alongside (two sessions per holder).  Served reads
+   must grow near-linearly with the tier, and at every tier size the
+   consensus- and lease-category message counts must be *identical* to
+   a quiet run of the same cluster: local reads cost zero replication
+   messages, so read volume never shows up on the quorum.
+
+2. **Renewal-traffic complexity** — lease-category messages per renewal
+   interval at 4, 8, and 16 holders.  One grant broadcast per interval
+   is linear in the holder count; the second-difference ratio
+   ``(m16 - m8) / (m8 - m4)`` is ~2 for a linear law and ~4 for a
+   quadratic one, so the gate asserts it stays at most 3.
+
+3. **Read-blocking tail** — holders read a hot key while a writer
+   RMWs the same key at the leader.  The paper bounds read blocking by
+   ``3 * delta`` of local time; the gate asserts the p99 and max of the
+   observed blocking distribution stay under that bound, and the
+   recorded histogram makes the shape of the tail visible.
+
+Results go to ``BENCH_reads.json`` at the repository root.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_reads.py``
+(``--quick`` runs reduced sizes and does not rewrite the committed
+baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.client import ChtCluster
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.sim.latency import FixedDelay
+from repro.sim.trace import percentile
+
+from _common import Table, banner
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Scaling floor: served reads per holder-doubling must keep at least
+#: this fraction of perfect linear scaling.
+SCALING_FLOOR = 0.7
+#: Second-difference ratio ceiling (linear => ~2, quadratic => ~4).
+RENEWAL_RATIO_CEILING = 3.0
+
+
+def read_throughput(num_leaseholders: int, window: float,
+                    with_reads: bool, seed: int = 7) -> dict:
+    """Closed-loop session reads through the tier over ``window``."""
+    cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=seed,
+                         num_clients=2 * num_leaseholders,
+                         num_leaseholders=num_leaseholders)
+    cluster.start()
+    leader = cluster.run_until_leader()
+    cluster.execute(leader.pid, put("x", 0))
+    cluster.run(3 * cluster.config.lease_period)
+    cluster.net.reset_counters()
+
+    def closed_loop(client):
+        def spin():
+            client.submit(get("x")).on_resolve(lambda _value: spin())
+        return spin
+
+    if with_reads:
+        for client in cluster.clients:
+            closed_loop(client)()
+    cluster.run(window)
+    by_category = dict(cluster.net.sent_by_category())
+    reads = len(cluster.stats.completed("read"))
+    if with_reads:
+        assert reads > 0, "no reads served in the window"
+    return {
+        "leaseholders": num_leaseholders,
+        "clients": 2 * num_leaseholders,
+        "reads": reads,
+        "reads_per_ms": round(reads / window, 4),
+        "consensus_msgs": by_category.get("consensus", 0),
+        "lease_msgs": by_category.get("lease", 0),
+    }
+
+
+def bench_scaling(quick: bool) -> dict:
+    window = 2_000.0 if quick else 6_000.0
+    counts = (1, 2, 4) if quick else (1, 2, 4, 8)
+    rows = [read_throughput(count, window, with_reads=True)
+            for count in counts]
+    quiet = [read_throughput(count, window, with_reads=False)
+             for count in counts]
+    table = Table(
+        ["holders", "clients", "reads", "reads/ms", "consensus msgs",
+         "quiet consensus", "lease msgs"],
+        title="read throughput vs tier size (window %.0f sim-ms)" % window,
+    ).add_rows(
+        [r["leaseholders"], r["clients"], r["reads"], r["reads_per_ms"],
+         r["consensus_msgs"], q["consensus_msgs"], r["lease_msgs"]]
+        for r, q in zip(rows, quiet)
+    )
+    first, last = rows[0], rows[-1]
+    perfect = last["leaseholders"] / first["leaseholders"]
+    speedup = last["reads"] / first["reads"]
+    zero_message = all(
+        r["consensus_msgs"] == q["consensus_msgs"]
+        and r["lease_msgs"] == q["lease_msgs"]
+        for r, q in zip(rows, quiet)
+    )
+    return {
+        "window": window,
+        "rows": rows,
+        "quiet_rows": quiet,
+        "table": table,
+        "speedup": round(speedup, 3),
+        "perfect_speedup": perfect,
+        "gate_scaling": speedup >= SCALING_FLOOR * perfect,
+        "gate_zero_message_reads": zero_message,
+    }
+
+
+def lease_traffic(num_leaseholders: int, intervals: int,
+                  seed: int = 19) -> int:
+    """Lease-category messages over ``intervals`` renewal intervals."""
+    cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=seed,
+                         num_leaseholders=num_leaseholders)
+    cluster.start()
+    cluster.run_until_leader()
+    cluster.execute(0, put("x", 1))
+    cluster.run(3 * cluster.config.lease_period)
+    assert all(lh._lease_valid() for lh in cluster.leaseholders)
+    cluster.net.reset_counters()
+    cluster.run(intervals * cluster.config.lease_renewal)
+    return dict(cluster.net.sent_by_category()).get("lease", 0)
+
+
+def bench_renewal_complexity(quick: bool) -> dict:
+    intervals = 10 if quick else 20
+    counts = (4, 8, 16)
+    traffic = {count: lease_traffic(count, intervals) for count in counts}
+    m4, m8, m16 = (traffic[count] for count in counts)
+    ratio = (m16 - m8) / max(m8 - m4, 1)
+    table = Table(
+        ["holders", "lease msgs", "msgs/interval"],
+        title=f"renewal traffic over {intervals} intervals",
+    ).add_rows(
+        [count, traffic[count], round(traffic[count] / intervals, 1)]
+        for count in counts
+    )
+    return {
+        "intervals": intervals,
+        "traffic": traffic,
+        "table": table,
+        "second_difference_ratio": round(ratio, 3),
+        "linear_prediction": 2.0,
+        "quadratic_prediction": 4.0,
+        "gate": m4 > 0 and ratio <= RENEWAL_RATIO_CEILING,
+    }
+
+
+def bench_blocking_tail(quick: bool) -> dict:
+    rounds = 30 if quick else 100
+    cluster = ChtCluster(KVStoreSpec(), ChtConfig(n=5), seed=11,
+                         num_leaseholders=2,
+                         post_gst_delay=FixedDelay(10.0))
+    cluster.start()
+    leader = cluster.run_until_leader()
+    cluster.execute(leader.pid, put("hot", 0))
+    cluster.run(3 * cluster.config.lease_period)
+    futures = []
+    for i in range(rounds):
+        futures.append(cluster.submit(leader.pid, put("hot", i)))
+        for lh in cluster.leaseholders:
+            futures.append(lh.submit_read(get("hot")))
+        cluster.run(15.0)
+    cluster.run_until(lambda: all(f.done for f in futures), 60_000.0)
+    assert all(f.done for f in futures), "workload did not drain"
+
+    delta = cluster.config.delta
+    times = cluster.stats.blocking_times("read")
+    blocked = [t for t in times if t > 0.0]
+    edges = [0.0, delta, 2 * delta, 3 * delta]
+    histogram = {}
+    for low, high in zip(edges, edges[1:] + [float("inf")]):
+        label = (f"({low:.0f}, {high:.0f}]" if high != float("inf")
+                 else f"> {low:.0f}")
+        histogram[label] = sum(1 for t in blocked if low < t <= high)
+    p99 = percentile(times, 99)
+    worst = max(times)
+    table = Table(
+        ["reads", "blocked", "p99 block", "max block", "3*delta"],
+        title=f"read-blocking tail under conflicting RMWs ({rounds} rounds)",
+    ).add_rows([[len(times), len(blocked), round(p99, 2), round(worst, 2),
+                 3 * delta]])
+    return {
+        "rounds": rounds,
+        "reads": len(times),
+        "blocked_reads": len(blocked),
+        "histogram": histogram,
+        "p99_blocking": round(p99, 3),
+        "max_blocking": round(worst, 3),
+        "bound": 3 * delta,
+        "table": table,
+        "gate_tail": p99 <= 3 * delta and worst <= 3 * delta,
+        "gate_exercised": len(blocked) > 0,
+    }
+
+
+def run(quick: bool = False) -> dict:
+    scaling = bench_scaling(quick)
+    renewal = bench_renewal_complexity(quick)
+    tail = bench_blocking_tail(quick)
+    return {
+        "quick": quick,
+        "scaling": {k: v for k, v in scaling.items() if k != "table"},
+        "renewal": {k: v for k, v in renewal.items() if k != "table"},
+        "blocking_tail": {k: v for k, v in tail.items() if k != "table"},
+        "tables": [scaling["table"], renewal["table"], tail["table"]],
+        "gates": {
+            "read_throughput_scales_with_tier": scaling["gate_scaling"],
+            "reads_cost_zero_replication_messages":
+                scaling["gate_zero_message_reads"],
+            "renewal_traffic_linear_not_quadratic": renewal["gate"],
+            "blocking_tail_under_3_delta": tail["gate_tail"],
+            "conflicting_reads_exercised": tail["gate_exercised"],
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+
+    print(banner("reads: tier scaling, renewal traffic, blocking tail"))
+    result = run(quick=args.quick)
+    for table in result.pop("tables"):
+        print(table.render())
+        print()
+    print("gates:")
+    failed = False
+    for name, ok in result["gates"].items():
+        print(f"  {name}: {'PASS' if ok else 'FAIL'}")
+        failed = failed or not ok
+    if not args.quick:
+        out = REPO_ROOT / "BENCH_reads.json"
+        with open(out, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

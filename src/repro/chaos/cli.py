@@ -42,21 +42,28 @@ def _soak_cell(args: tuple) -> NemesisResult:
     Module-level (picklable) and self-contained so it executes
     identically in a forked worker and in the parent process.  Cells are
     8-tuples historically; sharded soaks append ``(groups, handoffs)``,
-    then ``parallel_sim``, then ``durability``, and older shorter-tuple
-    callers keep working.
+    then ``parallel_sim``, then ``durability``, then
+    ``num_leaseholders``, and older shorter-tuple callers keep working.
     """
     (system, n, clients, horizon, seed, ops_per_client, bug, index,
      *rest) = args
-    groups, handoffs, parallel_sim, durability = (*rest, 2, 1, False, False)[:4]
+    groups, handoffs, parallel_sim, durability, num_leaseholders = (
+        *rest, 2, 1, False, False, 0
+    )[:5]
     generator = ScheduleGenerator(
         n=n, num_clients=clients, horizon=horizon, seed=seed,
-        durability=durability,
+        durability=durability, num_leaseholders=num_leaseholders,
+        # Sharded groups run one extra (coordinator) session, which
+        # shifts where the leaseholder tier's pids start.
+        leaseholder_base=(
+            n + clients + 1 if system == "sharded" else None
+        ),
     )
     runner = NemesisRunner(
         system=system, n=n, num_clients=clients, seed=seed, horizon=horizon,
         ops_per_client=ops_per_client, bug=bug,
         groups=groups, handoffs=handoffs, parallel_sim=parallel_sim,
-        durability=durability,
+        durability=durability, num_leaseholders=num_leaseholders,
     )
     return runner.run(generator.generate(index))
 
@@ -94,6 +101,11 @@ def _build_parser() -> argparse.ArgumentParser:
                            "replica and add crash-restart + storage-fault "
                            "windows to generated schedules (cht/sharded "
                            "systems only)")
+    soak.add_argument("--leaseholders", type=int, default=0,
+                      help="read-only leaseholders serving local reads "
+                           "per CHT cluster (or per shard group); "
+                           "schedules gain leaseholder crash/partition "
+                           "faults (cht/sharded systems only)")
     soak.add_argument("--artifact", default="chaos-repro.json",
                       help="where to write the shrunken repro on failure")
     soak.add_argument("--shrink-budget", type=int, default=200)
@@ -119,6 +131,12 @@ def _soak(args: argparse.Namespace) -> int:
                 "drop multipaxos from --systems"
             )
             return 2
+        if args.leaseholders and system == "multipaxos":
+            print(
+                "--leaseholders requires the CHT lease machinery; "
+                "drop multipaxos from --systems"
+            )
+            return 2
     started = time.time()
     workers = args.workers if args.workers > 0 else default_workers()
     total = 0
@@ -129,7 +147,8 @@ def _soak(args: argparse.Namespace) -> int:
         cells = [
             (system, args.n, args.clients, args.horizon, args.seed,
              args.ops_per_client, args.bug, index, args.groups,
-             args.handoffs, args.parallel_sim, args.durability)
+             args.handoffs, args.parallel_sim, args.durability,
+             args.leaseholders)
             for index in range(args.schedules)
         ]
         # Stream verdicts in index order; workers simulate+verify ahead.
@@ -163,6 +182,11 @@ def _soak(args: argparse.Namespace) -> int:
             generator = ScheduleGenerator(
                 n=args.n, num_clients=args.clients, horizon=args.horizon,
                 seed=args.seed, durability=args.durability,
+                num_leaseholders=args.leaseholders,
+                leaseholder_base=(
+                    args.n + args.clients + 1
+                    if system == "sharded" else None
+                ),
             )
             runner = NemesisRunner(
                 system=system, n=args.n, num_clients=args.clients,
@@ -170,6 +194,7 @@ def _soak(args: argparse.Namespace) -> int:
                 ops_per_client=args.ops_per_client, bug=args.bug,
                 groups=args.groups, handoffs=args.handoffs,
                 durability=args.durability,
+                num_leaseholders=args.leaseholders,
             )
             schedule = generator.generate(index)
             print(

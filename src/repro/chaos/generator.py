@@ -64,6 +64,8 @@ class ScheduleGenerator:
         delta: float = 10.0,
         epsilon: float = 2.0,
         durability: bool = False,
+        num_leaseholders: int = 0,
+        leaseholder_base: Optional[int] = None,
     ) -> None:
         if n < 3:
             raise ValueError("chaos schedules need n >= 3 replicas")
@@ -79,6 +81,16 @@ class ScheduleGenerator:
         # (seed, index) a durability-off schedule is unchanged by this
         # generator growing the new fault kinds.
         self.durability = durability
+        # Leaseholder faults (crashes and partitions of the read-only
+        # tier at pids n + num_clients ..) are drawn after even those,
+        # by the same additivity rule.  ``leaseholder_base`` overrides
+        # where the tier's pids start — sharded groups interpose one
+        # extra (coordinator) session between clients and leaseholders.
+        self.num_leaseholders = num_leaseholders
+        self.leaseholder_base = (
+            leaseholder_base if leaseholder_base is not None
+            else n + num_clients
+        )
 
     # ------------------------------------------------------------------
     def generate(self, index: int) -> FaultSchedule:
@@ -146,6 +158,57 @@ class ScheduleGenerator:
                 self._gen_disk_fault(rng, start_span, heal_by)
                 for _ in range(rng.randint(0, 2))
             ]
+
+        if self.num_leaseholders:
+            # Drawn last of all (see __init__).  Leaseholders are outside
+            # the replica crash budget — any number of them may be down
+            # without threatening a majority — so their crash/recover
+            # pairs are sampled independently of the storm above.
+            lh_base = self.leaseholder_base
+            lh_intervals: list[tuple[float, float, int]] = []
+            for _ in range(rng.randint(1, 2)):
+                pid = lh_base + rng.randrange(self.num_leaseholders)
+                at = rng.uniform(0.0, start_span)
+                end = min(at + rng.uniform(100.0, 500.0), heal_by)
+                if end <= at or any(
+                    p == pid and s < end and at < e
+                    for s, e, p in lh_intervals
+                ):
+                    continue
+                lh_intervals.append((at, end, pid))
+                crashes.append(Crash(pid=pid, at=at))
+                recoveries.append(Recover(pid=pid, at=end))
+            if rng.random() < 0.8:
+                # Isolate one leaseholder — usually together with a
+                # client it keeps serving — from every replica.  This is
+                # the scenario the lease-expiry wait exists for: the
+                # partitioned holder cannot ack Prepares, so commits must
+                # wait out its lease before proceeding (and the planted
+                # skip_lease_shrink bug turns exactly this into a stale
+                # read the linearizability verdict catches).
+                lh_idx = rng.randrange(self.num_leaseholders)
+                group_a = {lh_base + lh_idx}
+                if self.num_clients and rng.random() < 0.9:
+                    # Co-partition a client whose *preferred* leaseholder
+                    # (client i prefers holder i mod L) is the isolated
+                    # one, so its reads keep landing there.
+                    preferring = [
+                        c for c in range(self.num_clients)
+                        if c % self.num_leaseholders == lh_idx
+                    ] or list(range(self.num_clients))
+                    group_a.add(self.n + rng.choice(preferring))
+                # Bias the cut early, while the closed-loop workload is
+                # still issuing ops: the stale-serve window is only
+                # about one LeasePeriod past the cut, so a late
+                # partition would isolate an idle pair and test nothing.
+                start = rng.uniform(0.0, 0.4 * start_span)
+                end = min(start + rng.uniform(150.0, 600.0), heal_by)
+                partitions.append(PartitionWindow(
+                    group_a=frozenset(group_a),
+                    group_b=frozenset(range(self.n)),
+                    start=start,
+                    end=end,
+                ))
 
         schedule = FaultSchedule(
             crashes=crashes,

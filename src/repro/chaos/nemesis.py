@@ -129,6 +129,7 @@ class NemesisRunner:
         handoffs: int = 1,
         parallel_sim: bool = False,
         durability: bool = False,
+        num_leaseholders: int = 0,
     ) -> None:
         if system not in SYSTEMS:
             raise ValueError(f"unknown system {system!r}; pick from {SYSTEMS}")
@@ -146,6 +147,15 @@ class NemesisRunner:
         self.durability = durability
         self.n = n
         self.num_clients = num_clients
+        # Leaseholder read tier: read-only learners holding read leases
+        # and serving local reads (cht and sharded systems; the paxos
+        # baseline has no lease machinery to host them).
+        if num_leaseholders and system == "multipaxos":
+            raise ValueError(
+                "leaseholders ride on the CHT lease machinery; the "
+                "multipaxos baseline does not implement them"
+            )
+        self.num_leaseholders = num_leaseholders
         # Sharded runs only: group count and how many fenced handoffs the
         # runner fires while the fault schedule is playing out.
         self.groups = groups
@@ -206,14 +216,21 @@ class NemesisRunner:
             return self._run_sharded(schedule)
         spec = KVStoreSpec()
         cluster, probe = self._build(spec)
+        # The paxos baseline has no leaseholder tier (constructor rejects
+        # the combination), so its clusters expose no such attribute.
+        leaseholders = list(getattr(cluster, "leaseholders", []))
         if self.bug:
             for replica in cluster.replicas:
                 replica.bug_switches.add(self.bug)
+            for holder in leaseholders:
+                holder.bug_switches.add(self.bug)
         cluster.start()
         schedule.arm(
             cluster.sim,
             cluster.net,
-            list(cluster.replicas) + list(cluster.clients),
+            list(cluster.replicas)
+            + list(cluster.clients)
+            + leaseholders,
             clocks=cluster.clocks,
             leader_probe=probe,
         )
@@ -312,6 +329,8 @@ class NemesisRunner:
             if bug:
                 for replica in group.replicas:
                     replica.bug_switches.add(bug)
+                for holder in group.leaseholders:
+                    holder.bug_switches.add(bug)
             if durability:
                 # Runs inside the forked worker under parallel_sim; the
                 # disk RNG streams are keyed by (site, pid), so serial
@@ -324,7 +343,9 @@ class NemesisRunner:
             schedule.arm(
                 group.sim,
                 group.net,
-                list(group.replicas) + list(group.clients),
+                list(group.replicas)
+                + list(group.clients)
+                + list(group.leaseholders),
                 clocks=group.clocks,
                 leader_probe=self._cht_probe(group),
             )
@@ -340,6 +361,7 @@ class NemesisRunner:
             obs=self.obs,
             group_setup=group_setup,
             on_started=on_started,
+            num_leaseholders=self.num_leaseholders,
         )
         self.last_obs = cluster.obs
         try:
@@ -530,6 +552,7 @@ class NemesisRunner:
                 num_clients=self.num_clients,
                 obs=self.obs,
                 durability=self.durability,
+                num_leaseholders=self.num_leaseholders,
             )
             self.last_obs = cluster.obs
 
@@ -564,9 +587,31 @@ class NemesisRunner:
     def _client_ops(self, rng: Any) -> list[Operation]:
         """A single-key workload mix (ints only, so increment composes
         with put; single-key ops keep the linearizability check
-        P-compositional)."""
+        P-compositional).
+
+        Leaseholder runs flip to a read-heavy mix: the workload is
+        closed-loop, so a client partitioned together with its
+        leaseholder stalls at its first RMW — a read-mostly stream keeps
+        local reads flowing through exactly the window where a stale
+        lease could serve them.
+        """
         keys = ("a", "b")
         ops: list[Operation] = []
+        if self.num_leaseholders:
+            # Read-heavy branch; the legacy branch below must stay
+            # byte-identical for leaseholder-free (seed, index) cells.
+            for _ in range(self.ops_per_client):
+                key = rng.choice(keys)
+                roll = rng.random()
+                if roll < 0.60:
+                    ops.append(get(key))
+                elif roll < 0.78:
+                    ops.append(put(key, rng.randrange(100)))
+                elif roll < 0.94:
+                    ops.append(increment(key))
+                else:
+                    ops.append(delete(key))
+            return ops
         for _ in range(self.ops_per_client):
             key = rng.choice(keys)
             roll = rng.random()

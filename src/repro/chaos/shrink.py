@@ -230,6 +230,7 @@ def save_artifact(
         "groups": runner.groups,
         "handoffs": runner.handoffs,
         "durability": runner.durability,
+        "num_leaseholders": runner.num_leaseholders,
         "fault_count": schedule.fault_count(),
         "logical_faults": len(logical_faults(schedule)),
         "schedule": schedule_to_dict(schedule),
@@ -267,6 +268,8 @@ def load_artifact(path: str) -> tuple[NemesisRunner, FaultSchedule, dict]:
         handoffs=artifact.get("handoffs", 1),
         # Durability key; absent from pre-durability artifacts.
         durability=artifact.get("durability", False),
+        # Leaseholder key; absent from pre-read-tier artifacts.
+        num_leaseholders=artifact.get("num_leaseholders", 0),
     )
     return runner, schedule_from_dict(artifact["schedule"]), artifact
 

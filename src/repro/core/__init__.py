@@ -7,10 +7,13 @@ Public entry points:
 * :class:`ChtConfig` — algorithm parameters (n, delta, epsilon,
   LeasePeriod, ...).
 * :class:`ChtReplica` — a single process, for fine-grained control.
+* :class:`Leaseholder` — a read-only learner serving local reads under
+  a lease without joining quorums (``ChtCluster(num_leaseholders=...)``).
 """
 
 from .client import ChtCluster, ClientSession
 from .config import ChtConfig
+from .leaseholder import Leaseholder
 from .messages import (
     BatchReply,
     BatchRequest,
@@ -35,6 +38,7 @@ __all__ = [
     "ChtReplica",
     "ClientSession",
     "CommitRecord",
+    "Leaseholder",
     "ReadLease",
     "Tenure",
     "BatchReply",

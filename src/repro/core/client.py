@@ -36,6 +36,7 @@ from ..leader.omega import OmegaDetector, OracleOmega
 from ..verify.history import History
 from ..verify.invariants import BatchMonitor, LeaderIntervalMonitor
 from .config import ChtConfig
+from .leaseholder import Leaseholder
 from .messages import ClientReply, ClientRequest
 from .replica import ChtReplica
 
@@ -57,6 +58,13 @@ class ClientSession(Process):
     Sessions share the cluster's network, so they also receive protocol
     broadcasts (heartbeats, Prepare/Commit, lease grants); everything
     except a :class:`ClientReply` addressed to this session is ignored.
+
+    ``read_targets`` routes *reads* separately from RMWs: when given
+    (the cluster passes the leaseholder tier first, replicas after, so a
+    dead tier cannot strand reads), each read starts at the front of
+    that list and walks down it on retry, while RMWs keep rotating
+    through the replicas.  Without it, reads follow the RMW rotation
+    exactly as before.
     """
 
     def __init__(
@@ -70,6 +78,7 @@ class ClientSession(Process):
         stats: RunStats,
         retry_period: float,
         site: Optional[str] = None,
+        read_targets: Optional[Sequence[int]] = None,
     ) -> None:
         if pid < n:
             raise ValueError("client session pids must lie above the replicas")
@@ -82,6 +91,9 @@ class ClientSession(Process):
         self._futures: dict[int, Future] = {}
         self._outstanding_rmw: Optional[Future] = None
         self._target = pid % n  # spread initial targets across replicas
+        self.read_targets = (
+            list(read_targets) if read_targets is not None else None
+        )
 
     def submit(self, op: Operation) -> Future:
         """Submit ``op``; the future resolves with the response."""
@@ -110,15 +122,25 @@ class ClientSession(Process):
         self, seq: int, op: Operation, future: Future
     ) -> Generator:
         msg = ClientRequest(self.pid, seq, op)
+        targets = self.read_targets
+        if targets is None or not self.spec.is_read(op):
+            targets = None  # legacy routing: share the RMW rotation
+        attempt = 0  # each read restarts at its preferred leaseholder
         while not future.done:
-            self.send(self._target, msg)
+            if targets is None:
+                self.send(self._target, msg)
+            else:
+                self.send(targets[attempt % len(targets)], msg)
             deadline = self.local_time + self.retry_period
             self.set_timer(self.retry_period, _session_noop)
             yield Until(
                 lambda: future.done or self.local_time >= deadline
             )
             if not future.done:
-                self._target = (self._target + 1) % self.n
+                if targets is None:
+                    self._target = (self._target + 1) % self.n
+                else:
+                    attempt += 1
         self._futures.pop(seq, None)
 
     def on_message(self, src: int, msg: Any) -> None:
@@ -155,6 +177,7 @@ class ChtCluster:
         sim: Optional[Simulator] = None,
         site: Optional[str] = None,
         durability: "bool | Callable[[ChtReplica], Any]" = False,
+        num_leaseholders: int = 0,
     ) -> None:
         self.spec = spec
         self.config = config or ChtConfig()
@@ -165,13 +188,15 @@ class ChtCluster:
         # be a pre-attached shared ObsContext instead of a bool.
         self.sim = sim if sim is not None else Simulator(seed=seed)
         self.site = site
-        # Client sessions get clocks too (pids n..n+num_clients-1).  The
-        # replica offsets are drawn first from the same stream, so adding
-        # clients never perturbs the replicas' clocks for a given seed.
-        if clock_offsets is not None and num_clients:
-            clock_offsets = list(clock_offsets) + [0.0] * num_clients
+        # Client sessions get clocks too (pids n..n+num_clients-1), and
+        # leaseholders after them (pids n+num_clients..).  The replica
+        # offsets are drawn first from the same stream, so adding clients
+        # or leaseholders never perturbs the replicas' clocks for a seed.
+        extras = num_clients + num_leaseholders
+        if clock_offsets is not None and extras:
+            clock_offsets = list(clock_offsets) + [0.0] * extras
         self.clocks = ClockModel(
-            self.config.n + num_clients,
+            self.config.n + extras,
             self.config.epsilon,
             rng=self.sim.fork_rng("clocks", site=site),
             offsets=clock_offsets,
@@ -223,6 +248,25 @@ class ChtCluster:
                     replica._recover_from_storage()
             else:
                 attach_memory_durability(self)
+        # The read-only leaseholder tier lives at pids above the clients;
+        # sessions route their reads there first (replicas as fallback,
+        # so reads stay live even if every leaseholder is down).  The
+        # leader folds the tier into each tenure via leaseholder_pids.
+        leaseholder_base = self.config.n + num_clients
+        leaseholder_pids = tuple(
+            range(leaseholder_base, leaseholder_base + num_leaseholders)
+        )
+
+        def _read_targets(i: int) -> Optional[list[int]]:
+            # Client i prefers leaseholder i (mod L); the rest of the
+            # tier and then the replicas trail as retry fallbacks, so a
+            # dead or partitioned tier cannot strand reads.
+            if not num_leaseholders:
+                return None
+            spin = i % num_leaseholders
+            tier = list(leaseholder_pids[spin:]) + list(leaseholder_pids[:spin])
+            return tier + list(range(self.config.n))
+
         self.clients: list[ClientSession] = [
             ClientSession(
                 self.config.n + i,
@@ -234,9 +278,26 @@ class ChtCluster:
                 self.stats,
                 retry_period=self.config.retry_period,
                 site=site,
+                read_targets=_read_targets(i),
             )
             for i in range(num_clients)
         ]
+        self.leaseholders: list[Leaseholder] = [
+            Leaseholder(
+                pid,
+                self.sim,
+                self.net,
+                self.clocks,
+                self.spec,
+                self.config,
+                stats=self.stats,
+                site=site,
+            )
+            for pid in leaseholder_pids
+        ]
+        if num_leaseholders:
+            for replica in self.replicas:
+                replica.leaseholder_pids = frozenset(leaseholder_pids)
 
     def _build_replica(self, pid: int) -> ChtReplica:
         replica = ChtReplica(
@@ -268,6 +329,8 @@ class ChtCluster:
     def start(self) -> "ChtCluster":
         for replica in self.replicas:
             replica.start()
+        for holder in self.leaseholders:
+            holder.start()
         return self
 
     def run(self, duration: float) -> None:
@@ -296,11 +359,24 @@ class ChtCluster:
     # ------------------------------------------------------------------
     def submit(self, pid: int, op: Operation) -> Future:
         """Submit ``op`` at process ``pid`` (read or RMW, dispatched by
-        the object spec's classification)."""
-        replica = self.replicas[pid]
+        the object spec's classification).  ``pid`` may name a replica,
+        a client session, or — for reads — a leaseholder."""
+        process = self.process_at(pid)
+        if isinstance(process, ClientSession):
+            return process.submit(op)
         if self.spec.is_read(op):
-            return replica.submit_read(op)
-        return replica.submit_rmw(op)
+            return process.submit_read(op)
+        return process.submit_rmw(op)
+
+    def process_at(self, pid: int):
+        """The replica, client, or leaseholder owning ``pid``."""
+        n = self.config.n
+        if pid < n:
+            return self.replicas[pid]
+        base = n + len(self.clients)
+        if pid >= base:
+            return self.leaseholders[pid - base]
+        return self.clients[pid - n]
 
     def execute(self, pid: int, op: Operation, timeout: float = 10_000.0) -> Any:
         """Submit ``op`` at ``pid`` and run the simulation to completion."""
@@ -350,6 +426,14 @@ class ChtCluster:
                 f"p{r.pid}={role} believes={r.leader_service.believed_leader()} "
                 f"applied={r.applied_upto} pending={pending}"
             )
+        for h in self.leaseholders:
+            if h.crashed:
+                parts.append(f"lh{h.pid}=crashed")
+            else:
+                parts.append(
+                    f"lh{h.pid}={'leased' if h._lease_valid() else 'lapsed'} "
+                    f"applied={h.applied_upto}"
+                )
         return " ".join(parts)
 
     # ------------------------------------------------------------------
@@ -366,10 +450,10 @@ class ChtCluster:
         return History.from_stats(self.stats, kinds=kinds)
 
     def crash(self, pid: int) -> None:
-        self.replicas[pid].crash()
+        self.process_at(pid).crash()
 
     def recover(self, pid: int) -> None:
-        self.replicas[pid].recover()
+        self.process_at(pid).recover()
 
     def alive(self) -> list[ChtReplica]:
         return [r for r in self.replicas if not r.crashed]

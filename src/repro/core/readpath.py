@@ -1,0 +1,190 @@
+"""The local read path (the paper's red code), shared across roles.
+
+:class:`LocalReadMixin` is the read-lease mechanism factored out of the
+replica so two kinds of processes can serve reads:
+
+* :class:`~repro.core.replica.ChtReplica` — a full acceptor, which
+  additionally enjoys the leader's implicit lease while it leads;
+* :class:`~repro.core.leaseholder.Leaseholder` — a read-only learner
+  that never joins quorums and reads purely on an explicit lease.
+
+The mixin implements paper lines 7-19: wait for a read basis (a valid
+lease, or leadership via the :meth:`_leader_lease_valid` hook), compute
+the linearization point k-hat — raised past every locally *pending*
+batch whose operations conflict with the read — and wait until the
+applied prefix reaches it.  No message is ever sent on this path; that
+locality is the paper's whole point, and the zero-message property is
+pinned by tests/core/test_leaseholder.py.
+
+Host requirements (both roles provide these): ``spec``, ``config``,
+``stats``, ``lease``, ``pending_batches``, ``batches``,
+``applied_upto``, ``state``, ``_client_read_tasks``, plus the
+:class:`~repro.sim.process.Process` surface (``spawn``, ``send``,
+``local_time``, ``sim``, ``obs``, ``crashed``) and ``_next_op_id``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..objects.spec import NOOP, Operation
+from ..sim.tasks import Future, Until
+from .messages import ClientReply
+
+__all__ = ["LocalReadMixin"]
+
+
+class LocalReadMixin:
+    """Serve linearizable reads from local state under a read lease."""
+
+    #: Span name for directly submitted reads; the leaseholder tier
+    #: overrides this with ``"read.local"`` so traces distinguish the
+    #: read-only tier from reads at full replicas.
+    _READ_SPAN = "read"
+
+    # ------------------------------------------------------------------
+    # Submission (Thread 1, read half)
+    # ------------------------------------------------------------------
+    def submit_read(self, op: Operation) -> Future:
+        """Submit a read; always local (sends no messages)."""
+        if self.crashed:
+            raise RuntimeError(f"process {self.pid} is crashed")
+        if not self.spec.is_read(op):
+            raise ValueError(f"{op!r} is not a read operation")
+        op_id = self._next_op_id()
+        future = Future()
+        self.stats.invoke(op_id, self.pid, "read", op, self.sim.now)
+        self.spawn(self._read_task(op, op_id, future), name=f"read{op_id}")
+        return future
+
+    def _read_task(self, op: Operation, op_id: tuple[int, int],
+                   future: Future) -> Generator:
+        invoked_local = self.local_time
+        blocked = False
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.tracer.begin(
+                self._READ_SPAN, "read", self.pid, op=op.name
+            )
+            obs.registry.counter("reads_total", pid=self.pid).inc()
+        try:
+            # Wait until this process can anchor the read: either it is
+            # the (initialized) leader — which needs no lease — or it
+            # holds a valid read lease (paper lines 10-13).
+            if not self._read_basis_available():
+                blocked = True
+                wait_from = self.sim.now
+                yield Until(self._read_basis_available)
+                if span is not None:
+                    span.mark("basis_wait", self.sim.now - wait_from)
+
+            # Determine the batch after which to linearize the read
+            # (line 15).
+            k_hat = self._compute_k_hat(op)
+
+            # Wait until all batches up to k_hat are known and applied
+            # (line 16).  No message is ever sent on this path —
+            # locality — lost Commits are repaired by the leader's lazy
+            # rebroadcast and the lease-triggered catch-up, whose rates
+            # are read-independent.
+            if self.applied_upto < k_hat:
+                blocked = True
+                wait_from = self.sim.now
+                yield Until(lambda: self.applied_upto >= k_hat)
+                if span is not None:
+                    span.mark("conflict_wait", self.sim.now - wait_from)
+
+            _, value = self.spec.apply_any(self.state, op)
+            if blocked:
+                self.stats.mark_blocked(op_id, self.local_time - invoked_local)
+            if span is not None:
+                obs.tracer.close(span, "served", k_hat=k_hat)
+                if blocked:
+                    obs.registry.counter(
+                        "reads_blocked_total", pid=self.pid
+                    ).inc()
+                    obs.registry.histogram("read_block_ms").observe(
+                        span.attrs.get("basis_wait", 0.0)
+                        + span.attrs.get("conflict_wait", 0.0)
+                    )
+            self.stats.respond(op_id, value, self.sim.now)
+            future.resolve(value)
+        finally:
+            # A crash cancels the task (TaskCancelled unwinds through
+            # here); never leave the span dangling.
+            if span is not None and span.open:
+                obs.tracer.close(span, "cancelled")
+
+    # ------------------------------------------------------------------
+    # Read basis (paper lines 10-13)
+    # ------------------------------------------------------------------
+    def _read_basis_available(self) -> bool:
+        return self._leader_lease_valid() or self._lease_valid()
+
+    def _leader_lease_valid(self) -> bool:
+        """The leader's implicit lease.  The replica overrides this; a
+        read-only leaseholder never leads and reads purely on explicit
+        leases."""
+        return False
+
+    def _lease_valid(self) -> bool:
+        lease = self.lease
+        return lease is not None and lease.valid_at(
+            self.local_time, self.config.lease_period
+        )
+
+    def _compute_k_hat(self, op: Operation) -> int:
+        """The linearization point k-hat of a read (paper line 15).
+
+        With a valid lease (k, ts): if no batch j > k pending at this
+        process conflicts with the read, k-hat = k; otherwise k-hat is the
+        largest pending batch with a conflicting operation.
+
+        We additionally raise k-hat to the locally applied prefix, which
+        avoids materializing historical states; reading a *fresher*
+        committed state is also linearizable (see DESIGN.md Section 9).
+        """
+        if self._leader_lease_valid():
+            assert self.tenure is not None
+            return max(self.tenure.k, self.applied_upto)
+        assert self.lease is not None
+        k = self.lease.k
+        k_hat = k
+        for j, ops in self.pending_batches.items():
+            if j <= k_hat or j in self.batches:
+                continue
+            if any(self.spec.conflicts(op, inst.op) for inst in ops
+                   if inst.op.name != NOOP.name):
+                k_hat = j
+        return max(k_hat, self.applied_upto)
+
+    # ------------------------------------------------------------------
+    # Session reads (exactly-once clients; reads are idempotent)
+    # ------------------------------------------------------------------
+    def _serve_client_read(self, client_id: int, seq: int,
+                           op: Operation) -> None:
+        """Spawn (at most once per ``(client, seq)``) a task serving a
+        session read from local state; retransmissions of an in-flight
+        read attach to the already-running task."""
+        key = (client_id, seq)
+        if key not in self._client_read_tasks:
+            self._client_read_tasks.add(key)
+            self.spawn(
+                self._client_read_task(client_id, seq, op),
+                name=f"cread{key}",
+            )
+
+    def _client_read_task(
+        self, client_id: int, seq: int, op: Operation
+    ) -> Generator:
+        """Serve a session read from local state (same basis rules as
+        :meth:`_read_task`) and send the value back."""
+        if not self._read_basis_available():
+            yield Until(self._read_basis_available)
+        k_hat = self._compute_k_hat(op)
+        if self.applied_upto < k_hat:
+            yield Until(lambda: self.applied_upto >= k_hat)
+        _, value = self.spec.apply_any(self.state, op)
+        self._client_read_tasks.discard((client_id, seq))
+        self.send(client_id, ClientReply(client_id, seq, value))

@@ -49,6 +49,7 @@ from ..leader.enhanced import EnhancedLeaderService
 from ..leader.omega import HeartbeatOmega, OmegaDetector
 from ..verify.invariants import BatchMonitor, LeaderIntervalMonitor
 from .config import ChtConfig
+from .readpath import LocalReadMixin
 from .messages import (
     BatchReply,
     BatchRequest,
@@ -92,7 +93,7 @@ class CommitRecord:
         return self.committed_local - self.started_local
 
 
-class ChtReplica(Process):
+class ChtReplica(LocalReadMixin, Process):
     """One process of the replicated object."""
 
     def __init__(
@@ -195,6 +196,11 @@ class ChtReplica(Process):
         self._others: frozenset[int] = frozenset(
             p for p in range(config.n) if p != pid
         )
+        # Read-only learner pids attached to this group (repro.core
+        # .leaseholder).  Set by the cluster façade after construction;
+        # a leader folds them into every tenure's leaseholder set, but
+        # they never count toward a commit majority.
+        self.leaseholder_pids: frozenset[int] = frozenset()
 
     # Classification of every instance attribute ChtReplica.__init__
     # defines beyond the Process base class.  on_crash is driven by the
@@ -227,7 +233,7 @@ class ChtReplica(Process):
     INFRA_ATTRS = frozenset({
         "spec", "config", "stats", "batch_monitor", "_site_label",
         "leader_service", "bug_switches", "commit_log", "tenure_history",
-        "_others", "durable",
+        "_others", "leaseholder_pids", "durable",
     })
 
     # ==================================================================
@@ -272,6 +278,19 @@ class ChtReplica(Process):
     def on_recover(self) -> None:
         if self.durable is not None:
             self._recover_from_storage()
+        else:
+            # Crash-stop model: the stable block survived in memory, but
+            # pending_batches is volatile and was just reset.  The
+            # surviving estimate may have been externalized through a
+            # PrepareAck before the crash — that ack can have released
+            # the leader from this process's lease wait — so the read
+            # path must keep treating it as pending or a post-recovery
+            # lease could serve a read around an in-flight conflicting
+            # batch.  (The durable path does the same reseed from the
+            # recovered estimate in _recover_from_storage.)
+            est = self.estimate
+            if est is not None and est.k not in self.batches:
+                self.pending_batches[est.k] = est.ops
         self.leader_service.on_recover()
         self.start()
 
@@ -352,18 +371,6 @@ class ChtReplica(Process):
         self.spawn(self._submit_task(instance, future), name=f"rmw{op_id}")
         return future
 
-    def submit_read(self, op: Operation) -> Future:
-        """Submit a read; always local (sends no messages)."""
-        if self.crashed:
-            raise RuntimeError(f"process {self.pid} is crashed")
-        if not self.spec.is_read(op):
-            raise ValueError(f"{op!r} is not a read operation")
-        op_id = self._next_op_id()
-        future = Future()
-        self.stats.invoke(op_id, self.pid, "read", op, self.sim.now)
-        self.spawn(self._read_task(op, op_id, future), name=f"read{op_id}")
-        return future
-
     def _next_op_id(self) -> tuple[int, int]:
         self._op_seq += 1
         if self.durable is not None:
@@ -431,65 +438,10 @@ class ChtReplica(Process):
     # ------------------------------------------------------------------
     # Read path (red code; paper lines 7-19)
     # ------------------------------------------------------------------
-    def _read_task(self, op: Operation, op_id: tuple[int, int],
-                   future: Future) -> Generator:
-        invoked_local = self.local_time
-        blocked = False
-        obs = self.obs
-        span = None
-        if obs is not None:
-            span = obs.tracer.begin("read", "read", self.pid, op=op.name)
-            obs.registry.counter("reads_total", pid=self.pid).inc()
-        try:
-            # Wait until this process can anchor the read: either it is
-            # the (initialized) leader — which needs no lease — or it
-            # holds a valid read lease (paper lines 10-13).
-            if not self._read_basis_available():
-                blocked = True
-                wait_from = self.sim.now
-                yield Until(self._read_basis_available)
-                if span is not None:
-                    span.mark("basis_wait", self.sim.now - wait_from)
-
-            # Determine the batch after which to linearize the read
-            # (line 15).
-            k_hat = self._compute_k_hat(op)
-
-            # Wait until all batches up to k_hat are known and applied
-            # (line 16).  No message is ever sent on this path —
-            # locality — lost Commits are repaired by the leader's lazy
-            # rebroadcast and the lease-triggered catch-up, whose rates
-            # are read-independent.
-            if self.applied_upto < k_hat:
-                blocked = True
-                wait_from = self.sim.now
-                yield Until(lambda: self.applied_upto >= k_hat)
-                if span is not None:
-                    span.mark("conflict_wait", self.sim.now - wait_from)
-
-            _, value = self.spec.apply_any(self.state, op)
-            if blocked:
-                self.stats.mark_blocked(op_id, self.local_time - invoked_local)
-            if span is not None:
-                obs.tracer.close(span, "served", k_hat=k_hat)
-                if blocked:
-                    obs.registry.counter(
-                        "reads_blocked_total", pid=self.pid
-                    ).inc()
-                    obs.registry.histogram("read_block_ms").observe(
-                        span.attrs.get("basis_wait", 0.0)
-                        + span.attrs.get("conflict_wait", 0.0)
-                    )
-            self.stats.respond(op_id, value, self.sim.now)
-            future.resolve(value)
-        finally:
-            # A crash cancels the task (TaskCancelled unwinds through
-            # here); never leave the span dangling.
-            if span is not None and span.open:
-                obs.tracer.close(span, "cancelled")
-
-    def _read_basis_available(self) -> bool:
-        return self._leader_lease_valid() or self._lease_valid()
+    # submit_read / _read_task / _compute_k_hat and the session-read
+    # tasks live in LocalReadMixin (repro.core.readpath), shared with the
+    # read-only leaseholder tier.  The replica contributes the one piece
+    # a learner cannot have: the leader's implicit lease.
 
     def _leader_lease_valid(self) -> bool:
         """The leader's implicit lease: it commits every batch itself, so
@@ -502,37 +454,6 @@ class ChtReplica(Process):
             and tenure.ready
             and self.leader_service.am_leader(tenure.t, self.local_time)
         )
-
-    def _lease_valid(self) -> bool:
-        lease = self.lease
-        return lease is not None and lease.valid_at(
-            self.local_time, self.config.lease_period
-        )
-
-    def _compute_k_hat(self, op: Operation) -> int:
-        """The linearization point k-hat of a read (paper line 15).
-
-        With a valid lease (k, ts): if no batch j > k pending at this
-        process conflicts with the read, k-hat = k; otherwise k-hat is the
-        largest pending batch with a conflicting operation.
-
-        We additionally raise k-hat to the locally applied prefix, which
-        avoids materializing historical states; reading a *fresher*
-        committed state is also linearizable (see DESIGN.md Section 9).
-        """
-        if self._leader_lease_valid():
-            assert self.tenure is not None
-            return max(self.tenure.k, self.applied_upto)
-        assert self.lease is not None
-        k = self.lease.k
-        k_hat = k
-        for j, ops in self.pending_batches.items():
-            if j <= k_hat or j in self.batches:
-                continue
-            if any(self.spec.conflicts(op, inst.op) for inst in ops
-                   if inst.op.name != NOOP.name):
-                k_hat = j
-        return max(k_hat, self.applied_upto)
 
     # ==================================================================
     # Thread 2: leadership loop (paper lines 20-23)
@@ -777,7 +698,9 @@ class ChtReplica(Process):
         return since is None or self.local_time >= since + window
 
     def _all_others(self) -> set[int]:
-        return set(self._others)
+        """Initial leaseholder set of a fresh tenure: every other
+        acceptor plus the attached read-only tier."""
+        return set(self._others) | set(self.leaseholder_pids)
 
     # ------------------------------------------------------------------
     # DoOps: commit one batch (paper lines 52-70)
@@ -847,8 +770,12 @@ class ChtReplica(Process):
             prepare_start = self.local_time
 
             # Lines 54-58: Prepare until a majority (incl. us) acknowledges.
+            # Only acceptors (pids < n) count: leaseholder acks release
+            # the lease wait below but carry no estimate adoption.
             def majority_acked() -> bool:
-                return len(acks) >= cfg.majority
+                if len(acks) < cfg.majority:
+                    return False
+                return sum(1 for a in acks if a < cfg.n) >= cfg.majority
 
             while not majority_acked():
                 if not self.leader_service.am_leader(t, self.local_time):
@@ -879,7 +806,15 @@ class ChtReplica(Process):
                     timeout=max(two_delta_deadline - self.local_time, beta),
                 )
             expiry_wait = False
-            if not holders_acked():
+            if not holders_acked() \
+                    and "skip_lease_shrink" not in self.bug_switches:
+                # A holder missed the 2*delta window: wait out every lease
+                # ever issued (max(t, last_ts) + LeasePeriod + epsilon on
+                # our clock covers the holder's skewed clock) before the
+                # commit may proceed.  The planted skip_lease_shrink bug
+                # drops exactly this wait — an unreachable holder's
+                # still-valid lease then serves stale reads, which the
+                # chaos soak's linearizability verdict catches.
                 expiry_wait = True
                 tenure.lease_expiry_waits += 1
                 last_ts = tenure.last_lease_ts if tenure.last_lease_ts is not None else t
@@ -957,6 +892,15 @@ class ChtReplica(Process):
         tenure.last_lease_ts = ts
         grant = LeaseGrant(tenure.k, ts, frozenset(tenure.leaseholders))
         self.broadcast(grant)
+        if self.obs is not None:
+            # Renewal traffic: one grant broadcast = one renewal round;
+            # the per-message cost is the network's "lease" category.
+            self.obs.registry.counter(
+                "lease_renewals_total", pid=self.pid, **self._site_label
+            ).inc()
+            self.obs.registry.gauge(
+                "leaseholders_current", pid=self.pid, **self._site_label
+            ).set(len(tenure.leaseholders))
 
     # ==================================================================
     # Thread 3: message handlers
@@ -985,13 +929,7 @@ class ChtReplica(Process):
         once towards the believed leader otherwise.
         """
         if self.spec.is_read(msg.op):
-            key = (msg.client_id, msg.seq)
-            if key not in self._client_read_tasks:
-                self._client_read_tasks.add(key)
-                self.spawn(
-                    self._client_read_task(msg.client_id, msg.seq, msg.op),
-                    name=f"cread{key}",
-                )
+            self._serve_client_read(msg.client_id, msg.seq, msg.op)
             return
         if "skip_reply_cache" not in self.bug_switches:
             cached = self.last_applied.get(msg.client_id)
@@ -1013,20 +951,6 @@ class ChtReplica(Process):
             target = self.leader_service.believed_leader()
             if target != self.pid:
                 self.send(target, replace(msg, forwarded=True))
-
-    def _client_read_task(
-        self, client_id: int, seq: int, op: Operation
-    ) -> Generator:
-        """Serve a session read from local state (same basis rules as
-        :meth:`_read_task`) and send the value back."""
-        if not self._read_basis_available():
-            yield Until(self._read_basis_available)
-        k_hat = self._compute_k_hat(op)
-        if self.applied_upto < k_hat:
-            yield Until(lambda: self.applied_upto >= k_hat)
-        _, value = self.spec.apply_any(self.state, op)
-        self._client_read_tasks.discard((client_id, seq))
-        self.send(client_id, ClientReply(client_id, seq, value))
 
     def _on_est_req(self, src: int, msg: EstReq) -> None:
         # Promise: once we answer a leader with time t we must never accept

@@ -79,6 +79,7 @@ class ShardedCluster:
         transport_delay: Optional[DelayModel] = None,
         group_setup: Optional[Callable[[ChtCluster, int], None]] = None,
         on_started: Optional[Callable[[ChtCluster, int], None]] = None,
+        num_leaseholders: int = 0,
     ) -> None:
         if num_groups < 1:
             raise ValueError("need at least one group")
@@ -88,6 +89,12 @@ class ShardedCluster:
         self.config = config or ChtConfig()
         self.num_groups = num_groups
         self.num_clients = num_clients
+        # Per-group leaseholder read tier (read-only learners; see
+        # repro.core.leaseholder).  Each group gets its own set, so a
+        # range handoff changes which group's leaseholders may answer
+        # for the moved slots — the freeze conflict plus lease fencing
+        # keeps a stale holder from serving the frozen range.
+        self.num_leaseholders = num_leaseholders
         self.sim = Simulator(seed=seed)
         # One shared context, attached before any group builds processes.
         self.obs: Optional[ObsContext] = (
@@ -122,6 +129,7 @@ class ShardedCluster:
                 obs=self.obs if self.obs is not None else False,
                 gst=gst,
                 monitors=monitors,
+                num_leaseholders=num_leaseholders,
             )
             self.groups.append(group)
             self.ports.append(

@@ -158,6 +158,7 @@ def _group_builder(
     delay: DelayModel,
     group_setup: Optional[Callable[[ChtCluster, int], None]],
     on_started: Optional[Callable[[ChtCluster, int], None]],
+    num_leaseholders: int,
 ) -> Callable[[], _GroupNode]:
     def build() -> _GroupNode:
         sim = Simulator(seed=seed)
@@ -172,6 +173,7 @@ def _group_builder(
             obs=obs if obs is not None else False,
             gst=gst,
             monitors=monitors,
+            num_leaseholders=num_leaseholders,
         )
         port = GroupPort(gid, group, transport, config.delta)
         # Same per-group order as the serial façade's start():
@@ -205,6 +207,7 @@ class ParallelShardedCluster:
         group_setup: Optional[Callable[[ChtCluster, int], None]] = None,
         on_started: Optional[Callable[[ChtCluster, int], None]] = None,
         use_processes: bool = True,
+        num_leaseholders: int = 0,
     ) -> None:
         if num_groups < 1:
             raise ValueError("need at least one group")
@@ -214,6 +217,7 @@ class ParallelShardedCluster:
         self.config = config or ChtConfig()
         self.num_groups = num_groups
         self.num_clients = num_clients
+        self.num_leaseholders = num_leaseholders
         delay = (
             transport_delay
             if transport_delay is not None
@@ -248,6 +252,7 @@ class ParallelShardedCluster:
                 delay,
                 group_setup,
                 on_started,
+                num_leaseholders,
             )
             for g in range(num_groups)
         }

@@ -1,0 +1,141 @@
+"""Leaseholder fencing across shard handoffs.
+
+A group's leaseholders answer reads for whatever the group's applied
+state owns.  Once a range is frozen out (``shard_freeze`` committed),
+a holder must answer the moved range only with :class:`WrongShard` —
+and crucially, a holder that was crashed while the handoff committed
+must not come back, pick up a fresh lease, and serve the frozen range
+from its stale pre-freeze state.  Two mechanisms pin that:
+
+* every read conflicts with a pending freeze/install batch (the
+  :class:`ShardedSpec` conflict relation), so reads block behind an
+  in-flight handoff rather than slipping in front of it;
+* a recovered holder's new lease carries the leader's commit frontier
+  ``k``, and the read path linearizes at ``k_hat >= lease.k`` — the
+  holder must catch up past the freeze before serving anything.
+
+Key facts (sha256-based, stable): with ``num_slots=4`` and two groups,
+group 0 owns slots {0, 2}; ``"k9"`` lives in slot 0, ``"k2"`` in slot 2.
+"""
+
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec, get, put
+from repro.shard import ShardedCluster, WrongShard
+
+KEY_KEPT = "k9"    # slot 0, stays with group 0
+KEY_MOVED = "k2"   # slot 2, handed to group 1
+
+
+def make_cluster(seed=0, num_leaseholders=2):
+    cluster = ShardedCluster(
+        KVStoreSpec(),
+        ChtConfig(n=3),
+        num_groups=2,
+        num_slots=4,
+        seed=seed,
+        num_clients=1,
+        num_leaseholders=num_leaseholders,
+    ).start()
+    cluster.run_until_leaders()
+    return cluster
+
+
+def settle(cluster):
+    """Write both keys through the router and let every holder lease."""
+    router = cluster.router(0)
+    for key, value in ((KEY_KEPT, "kept"), (KEY_MOVED, "moved")):
+        future = router.submit(put(key, value))
+        assert cluster.run_until(lambda: future.done), "settle write stuck"
+    cluster.run(3 * cluster.config.lease_period)
+    for group in cluster.groups:
+        assert all(lh._lease_valid() for lh in group.leaseholders)
+    return router
+
+
+def await_op(cluster, future, timeout=30_000.0):
+    assert cluster.run_until(lambda: future.done, timeout), "op stuck"
+    return future.value
+
+
+def test_source_tier_answers_wrong_shard_after_freeze():
+    cluster = make_cluster()
+    settle(cluster)
+    await_op(cluster, cluster.spawn_handoff(0, 1, slots={2}))
+    cluster.run(500.0)
+    lh = cluster.groups[0].leaseholders[0]
+    assert isinstance(await_op(cluster, lh.submit_read(get(KEY_MOVED))),
+                      WrongShard)
+    # The kept range still serves locally.
+    assert await_op(cluster, lh.submit_read(get(KEY_KEPT))) == "kept"
+
+
+def test_destination_tier_serves_the_installed_range():
+    cluster = make_cluster()
+    settle(cluster)
+    await_op(cluster, cluster.spawn_handoff(0, 1, slots={2}))
+    cluster.run(500.0)
+    lh = cluster.groups[1].leaseholders[0]
+    assert await_op(cluster, lh.submit_read(get(KEY_MOVED))) == "moved"
+
+
+def test_reads_block_behind_an_inflight_freeze():
+    cluster = make_cluster(seed=2)
+    settle(cluster)
+    lh = cluster.groups[0].leaseholders[0]
+    handoff = cluster.spawn_handoff(0, 1, slots={2})
+    # Run until the freeze batch is pending (prepared, uncommitted) at
+    # the holder; a read must not slip in front of it.
+    assert cluster.run_until(
+        lambda: any(j not in lh.batches for j in lh.pending_batches),
+        timeout=5_000.0,
+    ), "freeze never became pending at the holder"
+    read = lh.submit_read(get(KEY_MOVED))
+    assert not read.done, "read conflicting with a pending freeze must block"
+    assert isinstance(await_op(cluster, read), WrongShard)
+    await_op(cluster, handoff, timeout=60_000.0)
+
+
+def test_recovered_holder_cannot_serve_the_frozen_range_stale():
+    # The regression this file exists for: crash a holder before the
+    # handoff, complete freeze+install while it is down, recover it.
+    # Its fresh lease carries the post-freeze commit frontier, so its
+    # first read of the moved range must catch up and answer WrongShard
+    # — never the stale pre-freeze value.
+    cluster = make_cluster(seed=3)
+    settle(cluster)
+    victim = cluster.groups[0].leaseholders[0]
+    victim.crash()
+    await_op(cluster, cluster.spawn_handoff(0, 1, slots={2}),
+             timeout=60_000.0)
+    cluster.run(500.0)
+    victim.recover()
+    assert cluster.run_until(
+        lambda: victim._lease_valid(),
+        timeout=10 * cluster.config.lease_period,
+    ), "recovered holder never re-leased"
+    value = await_op(cluster, victim.submit_read(get(KEY_MOVED)))
+    assert isinstance(value, WrongShard), (
+        f"stale lease served the frozen range: got {value!r}"
+    )
+    leader = cluster.groups[0].leader()
+    assert victim.applied_upto >= leader.applied_upto - 1, (
+        "holder served without catching up past the freeze"
+    )
+
+
+def test_holder_crash_mid_handoff_heals_and_fences():
+    cluster = make_cluster(seed=5)
+    settle(cluster)
+    victim = cluster.groups[0].leaseholders[1]
+    handoff = cluster.spawn_handoff(0, 1, slots={2})
+    cluster.run(5.0)  # freeze in flight when the holder dies
+    victim.crash()
+    await_op(cluster, handoff, timeout=60_000.0)
+    victim.recover()
+    assert cluster.run_until(
+        lambda: victim._lease_valid(),
+        timeout=10 * cluster.config.lease_period,
+    )
+    assert isinstance(await_op(cluster, victim.submit_read(get(KEY_MOVED))),
+                      WrongShard)
+    assert await_op(cluster, victim.submit_read(get(KEY_KEPT))) == "kept"
