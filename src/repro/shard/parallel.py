@@ -88,6 +88,19 @@ def group_fingerprint(group: ChtCluster) -> str:
     )
 
 
+def _star_hops(src: str, dst: str) -> int:
+    """Minimum transport legs between sites under the star topology.
+
+    Groups exchange envelopes only via the control site, so anything a
+    group emits needs **two** minimum-latency legs to reach a sibling
+    group — which lets the window engine grant each group a full extra
+    lookahead of slack against its siblings' release floors.
+    """
+    if src == "__control__" or dst == "__control__":
+        return 1
+    return 2
+
+
 def _best_owned(group: ChtCluster) -> tuple[int, ...]:
     alive = [r for r in group.replicas if not r.crashed]
     best = max(alive, key=lambda r: r.applied_upto)
@@ -101,15 +114,40 @@ class _GroupNode:
         self,
         gid: int,
         group: ChtCluster,
+        port: GroupPort,
         transport: MailboxTransport,
         obs: Optional[ObsContext],
     ) -> None:
         self.gid = gid
         self.group = group
+        self.port = port
         self.obs = obs
         self.sim = group.sim
         self.inbox = transport.inbox
         self.outbox = transport.outbox
+        self.lookahead = transport.delay_model.minimum
+
+    def eot(self) -> float:
+        """Earliest-output-time promise for the adaptive window engine.
+
+        A group's only cross-site sends are its port's replies, and a
+        reply future resolves either inside a pending inbox flush
+        (reply-cache hit during ``submit``) or in a client session's
+        ``on_message`` — an in-group network delivery, reachable only by
+        running local events.  So with **no request in flight** the group
+        cannot emit before its next inbox flush *introduces* one; with
+        requests open, any event might commit one, and the generic
+        next-event bound applies.  Either way the emission then travels
+        at least the transport's minimum latency.  Lease renewals, local
+        reads, and monitor timers keep the event heap dense but never
+        cross the seam — this promise is what lets the engine see
+        through them.
+        """
+        if self.port.in_flight == 0:
+            earliest = self.inbox.next_flush()
+        else:
+            earliest = self.sim.next_event_time()
+        return earliest + self.lookahead
 
     def query(self, name: str, *args: Any) -> Any:
         group = self.group
@@ -183,8 +221,7 @@ def _group_builder(
         group.start()
         if on_started is not None:
             on_started(group, gid)
-        del port  # endpoint is reachable via the group's inbox handler
-        return _GroupNode(gid, group, transport, obs)
+        return _GroupNode(gid, group, port, transport, obs)
 
     return build
 
@@ -264,6 +301,7 @@ class ParallelShardedCluster:
             builders=builders,
             use_processes=use_processes,
             obs=self.obs,
+            hops=_star_hops,
         )
 
     # ------------------------------------------------------------------
@@ -359,3 +397,11 @@ class ParallelShardedCluster:
     @property
     def windows(self) -> int:
         return self.engine.windows
+
+    @property
+    def window_commands(self) -> int:
+        return self.engine.window_commands
+
+    @property
+    def envelope_bytes(self) -> int:
+        return self.engine.envelope_bytes

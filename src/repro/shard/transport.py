@@ -386,7 +386,17 @@ class ControlPlane:
 
 
 class GroupPort:
-    """One group's receiving half: submit envelopes in, replies out."""
+    """One group's receiving half: submit envelopes in, replies out.
+
+    The port is the group's **only** cross-site sender: every envelope a
+    group emits is a ``reply`` to a ``submit`` still in flight here.
+    ``in_flight`` counts those open requests, which lets the parallel
+    backend's earliest-output-time promise (see
+    :meth:`repro.shard.parallel._GroupNode.eot`) report "cannot emit
+    before my next inbox flush" whenever the count is zero — the group
+    may be furiously renewing leases and serving local reads, but none
+    of that crosses the seam.
+    """
 
     def __init__(
         self,
@@ -397,6 +407,7 @@ class GroupPort:
     ) -> None:
         self.gid = gid
         self.group = group
+        self.in_flight = 0
         self.endpoint = transport.endpoint(
             site_of(gid), group.sim, self._on_message, FixedDelay(delta)
         )
@@ -404,9 +415,10 @@ class GroupPort:
     def _on_message(self, payload: tuple) -> None:
         kind, index, req_id, op = payload
         assert kind == "submit", payload
+        self.in_flight += 1
         future = self.group.clients[index].submit(op)
-        future.on_resolve(
-            lambda value: self.endpoint.send(
-                CONTROL_SITE, ("reply", req_id, value)
-            )
-        )
+        future.on_resolve(lambda value: self._reply(req_id, value))
+
+    def _reply(self, req_id: int, value: Any) -> None:
+        self.endpoint.send(CONTROL_SITE, ("reply", req_id, value))
+        self.in_flight -= 1

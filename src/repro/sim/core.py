@@ -344,6 +344,22 @@ class Simulator:
         """Scheduled events that are neither fired nor cancelled.  O(1)."""
         return len(self._alive)
 
+    def next_event_time(self) -> float:
+        """Timestamp of the earliest live event, or ``+inf`` when idle.
+
+        Tombstones encountered at the heap top are discarded on the way
+        (they are dead weight the next pop would skip anyway), so the
+        peek is amortized O(1).  The parallel backend's adaptive window
+        sync (:mod:`repro.sim.parallel`) uses this as the base of each
+        partition's earliest-output-time promise.
+        """
+        heap = self._heap
+        alive = self._alive
+        pop = heapq.heappop
+        while heap and heap[0][1] not in alive:
+            pop(heap)
+        return heap[0][0] if heap else math.inf
+
     def fork_rng(self, label: str, site: Optional[str] = None) -> random.Random:
         """Derive an independent, deterministic RNG stream for a component.
 

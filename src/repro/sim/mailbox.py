@@ -18,29 +18,35 @@ each other's heaps:
   number) by a sender running strictly before ``T``.
 
 Conservative-time safety lives here too: :meth:`Inbox.ingest` rejects
-any envelope timestamped before the local clock.  Under the window
-protocol this can never fire — a message sent in window ``[t, t')``
-carries ``deliver_at >= t + lookahead >= t'``, and the receiver ingests
-it at ``t'`` — so a trip of this check means the lookahead was wrong.
+any envelope timestamped before the local clock.  Under the adaptive
+window protocol this can never fire — every window end granted to the
+receiver is justified by sender promises and known-envelope reaction
+bounds proving no earlier delivery can exist (see
+:mod:`repro.sim.parallel`) — so a trip of this check means a promise
+was wrong.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable
+import math
+from typing import Any, Callable, NamedTuple, Optional
 
 from .core import SimulationError, Simulator
 
 __all__ = ["WireMessage", "Outbox", "Inbox"]
 
 
-@dataclass(frozen=True)
-class WireMessage:
+class WireMessage(NamedTuple):
     """One cross-partition envelope.
 
     ``src``/``seq`` identify the sending endpoint and its send order;
     together with ``sent_at`` they give every inbox the same total order
     for same-instant deliveries regardless of transfer batching.
+
+    A ``NamedTuple`` rather than a dataclass: window command/ack frames
+    pickle envelope batches wholesale, and tuple reduction is both
+    smaller on the wire and measurably faster than dataclass
+    ``__reduce__`` on the per-window hot path.
     """
 
     src: str
@@ -52,15 +58,27 @@ class WireMessage:
 
 
 class Outbox:
-    """Per-partition buffer of outbound envelopes, drained per window."""
+    """Per-partition buffer of outbound envelopes, drained per window.
 
-    __slots__ = ("_messages",)
+    ``on_first`` (when set) fires as the buffer goes empty -> non-empty.
+    The adaptive window driver points the *control* outbox's hook at
+    ``control_sim.stop`` while advancing the control simulator: the
+    run halts right after the first emitting event, the envelope is
+    routed, and every release floor is recomputed before anyone — the
+    control simulator included — moves past the emission's consequences.
+    Worker outboxes never set it.
+    """
+
+    __slots__ = ("_messages", "on_first")
 
     def __init__(self) -> None:
         self._messages: list[WireMessage] = []
+        self.on_first: Optional[Callable[[], None]] = None
 
     def append(self, message: WireMessage) -> None:
         self._messages.append(message)
+        if self.on_first is not None and len(self._messages) == 1:
+            self.on_first()
 
     def drain(self) -> list[WireMessage]:
         """Return and clear everything buffered since the last drain."""
@@ -130,3 +148,14 @@ class Inbox:
     @property
     def pending(self) -> int:
         return sum(len(b) for b in self._buckets.values())
+
+    def next_flush(self) -> float:
+        """Earliest pending flush time, or ``+inf`` with nothing buffered.
+
+        This is exactly the set of *front* events the inbox has scheduled
+        but not yet fired; partitions whose only cross-traffic entry
+        point is their inbox (a sharded group's port) use it as the
+        immediate-output component of their earliest-output-time promise.
+        """
+        buckets = self._buckets
+        return min(buckets) if buckets else math.inf

@@ -1,50 +1,151 @@
-"""Conservative parallel discrete-event simulation over worker processes.
+"""Conservative parallel simulation with adaptive earliest-output-time sync.
 
 :class:`ParallelSim` runs one *control* simulator in the calling process
 and one partition simulator per site, each on its own forked worker.
 Partitions exchange messages only through timestamped mailboxes
-(:mod:`repro.sim.mailbox`); the engine advances everyone in lockstep
-**windows** of length ``lookahead``:
+(:mod:`repro.sim.mailbox`).  PR 6's engine advanced everyone in lockstep
+windows of fixed length ``lookahead`` (the minimum cross-partition
+delivery latency): safe, but a steady 4-second run burned hundreds of
+windows — each a pickle-over-pipe barrier — even while most partitions
+had nothing to say to each other.  This engine replaces the fixed
+cadence with per-site **grant frontiers** driven by **earliest-output-
+time (EOT) promises**.
 
-1. route every pending envelope due inside the window to its
-   destination's inbound batch;
-2. command each worker to ingest its batch and run its simulator to the
-   window end (exclusively — boundary events belong to the next window);
-   the control simulator does the same, concurrently with the workers;
-3. collect each side's drained outbox and file the envelopes under
-   their delivery times (the *pending* store);
-4. barrier, advance to the next window.
+Frontier state, per site ``w``:
 
-Safety is the classic conservative argument: ``lookahead`` is the
-minimum cross-partition delivery latency, so an envelope sent at time
-``s`` inside window ``[t, t')`` has ``deliver_at >= s + lookahead >=
-t + lookahead >= t'`` — it is ingested at the earliest at ``t'``, never
-in the receiving simulator's past.  Windows never exceed ``lookahead``
-(the last window before a target time is simply shorter), which keeps
-the bound through uneven horizons.
+``G_w``   granted horizon: the end of the last window command issued;
+          the worker runs events strictly below it.
+``A_w``   acked horizon: the end of the last window acknowledged.
+``P_w``   the promise carried by that ack — a lower bound on the
+          ``deliver_at`` of *any* envelope the partition can emit from
+          its state at ``A_w`` without first receiving a new envelope.
+          The generic bound is ``next event time + lookahead`` (every
+          emission happens inside some event and travels at least the
+          minimum latency); partitions can tighten it via an ``eot()``
+          method — a sharded group reports ``+inf`` once no port request
+          is in flight and no inbox flush is pending, because its only
+          cross-send site is the reply hook of its port.
+
+The *release floor* ``R_w`` — the earliest instant at which an envelope
+**unknown to the controller** can leave ``w`` — is then
+
+    R_w = min(P_w,
+              min over unacked shipped batches of (deliver_at + lookahead),
+              min over routed-but-unshipped envelopes to w of
+                  (deliver_at + lookahead))
+
+(the second term bounds reactions to envelopes already inside issued
+commands, the third reactions to envelopes the controller is still
+holding).  The control simulator is site ``__control__`` with
+``R = next event time + lookahead`` plus the same reaction terms; its
+outbox is drained *before* every floor computation so driver code that
+submits between runs is always visible.  The control simulator's own
+advance is bounded the same way (min over worker floors) **and stops at
+its first mid-run emission**: the bound assumed the workers owed
+nothing new, but an envelope emitted during the run creates work whose
+reply can land before the bound — so the run halts there
+(``Outbox.on_first -> Simulator.stop``), the envelope is routed, and
+every floor is recomputed before anyone advances further.
+
+**Safety argument** (the adaptive rule's "never deliver into a
+receiver's past"): site ``v`` may be granted any window end
+
+    T(v) <= min( min over u != v of  R_u + (hops(u, v) - 1) * lookahead,
+                 R_v + (cycle(v) - 1) * lookahead )
+
+with every known envelope to ``v`` below ``T(v)`` shipped inside the
+command.  Any envelope that later surprises ``v`` must originate at some
+``u`` no earlier than ``R_u`` and then traverse at least ``hops(u, v)``
+minimum-latency legs, the first of which is already inside ``R_u`` — so
+it is delivered at or after ``T(v)``, never in ``v``'s past.  The
+second line is the **self-cycle term**: an envelope chain can *start at
+v itself* — a group's own reply makes the control plane react and send
+right back — and the shortest such loop has ``cycle(v)`` legs (2 in the
+star), so ``v``'s own release floor bounds its grant as well.  Induction over
+grants closes the argument: every floor above is itself justified by
+promises computed at acked states and by envelopes whose timestamps are
+simulation facts.  ``hops`` encodes topology: the sharded star (groups
+talk only to the control site) gives group-to-group envelopes two legs,
+which widens group grants by a full ``lookahead`` beyond the naive
+all-pairs bound.  The rule degrades exactly to PR 6's fixed windows in
+the worst case (``R_u = A_u + lookahead``) and collapses idle or
+no-cross-traffic stretches — leases renewing, reads served locally, a
+quiet group during another group's handoff — into a single window.
+The proof that none of this changes simulation *results* is the
+determinism suite: per-group traces stay byte-identical to the serial
+backend, which never had windows at all.
+
+On top of the adaptive rule:
+
+* **pipelining** — up to ``depth`` window commands may be outstanding
+  per worker; grants only ever depend on controller-side knowledge, so
+  the next command can be computed and shipped while the previous one
+  is still running, keeping workers hot instead of barrier-parked;
+* **lean wire frames** — commands and acks are one struct-packed header
+  plus at most one pickle per envelope batch (protocol
+  ``pickle.HIGHEST_PROTOCOL``); the empty-batch case — most windows —
+  never touches the pickler;
+* an **obs-disabled fast path**: without an attached ObsContext the
+  engine allocates no spans and touches no counters anywhere on the
+  window path.
 
 Reaching an exact target time ``U`` takes one extra *boundary* step:
-exclusive windows stop with events at exactly ``U`` unprocessed, so the
-engine ingests envelopes timestamped ``U`` and runs one inclusive pass
-at ``U`` — reproducing the serial semantics of ``run(until=U)``.
+exclusive grants stop with events at exactly ``U`` unprocessed, so the
+engine drains every ack, ships envelopes timestamped ``U``, and runs one
+inclusive pass at ``U`` — reproducing the serial semantics of
+``run(until=U)``.
 
 A worker failure (crash, assertion, KeyboardInterrupt) surfaces as a
 :class:`ParallelSimError` carrying the remote traceback; the engine
-then tears every worker down rather than hanging on the barrier.
+then tears every worker down rather than hanging on a pipe.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 import multiprocessing
+import pickle
+import struct
 import time
 import traceback
+from collections import deque
+from multiprocessing.connection import wait as _connection_wait
 from typing import Any, Callable, Optional, Protocol
 
-from .core import Simulator
+from .core import SimulationError, Simulator
 from .mailbox import Inbox, Outbox, WireMessage
 
 __all__ = ["ParallelSim", "ParallelSimError", "SimPartition"]
+
+
+# --------------------------------------------------------------------------
+# Wire protocol: one struct header + optional pickle section per frame,
+# moved with Connection.send_bytes/recv_bytes.
+# --------------------------------------------------------------------------
+_CMD_WINDOW = 0x01
+_CMD_QUERY = 0x02
+_CMD_FINISH = 0x03
+_ACK_WINDOW = 0x81
+_ACK_VALUE = 0x82
+_ACK_ERROR = 0xFF
+
+_INCLUSIVE_FLAG = 0x01
+_PAYLOAD_FLAG = 0x02
+
+#: Window command: op, window end, flags (inclusive | has-batch).
+_WINDOW_HDR = struct.Struct("<BdB")
+#: Every worker->parent frame: op, EOT promise (window acks only),
+#: cumulative seconds the worker spent blocked waiting for commands,
+#: flags (has-payload).
+_ACK_HDR = struct.Struct("<BddB")
+_PICKLE = pickle.HIGHEST_PROTOCOL
+
+#: Maximum window commands in flight per worker.  Depth 2 is enough to
+#: overlap ack transport + grant computation with worker compute; deeper
+#: queues only grow promise staleness (grants are bounded by the *acked*
+#: state, so an over-deep pipeline starves its own floors).
+_PIPELINE_DEPTH = 2
 
 
 class ParallelSimError(RuntimeError):
@@ -60,7 +161,15 @@ class ParallelSimError(RuntimeError):
 
 
 class SimPartition(Protocol):
-    """What a builder must return: one partition's simulator + mailboxes."""
+    """What a builder must return: one partition's simulator + mailboxes.
+
+    Partitions must never emit an envelope with ``deliver_at`` below
+    ``sim.now + lookahead`` — that is what makes the generic promise
+    (``next event time + lookahead``) sound.  A partition may define an
+    optional ``eot() -> float`` returning a tighter absolute lower bound
+    on its next possible emission's delivery time (``+inf`` when it can
+    prove it cannot emit at all without new input).
+    """
 
     sim: Simulator
     inbox: Inbox
@@ -71,35 +180,76 @@ class SimPartition(Protocol):
     def finish(self) -> Any: ...
 
 
-def _worker_main(build: Callable[[], "SimPartition"], conn: Any) -> None:
-    """Worker loop: build the partition, then serve window commands.
+def _promise_of(node: Any, lookahead: float) -> float:
+    """The partition's EOT promise at its current (just-acked) state."""
+    eot = getattr(node, "eot", None)
+    if eot is not None:
+        return eot()
+    return node.sim.next_event_time() + lookahead
 
-    Every reply is ``("ok", value)`` or ``("error", traceback)``; the
-    parent converts the latter into a :class:`ParallelSimError`, so the
-    original stack is never swallowed by a hung pipe join.
+
+def _worker_main(
+    build: Callable[[], "SimPartition"], conn: Any, lookahead: float
+) -> None:
+    """Worker loop: build the partition, then serve framed commands.
+
+    Every reply frame is an ``_ACK_*``; errors ship the original stack
+    so it is never swallowed by a hung pipe join.  The worker also
+    accounts its own stall — wall seconds blocked in ``recv`` between
+    commands — which is the honest "barrier-parked" metric: under
+    pipelining the parent being blocked usually means workers are busy,
+    so only the workers themselves can see a sync bubble.
     """
+    stalled = 0.0
     try:
         node = build()
+        recv = conn.recv_bytes
+        send = conn.send_bytes
+        hdr_size = _WINDOW_HDR.size
         while True:
-            cmd = conn.recv()
-            op = cmd[0]
-            if op == "window":
-                _, t_end, exclusive, inbound = cmd
-                if inbound:
-                    node.inbox.ingest(inbound)
-                node.sim.run(until=t_end, exclusive=exclusive)
-                conn.send(("ok", node.outbox.drain()))
-            elif op == "query":
-                _, name, args = cmd
-                conn.send(("ok", node.query(name, *args)))
-            elif op == "finish":
-                conn.send(("ok", node.finish()))
+            t0 = time.perf_counter()
+            buf = recv()
+            stalled += time.perf_counter() - t0
+            op = buf[0]
+            if op == _CMD_WINDOW:
+                _, t_end, flags = _WINDOW_HDR.unpack_from(buf)
+                if flags & _PAYLOAD_FLAG:
+                    node.inbox.ingest(pickle.loads(buf[hdr_size:]))
+                node.sim.run(
+                    until=t_end, exclusive=not (flags & _INCLUSIVE_FLAG)
+                )
+                out = node.outbox.drain()
+                promise = _promise_of(node, lookahead)
+                if out:
+                    send(
+                        _ACK_HDR.pack(_ACK_WINDOW, promise, stalled,
+                                      _PAYLOAD_FLAG)
+                        + pickle.dumps(out, _PICKLE)
+                    )
+                else:
+                    send(_ACK_HDR.pack(_ACK_WINDOW, promise, stalled, 0))
+            elif op == _CMD_QUERY:
+                name, args = pickle.loads(buf[1:])
+                value = node.query(name, *args)
+                send(
+                    _ACK_HDR.pack(_ACK_VALUE, 0.0, stalled, _PAYLOAD_FLAG)
+                    + pickle.dumps(value, _PICKLE)
+                )
+            elif op == _CMD_FINISH:
+                report = node.finish()
+                send(
+                    _ACK_HDR.pack(_ACK_VALUE, 0.0, stalled, _PAYLOAD_FLAG)
+                    + pickle.dumps(report, _PICKLE)
+                )
                 return
             else:  # pragma: no cover - protocol bug
                 raise AssertionError(f"unknown command {op!r}")
     except BaseException:
         try:
-            conn.send(("error", traceback.format_exc()))
+            conn.send_bytes(
+                _ACK_HDR.pack(_ACK_ERROR, 0.0, stalled, _PAYLOAD_FLAG)
+                + pickle.dumps(traceback.format_exc(), _PICKLE)
+            )
         except Exception:  # pragma: no cover - parent already gone
             pass
     finally:
@@ -107,7 +257,7 @@ def _worker_main(build: Callable[[], "SimPartition"], conn: Any) -> None:
 
 
 class ParallelSim:
-    """Window-synchronized execution of one control sim + N partitions.
+    """Adaptive-window execution of one control sim + N partitions.
 
     Parameters
     ----------
@@ -125,10 +275,19 @@ class ParallelSim:
         With False — or when forking is unavailable, e.g. inside a
         daemonic pool worker — partitions are built and stepped in the
         calling process instead.  Identical simulation semantics, no
-        wall-clock parallelism; useful for tests and nested harnesses.
+        wall-clock parallelism; grant decisions are then fully
+        deterministic, which the window-count regression tests rely on.
     obs:
-        Optional parent ObsContext; when set, every window emits a
-        ``sync.window`` span recording wall-clock barrier stall.
+        Optional parent ObsContext; when set, every completed window
+        emits a ``sync.window`` span and the registry carries
+        ``sync.windows_total`` / ``sync.barrier_stall_seconds`` /
+        ``sync.envelope_bytes`` counters.  When None the window path
+        allocates nothing.
+    hops:
+        ``(src_site, dst_site) -> int`` minimum number of transport legs
+        an envelope needs between two endpoints (sites plus
+        ``"__control__"``).  Defaults to 1 for every pair; the sharded
+        façade passes the star map (group-to-group = 2).
     """
 
     def __init__(
@@ -140,6 +299,7 @@ class ParallelSim:
         builders: dict[str, Callable[[], "SimPartition"]],
         use_processes: bool = True,
         obs: Optional[Any] = None,
+        hops: Optional[Callable[[str, str], int]] = None,
     ) -> None:
         if lookahead <= 0:
             raise ValueError(
@@ -153,19 +313,44 @@ class ParallelSim:
         self.builders = builders
         self.sites = list(builders)
         self.obs = obs
+        self._hops = hops
         if use_processes and multiprocessing.current_process().daemon:
             # Daemonic workers may not fork children; fall back rather
             # than crash so schedule-level pools can nest parallel sims.
             use_processes = False
         self.use_processes = use_processes
-        self.windows = 0
-        self.barrier_stall = 0.0  # cumulative wall seconds waiting on workers
+        #: Window commands issued, per site; ``windows`` is the max.
+        self.site_windows: dict[str, int] = {site: 0 for site in self.sites}
+        #: Worker-reported stall (blocked-on-command wall seconds).
+        self.worker_stall: dict[str, float] = {s: 0.0 for s in self.sites}
+        #: Wall seconds the controller spent blocked waiting for acks.
+        self.controller_wait = 0.0
+        #: Bytes moved over worker pipes (commands + acks).
+        self.envelope_bytes = 0
         self._procs: dict[str, Any] = {}
         self._conns: dict[str, Any] = {}
         self._nodes: dict[str, SimPartition] = {}  # in-process mode
         self._pending: dict[str, list[tuple]] = {
             site: [] for site in [*self.sites, "__control__"]
         }
+        # Grant frontiers (exclusive), acked frontiers, promises, and the
+        # per-site queue of issued-but-unacked (t_end, min shipped
+        # deliver_at) windows.  The initial promise A=0 -> lookahead is
+        # the generic bound for any partition state at time zero.
+        self._G: dict[str, float] = {s: 0.0 for s in self.sites}
+        self._A: dict[str, float] = {s: 0.0 for s in self.sites}
+        self._P: dict[str, float] = {s: lookahead for s in self.sites}
+        self._outq: dict[str, deque] = {s: deque() for s in self.sites}
+        # Shortest send cycle site -> (some other endpoint) -> site, in
+        # legs; a site's *own* emissions bound its grants through this
+        # (the self-cycle term in _grant_bound).  Static per topology.
+        self._cycle: dict[str, int] = {}
+        for v in self.sites:
+            others = ["__control__", *(s for s in self.sites if s != v)]
+            self._cycle[v] = (
+                2 if hops is None
+                else min(hops(v, u) + hops(u, v) for u in others)
+            )
         self._started = False
         self._closed = False
 
@@ -175,6 +360,21 @@ class ParallelSim:
     @property
     def now(self) -> float:
         return self.control_sim.now
+
+    @property
+    def windows(self) -> int:
+        """Critical-path window count: the max per-site command count."""
+        return max(self.site_windows.values(), default=0)
+
+    @property
+    def window_commands(self) -> int:
+        """Total window commands issued across all sites."""
+        return sum(self.site_windows.values())
+
+    @property
+    def barrier_stall(self) -> float:
+        """Worst per-worker blocked-on-command wall seconds so far."""
+        return max(self.worker_stall.values(), default=0.0)
 
     def start(self) -> "ParallelSim":
         if self._started:
@@ -189,7 +389,7 @@ class ParallelSim:
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(build, child_conn),
+                args=(build, child_conn, self.lookahead),
                 name=f"parallel-sim-{site}",
             )
             proc.start()
@@ -224,10 +424,24 @@ class ParallelSim:
     # Pending-envelope store
     # ------------------------------------------------------------------
     def _route(self, batch: list[WireMessage]) -> None:
+        pending = self._pending
+        granted = self._G
         for message in batch:
-            dst = message.dst if message.dst in self._pending else "__control__"
+            dst = message.dst if message.dst in pending else "__control__"
+            # The grant rule must have kept every receiver's frontier
+            # below any envelope it has not yet been handed.
+            floor = (
+                self.control_sim.now if dst == "__control__" else granted[dst]
+            )
+            if message.deliver_at < floor:
+                self.close()
+                raise SimulationError(
+                    f"adaptive sync violated: {message.src}#{message.seq} "
+                    f"for {dst} is timestamped {message.deliver_at} but "
+                    f"{dst}'s frontier is already {floor}"
+                )
             heapq.heappush(
-                self._pending[dst],
+                pending[dst],
                 (message.deliver_at, message.src, message.seq, message),
             )
 
@@ -241,72 +455,251 @@ class ParallelSim:
         return batch
 
     # ------------------------------------------------------------------
-    # Window protocol
+    # Floors and grants
     # ------------------------------------------------------------------
-    def _recv(self, site: str) -> Any:
-        conn = self._conns[site]
-        status, value = conn.recv()
-        if status == "error":
-            remote = value
-            self.close()
-            raise ParallelSimError(site, remote)
-        return value
-
-    def _window(self, t_end: float, exclusive: bool) -> None:
-        span = None
-        if self.obs is not None:
-            span = self.obs.tracer.begin(
-                "sync.window", "sim", 0, t_end=t_end, exclusive=exclusive
-            )
-        self.windows += 1
-        if self.use_processes:
-            # Workers compute their window concurrently with the control
-            # simulator; the barrier is the recv loop below.
-            for site in self.sites:
-                inbound = self._take(site, t_end, exclusive)
-                self._conns[site].send(("window", t_end, exclusive, inbound))
-            self._run_control(t_end, exclusive)
-            control_done = time.perf_counter()
-            for site in self.sites:
-                self._route(self._recv(site))
-            stall = time.perf_counter() - control_done
-            self.barrier_stall += stall
-            if span is not None:
-                span.mark("stall_ms", stall * 1e3)
+    def _release_floor(self, site: str) -> float:
+        """Earliest delivery time of an envelope ``site`` could emit that
+        the controller does not already hold (see module docstring)."""
+        lookahead = self.lookahead
+        if site == "__control__":
+            floor = self.control_sim.next_event_time() + lookahead
         else:
-            for site in self.sites:
-                inbound = self._take(site, t_end, exclusive)
-                node = self._nodes[site]
-                if inbound:
-                    node.inbox.ingest(inbound)
-                node.sim.run(until=t_end, exclusive=exclusive)
-                self._route(node.outbox.drain())
-            self._run_control(t_end, exclusive)
-        if span is not None:
-            self.obs.tracer.close(span, "completed")
+            floor = self._P[site]
+            for _t_end, shipped in self._outq[site]:
+                reaction = shipped + lookahead
+                if reaction < floor:
+                    floor = reaction
+        heap = self._pending[site]
+        if heap:
+            reaction = heap[0][0] + lookahead
+            if reaction < floor:
+                floor = reaction
+        return floor
 
-    def _run_control(self, t_end: float, exclusive: bool) -> None:
-        inbound = self._take("__control__", t_end, exclusive)
-        if inbound:
-            self.control_inbox.ingest(inbound)
-        self.control_sim.run(until=t_end, exclusive=exclusive)
-        self._route(self.control_outbox.drain())
+    def _grant_bound(self, site: str) -> float:
+        """Highest window end provably safe for ``site`` right now."""
+        lookahead = self.lookahead
+        hops = self._hops
+        bound = self._release_floor("__control__")
+        if hops is not None:
+            bound += (hops("__control__", site) - 1) * lookahead
+        for other in self.sites:
+            if other == site:
+                continue
+            term = self._release_floor(other)
+            if hops is not None:
+                term += (hops(other, site) - 1) * lookahead
+            if term < bound:
+                bound = term
+        # Self-cycle: the site's own emissions can bounce off another
+        # endpoint — a group's reply makes the control plane react and
+        # send right back — so its own release floor bounds its grant
+        # too, widened by the shortest round trip minus the first leg.
+        term = self._release_floor(site) + (self._cycle[site] - 1) * lookahead
+        if term < bound:
+            bound = term
+        return bound
+
+    def _control_bound(self) -> float:
+        lookahead = self.lookahead
+        hops = self._hops
+        bound = math.inf
+        for other in self.sites:
+            term = self._release_floor(other)
+            if hops is not None:
+                term += (hops(other, "__control__") - 1) * lookahead
+            if term < bound:
+                bound = term
+        return bound
+
+    # ------------------------------------------------------------------
+    # Window issue / ack
+    # ------------------------------------------------------------------
+    def _issue_window(self, site: str, t_end: float, inclusive: bool) -> None:
+        batch = self._take(site, t_end, exclusive=not inclusive)
+        shipped = batch[0].deliver_at if batch else math.inf
+        self._G[site] = t_end
+        self._outq[site].append((t_end, shipped))
+        self.site_windows[site] += 1
+        if self.use_processes:
+            flags = _INCLUSIVE_FLAG if inclusive else 0
+            if batch:
+                flags |= _PAYLOAD_FLAG
+                buf = _WINDOW_HDR.pack(_CMD_WINDOW, t_end, flags) + \
+                    pickle.dumps(batch, _PICKLE)
+            else:
+                buf = _WINDOW_HDR.pack(_CMD_WINDOW, t_end, flags)
+            self.envelope_bytes += len(buf)
+            self._conns[site].send_bytes(buf)
+        else:
+            node = self._nodes[site]
+            if batch:
+                node.inbox.ingest(batch)
+            node.sim.run(until=t_end, exclusive=not inclusive)
+            self._ack_window(
+                site, _promise_of(node, self.lookahead),
+                node.outbox.drain(), 0.0,
+            )
+
+    def _ack_window(
+        self, site: str, promise: float, out: list, stalled: float
+    ) -> None:
+        t_end, _shipped = self._outq[site].popleft()
+        self._A[site] = t_end
+        self._P[site] = promise
+        self.worker_stall[site] = stalled
+        if out:
+            self._route(out)
+        if self.obs is not None:
+            self._observe_window(site, t_end)
+
+    def _observe_window(self, site: str, t_end: float) -> None:
+        obs = self.obs
+        obs.registry.counter("sync.windows_total").inc()
+        span = obs.tracer.begin(
+            "sync.window", "sim", 0, site=site, t_end=t_end
+        )
+        obs.tracer.close(span, "completed")
+
+    # ------------------------------------------------------------------
+    # Ack collection (process mode)
+    # ------------------------------------------------------------------
+    def _dispatch_frame(self, site: str, buf: bytes) -> Any:
+        """Decode one worker frame; returns a value for _ACK_VALUE."""
+        self.envelope_bytes += len(buf)
+        op, a, stalled, flags = _ACK_HDR.unpack_from(buf)
+        payload = (
+            pickle.loads(buf[_ACK_HDR.size:]) if flags & _PAYLOAD_FLAG
+            else None
+        )
+        if op == _ACK_ERROR:
+            self.close()
+            raise ParallelSimError(site, payload)
+        if op == _ACK_WINDOW:
+            self._ack_window(site, a, payload or [], stalled)
+            return None
+        self.worker_stall[site] = stalled
+        return payload
+
+    def _collect_ready_acks(self) -> bool:
+        """Drain every ack already sitting in a pipe; non-blocking."""
+        progressed = False
+        for site in self.sites:
+            outq = self._outq[site]
+            if not outq:
+                continue
+            conn = self._conns[site]
+            while outq and conn.poll():
+                self._dispatch_frame(site, conn.recv_bytes())
+                progressed = True
+        return progressed
+
+    def _wait_for_ack(self) -> None:
+        """Block until at least one outstanding window ack arrives."""
+        waiting = {
+            self._conns[site]: site
+            for site in self.sites if self._outq[site]
+        }
+        if not waiting:  # pragma: no cover - progress-argument violation
+            raise SimulationError(
+                "adaptive sync stalled with no outstanding windows"
+            )
+        t0 = time.perf_counter()
+        ready = _connection_wait(list(waiting))
+        self.controller_wait += time.perf_counter() - t0
+        for conn in ready:
+            self._dispatch_frame(waiting[conn], conn.recv_bytes())
+
+    def _drain_site(self, site: str) -> None:
+        while self._outq[site]:
+            self._dispatch_frame(site, self._conns[site].recv_bytes())
 
     # ------------------------------------------------------------------
     # Driving
     # ------------------------------------------------------------------
+    def _run_control(
+        self, t_end: float, exclusive: bool, stop_on_send: bool = False
+    ) -> None:
+        inbound = self._take("__control__", t_end, exclusive)
+        if inbound:
+            self.control_inbox.ingest(inbound)
+        sim = self.control_sim
+        outbox = self.control_outbox
+        if stop_on_send:
+            # The advance bound assumed workers owe nothing new — but an
+            # emission *during this run* creates new work whose reply can
+            # land before the bound.  Halt at the first emitting event
+            # (stop() leaves the clock there), route it, and let the
+            # advance loop recompute every floor before going further.
+            outbox.on_first = sim.stop
+            try:
+                sim.run(until=t_end, exclusive=exclusive)
+            finally:
+                outbox.on_first = None
+        else:
+            sim.run(until=t_end, exclusive=exclusive)
+        self._route(outbox.drain())
+
+    def _advance_exclusive(self, target: float) -> None:
+        """Grant-and-ack until every frontier sits exactly at ``target``
+        (exclusively) with no window outstanding."""
+        sites = self.sites
+        outq = self._outq
+        granted = self._G
+        control_sim = self.control_sim
+        lookahead = self.lookahead
+        while True:
+            progressed = False
+            if self.use_processes:
+                progressed = self._collect_ready_acks()
+            # Driver code (router submits, handoff spawns) runs between
+            # engine calls and parks envelopes in the control outbox;
+            # they must be visible before any floor is computed.
+            self._route(self.control_outbox.drain())
+            # The control plane advances opportunistically in-parent: it
+            # pays no IPC, and a fresher control frontier turns pending
+            # replies into known envelopes, which widens worker grants.
+            t_ctl = min(self._control_bound(), target)
+            if t_ctl > control_sim.now:
+                self._run_control(t_ctl, exclusive=True, stop_on_send=True)
+                progressed = True
+            for site in sites:
+                if len(outq[site]) >= _PIPELINE_DEPTH:
+                    continue
+                bound = min(self._grant_bound(site), target)
+                g = granted[site]
+                # Grant when a full lookahead of progress is provable
+                # (or the site can be carried to the target): sites that
+                # are already ahead wait for laggards instead of burning
+                # sliver windows.
+                if bound > g and (bound >= g + lookahead or bound == target):
+                    self._issue_window(site, bound, inclusive=False)
+                    progressed = True
+            if (
+                control_sim.now >= target
+                and all(granted[s] == target for s in sites)
+                and all(not outq[s] for s in sites)
+            ):
+                return
+            if not progressed:
+                self._wait_for_ack()
+
+    def _boundary(self, target: float) -> None:
+        """Run events at exactly ``target`` everywhere (inclusive pass)."""
+        self._route(self.control_outbox.drain())
+        for site in self.sites:
+            self._issue_window(site, target, inclusive=True)
+        self._run_control(target, exclusive=False)
+        if self.use_processes:
+            for site in self.sites:
+                self._drain_site(site)
+
     def run_to(self, until: float) -> None:
-        """Advance every partition to exactly ``until``."""
+        """Advance every partition to exactly ``until`` (inclusive)."""
         if not self._started:
             raise RuntimeError("call start() before running")
-        t = self.now
-        while t < until:
-            t_next = min(t + self.lookahead, until)
-            self._window(t_next, exclusive=True)
-            t = t_next
-        # Boundary: events (and envelopes) at exactly `until` run now,
-        # giving run_to the inclusive semantics of serial run(until=U).
-        self._window(until, exclusive=False)
+        self._advance_exclusive(until)
+        self._boundary(until)
 
     def run_for(self, duration: float) -> None:
         self.run_to(self.now + duration)
@@ -314,22 +707,27 @@ class ParallelSim:
     def run_until(
         self, predicate: Callable[[], bool], timeout: float = 10_000.0
     ) -> bool:
-        """Window-step until ``predicate()`` holds or ``timeout`` elapses.
+        """Advance until ``predicate()`` holds or ``timeout`` elapses.
 
-        The predicate is evaluated between windows (a serial run stops
-        mid-window); callers must use predicates that, once true, stay
-        true for the rest of the window — every convergence predicate in
-        this repository is monotone in that sense.
+        The predicate is evaluated at poll boundaries (a serial run
+        stops mid-window); callers must use predicates that, once true,
+        stay true for the rest of the poll — every convergence predicate
+        in this repository is monotone in that sense.  Polls are
+        adaptive like everything else but capped at ``8 * lookahead`` so
+        a quiescent stretch cannot leap the clock far past the instant
+        the predicate turned true.
         """
+        if not self._started:
+            raise RuntimeError("call start() before running")
         deadline = self.now + timeout
+        poll = 8.0 * self.lookahead
         while True:
             if predicate():
                 return True
             if self.now >= deadline:
                 break
-            t_next = min(self.now + self.lookahead, deadline)
-            self._window(t_next, exclusive=True)
-        self._window(deadline, exclusive=False)
+            self._advance_exclusive(min(self.now + poll, deadline))
+        self._boundary(deadline)
         return predicate()
 
     # ------------------------------------------------------------------
@@ -339,15 +737,25 @@ class ParallelSim:
         """Synchronously evaluate ``node.query(name, *args)`` at a site."""
         if not self.use_processes:
             return self._nodes[site].query(name, *args)
-        self._conns[site].send(("query", name, args))
-        return self._recv(site)
+        self._drain_site(site)
+        conn = self._conns[site]
+        buf = bytes([_CMD_QUERY]) + pickle.dumps((name, args), _PICKLE)
+        self.envelope_bytes += len(buf)
+        conn.send_bytes(buf)
+        return self._dispatch_frame(site, conn.recv_bytes())
 
     def query_all(self, name: str, *args: Any) -> dict[str, Any]:
         if not self.use_processes:
             return {s: self._nodes[s].query(name, *args) for s in self.sites}
+        buf = bytes([_CMD_QUERY]) + pickle.dumps((name, args), _PICKLE)
         for site in self.sites:
-            self._conns[site].send(("query", name, args))
-        return {site: self._recv(site) for site in self.sites}
+            self._drain_site(site)
+            self.envelope_bytes += len(buf)
+            self._conns[site].send_bytes(buf)
+        return {
+            site: self._dispatch_frame(site, self._conns[site].recv_bytes())
+            for site in self.sites
+        }
 
     def finish(self) -> dict[str, Any]:
         """Collect each partition's final report and shut workers down."""
@@ -356,9 +764,19 @@ class ParallelSim:
             self.close()
             return reports
         for site in self.sites:
-            self._conns[site].send(("finish",))
-        reports = {site: self._recv(site) for site in self.sites}
+            self._drain_site(site)
+            self._conns[site].send_bytes(bytes([_CMD_FINISH]))
+        reports = {
+            site: self._dispatch_frame(site, self._conns[site].recv_bytes())
+            for site in self.sites
+        }
         for proc in self._procs.values():
             proc.join(timeout=10.0)
+        if self.obs is not None:
+            registry = self.obs.registry
+            registry.counter("sync.barrier_stall_seconds").inc(
+                round(self.barrier_stall, 6)
+            )
+            registry.counter("sync.envelope_bytes").inc(self.envelope_bytes)
         self.close()
         return reports

@@ -1,0 +1,76 @@
+"""Window-count regressions for the adaptive sync engine on a real cluster.
+
+The fixed-lookahead engine paid ``horizon / lookahead`` command windows
+no matter what the workload did; the adaptive engine's earliest-output-
+time promises must collapse quiet stretches to a near-constant window
+count and keep busy stretches well under the fixed-lookahead ceiling.
+These pins are what keeps ``BENCH_parallel.json``'s quiet-workload row
+honest: they fail locally long before a CI bench run would.
+
+In-process parallel mode throughout — same window accounting as forked
+workers, minus the process plumbing, and deterministic to boot.
+"""
+
+from repro.core.config import ChtConfig
+from repro.objects.kvstore import KVStoreSpec, put
+from repro.shard import ParallelShardedCluster
+
+SEED = 7
+GROUPS = 4
+LOOKAHEAD = 10.0  # transport delay minimum, the engine's lookahead
+
+
+def _cluster():
+    return ParallelShardedCluster(
+        KVStoreSpec(),
+        ChtConfig(n=3),
+        num_groups=GROUPS,
+        num_slots=8,
+        seed=SEED,
+        num_clients=1,
+        use_processes=False,
+    ).start()
+
+
+def test_quiet_cluster_needs_near_constant_windows():
+    cluster = _cluster()
+    try:
+        cluster.run_until_leaders()
+        settled = cluster.windows
+        horizon = cluster.engine.now + 4000.0
+        cluster.run_to(horizon)
+        quiet = cluster.windows - settled
+        # Fixed lookahead would have paid horizon/lookahead = 400 windows
+        # for this stretch; the quiescence promise collapses it to the
+        # handful the run_to boundary itself costs.
+        assert quiet <= 8, (
+            f"quiet stretch took {quiet} windows "
+            f"(fixed-lookahead baseline: {int(4000.0 / LOOKAHEAD)})"
+        )
+    finally:
+        cluster.close()
+
+
+def test_steady_writes_stay_under_the_fixed_lookahead_ceiling():
+    cluster = _cluster()
+    try:
+        cluster.run_until_leaders()
+        start_now = cluster.engine.now
+        start_windows = cluster.windows
+        router = cluster.router(0)
+        futures = []
+        for i in range(20):
+            futures.append(router.submit(put(f"k{i}", f"v{i}")))
+            cluster.run(100.0)
+        assert all(f.done for f in futures)
+        elapsed = cluster.engine.now - start_now
+        busy = cluster.windows - start_windows
+        ceiling = int(elapsed / LOOKAHEAD)
+        # The causal chain cadence bounds the adaptive engine below the
+        # one-window-per-lookahead ceiling even under steady traffic.
+        assert busy < ceiling, (
+            f"steady writes took {busy} windows; fixed-lookahead "
+            f"ceiling over the same {elapsed:.0f}ms is {ceiling}"
+        )
+    finally:
+        cluster.close()
