@@ -1,0 +1,201 @@
+"""Real-network benchmark: wall-clock numbers for the TCP backend.
+
+Unlike every other benchmark in this directory, nothing here is
+simulated: a real cluster of OS processes (one
+``python -m repro.net.server`` per member) serves a real
+:class:`~repro.net.client.NetKV` client over loopback TCP, and every
+number is wall clock.  Three measurements:
+
+1. **Steady-write throughput** — closed-loop increments for a fixed
+   window; reports ops/s and mean latency.
+
+2. **Read latency with L leaseholders** — p50/p99 of closed-loop gets
+   for L in {0, 1, 2}.  With L ≥ 1 reads are served by the leaseholder
+   tier (one RTT to the holder, no quorum round); L = 0 falls back to
+   replica reads.
+
+3. **Kill-a-replica recovery time** — SIGKILL one replica mid-stream
+   and time from the kill to the next acknowledged write.  A majority
+   survives, so the gap is bounded by failover, not by data loss.
+
+Gates are *sanity* bounds only (ops complete, latencies are positive
+and ordered); absolute throughput on shared CI hardware is not gated.
+Results go to ``BENCH_net.json`` at the repository root.
+
+Run with ``PYTHONPATH=src python benchmarks/bench_net.py``
+(``--quick`` runs reduced windows and does not rewrite the committed
+baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.net.client import NetKV
+from repro.net.launch import ClusterLauncher, local_spec
+
+from _common import Table, banner
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def percentile(samples, q: float) -> float:
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def bench_steady_writes(quick: bool, seed: int = 201) -> dict:
+    window = 2.0 if quick else 8.0
+    spec = local_spec(n=3, num_leaseholders=1, seed=seed)
+    latencies = []
+    with ClusterLauncher(spec):
+        with NetKV(spec, client_seed=1) as kv:
+            kv.put("warm", 1)  # leader elected, connections dialed
+            deadline = time.monotonic() + window
+            while time.monotonic() < deadline:
+                t0 = time.perf_counter()
+                kv.increment("w", 1)
+                latencies.append((time.perf_counter() - t0) * 1_000.0)
+    ops_per_s = len(latencies) / window
+    row = {
+        "window_s": window,
+        "acked_writes": len(latencies),
+        "ops_per_s": round(ops_per_s, 1),
+        "mean_ms": round(statistics.fmean(latencies), 3),
+        "p99_ms": round(percentile(latencies, 0.99), 3),
+    }
+    table = Table(
+        ["window s", "acked", "ops/s", "mean ms", "p99 ms"],
+        title="steady closed-loop writes (3 replicas, loopback TCP)",
+    ).add_rows([[row["window_s"], row["acked_writes"], row["ops_per_s"],
+                 row["mean_ms"], row["p99_ms"]]])
+    return {"row": row, "table": table,
+            "gate": len(latencies) > 0 and row["mean_ms"] > 0.0}
+
+
+def read_latencies(num_leaseholders: int, window: float,
+                   seed: int) -> dict:
+    spec = local_spec(n=3, num_leaseholders=num_leaseholders, seed=seed)
+    latencies = []
+    with ClusterLauncher(spec):
+        with NetKV(spec, client_seed=1) as kv:
+            kv.put("r", "x")
+            deadline = time.monotonic() + window
+            while time.monotonic() < deadline:
+                t0 = time.perf_counter()
+                kv.get("r")
+                latencies.append((time.perf_counter() - t0) * 1_000.0)
+    return {
+        "num_leaseholders": num_leaseholders,
+        "reads": len(latencies),
+        "p50_ms": round(percentile(latencies, 0.50), 3),
+        "p99_ms": round(percentile(latencies, 0.99), 3),
+        "mean_ms": round(statistics.fmean(latencies), 3),
+    }
+
+
+def bench_read_tiers(quick: bool, seed: int = 202) -> dict:
+    window = 1.5 if quick else 5.0
+    tiers = (0, 1) if quick else (0, 1, 2)
+    rows = [read_latencies(L, window, seed + L) for L in tiers]
+    table = Table(
+        ["leaseholders", "reads", "p50 ms", "p99 ms", "mean ms"],
+        title=f"closed-loop read latency ({window:.0f}s per tier)",
+    ).add_rows(
+        [r["num_leaseholders"], r["reads"], r["p50_ms"], r["p99_ms"],
+         r["mean_ms"]] for r in rows
+    )
+    sane = all(r["reads"] > 0 and 0.0 < r["p50_ms"] <= r["p99_ms"]
+               for r in rows)
+    return {"rows": rows, "table": table, "gate": sane}
+
+
+def bench_failover(quick: bool, seed: int = 203) -> dict:
+    trials = 1 if quick else 3
+    rows = []
+    for trial in range(trials):
+        spec = local_spec(n=3, num_leaseholders=0, seed=seed + trial)
+        with ClusterLauncher(spec) as cluster:
+            with NetKV(spec, client_seed=1) as kv:
+                for i in range(5):
+                    kv.increment("f", 1)
+                # SIGKILL replica 0 (sometimes the leader, sometimes
+                # not — seeds vary the election winner), then time the
+                # gap until the next write is acknowledged.
+                t0 = time.monotonic()
+                cluster.kill(0)
+                kv.increment("f", 1, timeout=60)
+                gap = time.monotonic() - t0
+                final = kv.get("f", timeout=30)
+                rows.append({
+                    "trial": trial,
+                    "kill_to_next_ack_s": round(gap, 3),
+                    "exactly_once": final == 6,
+                })
+    table = Table(
+        ["trial", "kill → next ack (s)", "exactly-once"],
+        title="SIGKILL one of three replicas mid-stream",
+    ).add_rows(
+        [r["trial"], r["kill_to_next_ack_s"], r["exactly_once"]]
+        for r in rows
+    )
+    return {
+        "rows": rows,
+        "table": table,
+        "gate": all(r["exactly_once"] and r["kill_to_next_ack_s"] < 30.0
+                    for r in rows),
+    }
+
+
+def run(quick: bool = False) -> dict:
+    writes = bench_steady_writes(quick)
+    reads = bench_read_tiers(quick)
+    failover = bench_failover(quick)
+    return {
+        "quick": quick,
+        "transport": "asyncio TCP, loopback",
+        "time_unit": "wall-ms",
+        "steady_writes": writes["row"],
+        "read_tiers": reads["rows"],
+        "failover": failover["rows"],
+        "tables": [writes["table"], reads["table"], failover["table"]],
+        "gates": {
+            "writes_complete_with_positive_latency": writes["gate"],
+            "read_percentiles_sane": reads["gate"],
+            "failover_exactly_once_under_30s": failover["gate"],
+        },
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true")
+    args = parser.parse_args()
+
+    print(banner("real-network backend: wall-clock throughput and latency"))
+    result = run(quick=args.quick)
+    for table in result.pop("tables"):
+        print(table.render())
+        print()
+    print("gates:")
+    failed = False
+    for name, ok in result["gates"].items():
+        print(f"  {name}: {'PASS' if ok else 'FAIL'}")
+        failed = failed or not ok
+    if not args.quick:
+        out = REPO_ROOT / "BENCH_net.json"
+        with open(out, "w") as fh:
+            json.dump(result, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"\nwrote {out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

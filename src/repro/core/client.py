@@ -70,19 +70,22 @@ class ClientSession(Process):
     def __init__(
         self,
         pid: int,
-        sim: Simulator,
-        net: Network,
-        clocks: ClockModel,
-        spec: ObjectSpec,
-        n: int,
-        stats: RunStats,
-        retry_period: float,
+        sim: Optional[Simulator] = None,
+        net: Optional[Network] = None,
+        clocks: Optional[ClockModel] = None,
+        spec: ObjectSpec = None,
+        n: int = 0,
+        stats: Optional[RunStats] = None,
+        retry_period: float = 0.0,
         site: Optional[str] = None,
         read_targets: Optional[Sequence[int]] = None,
+        runtime: Optional[Any] = None,
     ) -> None:
         if pid < n:
             raise ValueError("client session pids must lie above the replicas")
-        super().__init__(pid, sim, net, clocks, site=site)
+        if spec is None or stats is None or retry_period <= 0:
+            raise ValueError("spec, stats, and retry_period are required")
+        super().__init__(pid, sim, net, clocks, site=site, runtime=runtime)
         self.spec = spec
         self.n = n
         self.stats = stats
@@ -111,9 +114,9 @@ class ClientSession(Process):
         self._futures[seq] = future
         if kind == "rmw":
             self._outstanding_rmw = future
-        self.stats.invoke(op_id, self.pid, kind, op, self.sim.now)
+        self.stats.invoke(op_id, self.pid, kind, op, self.now)
         future.on_resolve(
-            lambda value: self.stats.respond(op_id, value, self.sim.now)
+            lambda value: self.stats.respond(op_id, value, self.now)
         )
         self.spawn(self._request_task(seq, op, future), name=f"req{seq}")
         return future

@@ -80,17 +80,20 @@ class Leaseholder(LocalReadMixin, Process):
     def __init__(
         self,
         pid: int,
-        sim: Simulator,
-        net: Network,
-        clocks: ClockModel,
-        spec: ObjectSpec,
-        config: ChtConfig,
+        sim: Optional[Simulator] = None,
+        net: Optional[Network] = None,
+        clocks: Optional[ClockModel] = None,
+        spec: ObjectSpec = None,
+        config: ChtConfig = None,
         stats: Optional[RunStats] = None,
         site: Optional[str] = None,
+        runtime: Optional[Any] = None,
     ) -> None:
+        if spec is None or config is None:
+            raise ValueError("spec and config are required")
         if pid < config.n:
             raise ValueError("leaseholder pids must lie above the replicas")
-        super().__init__(pid, sim, net, clocks, site=site)
+        super().__init__(pid, sim, net, clocks, site=site, runtime=runtime)
         self.spec = spec
         self.config = config
         self.stats = stats if stats is not None else RunStats()

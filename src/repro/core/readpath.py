@@ -53,7 +53,7 @@ class LocalReadMixin:
             raise ValueError(f"{op!r} is not a read operation")
         op_id = self._next_op_id()
         future = Future()
-        self.stats.invoke(op_id, self.pid, "read", op, self.sim.now)
+        self.stats.invoke(op_id, self.pid, "read", op, self.now)
         self.spawn(self._read_task(op, op_id, future), name=f"read{op_id}")
         return future
 
@@ -74,10 +74,10 @@ class LocalReadMixin:
             # holds a valid read lease (paper lines 10-13).
             if not self._read_basis_available():
                 blocked = True
-                wait_from = self.sim.now
+                wait_from = self.now
                 yield Until(self._read_basis_available)
                 if span is not None:
-                    span.mark("basis_wait", self.sim.now - wait_from)
+                    span.mark("basis_wait", self.now - wait_from)
 
             # Determine the batch after which to linearize the read
             # (line 15).
@@ -90,10 +90,10 @@ class LocalReadMixin:
             # are read-independent.
             if self.applied_upto < k_hat:
                 blocked = True
-                wait_from = self.sim.now
+                wait_from = self.now
                 yield Until(lambda: self.applied_upto >= k_hat)
                 if span is not None:
-                    span.mark("conflict_wait", self.sim.now - wait_from)
+                    span.mark("conflict_wait", self.now - wait_from)
 
             _, value = self.spec.apply_any(self.state, op)
             if blocked:
@@ -108,7 +108,7 @@ class LocalReadMixin:
                         span.attrs.get("basis_wait", 0.0)
                         + span.attrs.get("conflict_wait", 0.0)
                     )
-            self.stats.respond(op_id, value, self.sim.now)
+            self.stats.respond(op_id, value, self.now)
             future.resolve(value)
         finally:
             # A crash cancels the task (TaskCancelled unwinds through

@@ -99,18 +99,21 @@ class ChtReplica(LocalReadMixin, Process):
     def __init__(
         self,
         pid: int,
-        sim: Simulator,
-        net: Network,
-        clocks: ClockModel,
-        spec: ObjectSpec,
-        config: ChtConfig,
+        sim: Optional[Simulator] = None,
+        net: Optional[Network] = None,
+        clocks: Optional[ClockModel] = None,
+        spec: ObjectSpec = None,
+        config: ChtConfig = None,
         stats: Optional[RunStats] = None,
         omega: Optional[OmegaDetector] = None,
         leader_monitor: Optional[LeaderIntervalMonitor] = None,
         batch_monitor: Optional[BatchMonitor] = None,
         site: Optional[str] = None,
+        runtime: Optional[Any] = None,
     ) -> None:
-        super().__init__(pid, sim, net, clocks, site=site)
+        if spec is None or config is None:
+            raise ValueError("spec and config are required")
+        super().__init__(pid, sim, net, clocks, site=site, runtime=runtime)
         self.spec = spec
         self.config = config
         self.stats = stats if stats is not None else RunStats()
@@ -332,7 +335,7 @@ class ChtReplica(LocalReadMixin, Process):
             )
             for j in sorted(self.batches):
                 self.batch_monitor.record_batch(
-                    self.pid, j, self.batches[j], self.sim.now
+                    self.pid, j, self.batches[j], self.now
                 )
         if obs is not None:
             storage = self.durable.storage
@@ -343,7 +346,7 @@ class ChtReplica(LocalReadMixin, Process):
                 wal_bytes=storage.wal_bytes(),
                 snapshot_upto=recovered.snapshot_upto,
                 snapshot_age=(
-                    self.sim.now - recovered.snapshot_taken_at
+                    self.now - recovered.snapshot_taken_at
                     if recovered.snapshot_taken_at is not None else -1.0
                 ),
                 applied_upto=self.applied_upto,
@@ -364,9 +367,9 @@ class ChtReplica(LocalReadMixin, Process):
         instance = OpInstance(op_id, op)
         future = Future()
         self.op_futures[op_id] = future
-        self.stats.invoke(op_id, self.pid, "rmw", op, self.sim.now)
+        self.stats.invoke(op_id, self.pid, "rmw", op, self.now)
         future.on_resolve(
-            lambda value: self.stats.respond(op_id, value, self.sim.now)
+            lambda value: self.stats.respond(op_id, value, self.now)
         )
         self.spawn(self._submit_task(instance, future), name=f"rmw{op_id}")
         return future
@@ -433,7 +436,7 @@ class ChtReplica(LocalReadMixin, Process):
             self._queue_since = self.local_time
         self.submit_queue[op_id] = instance
         if self.obs is not None:
-            self._submit_times[op_id] = self.sim.now
+            self._submit_times[op_id] = self.now
 
     # ------------------------------------------------------------------
     # Read path (red code; paper lines 7-19)
@@ -506,7 +509,7 @@ class ChtReplica(LocalReadMixin, Process):
                 return
             self.tenure.ready = True
             if span is not None:
-                span.mark("ready_at", self.sim.now)
+                span.mark("ready_at", self.now)
                 obs.tracer.instant(
                     "leader.ready", "leader", self.pid, t=t, k_star=k_star
                 )
@@ -723,7 +726,7 @@ class ChtReplica(LocalReadMixin, Process):
             # Queue wait: how long the oldest op of this batch sat in the
             # submit queue before DoOps picked it up (0 for estimate
             # transfers, whose ops were never locally enqueued).
-            now = self.sim.now
+            now = self.now
             queue_wait = 0.0
             if self._submit_times:
                 for instance in ops:
@@ -784,7 +787,7 @@ class ChtReplica(LocalReadMixin, Process):
                 yield from self._wait(majority_acked, timeout=cfg.retry_period)
 
             if span is not None:
-                span.mark("acked_at", self.sim.now)
+                span.mark("acked_at", self.now)
 
             # Lines 59-62: the leaseholder mechanism.  Wait for every current
             # leaseholder to acknowledge, or for 2*delta since the Prepares
@@ -826,7 +829,7 @@ class ChtReplica(LocalReadMixin, Process):
                     )
             tenure.leaseholders = set(acks) - {self.pid}
             if obs is not None:
-                span.mark("holders_done_at", self.sim.now)
+                span.mark("holders_done_at", self.now)
                 if expiry_wait:
                     span.mark("expiry_wait", True)
                     obs.registry.counter("lease_expiry_waits_total").inc()
@@ -1102,7 +1105,7 @@ class ChtReplica(LocalReadMixin, Process):
             # repaired by ordinary catch-up after recovery.
             self.durable.append_batch(j, ops)
         if self.batch_monitor is not None:
-            self.batch_monitor.record_batch(self.pid, j, ops, self.sim.now)
+            self.batch_monitor.record_batch(self.pid, j, ops, self.now)
         for instance in ops:
             self.committed_op_ids.add(instance.op_id)
         self.pending_batches.pop(j, None)
@@ -1185,7 +1188,7 @@ class ChtReplica(LocalReadMixin, Process):
                 (pid, seq, response)
                 for pid, (seq, response) in sorted(self.last_applied.items())
             ),
-            taken_at=self.sim.now,
+            taken_at=self.now,
         )
         tail: list = []
         if durable.seq_reserved:

@@ -24,6 +24,15 @@ the new support interval must begin *after the end of every interval q has
 ever granted* (a grant is a promise that cannot be revoked).  The end of
 the latest granted interval and the change counter are kept in stable
 storage so the rule survives crash-recovery.
+
+Runtime independence: this service touches its host only through the
+:class:`~repro.sim.process.Process` surface (``local_time``, ``send``,
+``every``, ``stable``, ``obs``), i.e. the
+:class:`~repro.net.runtime.Runtime` seam — so the identical class runs
+on the simulator and on the asyncio TCP backend.  EL1's safety depends
+only on local-clock skew being bounded by the configured epsilon (real
+deployments: one machine clock, or NTP-bounded skew), never on the
+message-delay bound delta, which is liveness-only.
 """
 
 from __future__ import annotations

@@ -1,0 +1,216 @@
+"""Cluster configuration for real-network deployments.
+
+A :class:`ClusterSpec` names every listening process of one cluster —
+``n`` replicas (pids ``0..n-1``) and ``num_leaseholders`` read-only
+leaseholders (pids ``n..n+L-1``) — with a ``host:port`` each, plus the
+shared :class:`~repro.core.config.ChtConfig`, the replicated object,
+the RNG seed, the cluster epoch (the zero point of wall-clock time,
+shared by every process so ``now`` agrees), and an optional storage
+root for :class:`~repro.durable.disk.FileStorage` durability.
+
+Files may be JSON (always supported) or TOML (Python ≥ 3.11, where the
+stdlib has ``tomllib``; older interpreters gate it cleanly)::
+
+    {
+      "n": 3,
+      "num_leaseholders": 1,
+      "addresses": ["127.0.0.1:7700", "127.0.0.1:7701",
+                     "127.0.0.1:7702", "127.0.0.1:7710"],
+      "object": "kv",
+      "seed": 42,
+      "epoch": 1722945600.0,
+      "storage_dir": null,
+      "config": {"delta": 25.0, "heartbeat_period": 100.0}
+    }
+
+Client pids start at :data:`CLIENT_PID_BASE`, far above any server pid;
+real clients draw a random pid in ``[CLIENT_PID_BASE, 2^31)`` so many
+independent client processes can coexist without coordination.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from ..core.config import ChtConfig
+
+try:  # Python >= 3.11
+    import tomllib
+except ImportError:  # pragma: no cover - 3.10 fallback
+    tomllib = None
+
+__all__ = ["ClusterSpec", "CLIENT_PID_BASE", "net_default_config"]
+
+#: Real clients take pids at or above this; servers sit far below.
+CLIENT_PID_BASE = 1 << 20
+
+
+def net_default_config(n: int) -> ChtConfig:
+    """Timing defaults for a real network (all values wall-clock ms).
+
+    The simulator's defaults assume delta = 10 simulated ms with zero
+    scheduling noise.  A real host adds GC pauses, kernel scheduling,
+    and loopback latency, so the deployment defaults are coarser: they
+    trade a slower failover (still well under a second) for far fewer
+    timer wakeups and retransmissions in steady state.  Safety is
+    unaffected either way — delta is liveness-only; only epsilon
+    (clock skew, ~0 on one machine) carries safety weight.
+    """
+    return ChtConfig(
+        n=n,
+        delta=25.0,
+        epsilon=5.0,
+        lease_period=400.0,
+        lease_renewal=100.0,
+        heartbeat_period=50.0,
+        support_period=50.0,
+        retry_period=75.0,
+        leader_loop_period=5.0,
+    )
+
+
+@dataclass
+class ClusterSpec:
+    """One real cluster: membership, addresses, timing, object, storage."""
+
+    n: int
+    num_leaseholders: int = 0
+    addresses: list = field(default_factory=list)
+    object_name: str = "kv"
+    seed: int = 0
+    epoch: float = 0.0
+    storage_dir: Optional[str] = None
+    config: ChtConfig = None
+
+    def __post_init__(self) -> None:
+        if self.config is None:
+            self.config = net_default_config(self.n)
+        expected = self.n + self.num_leaseholders
+        if len(self.addresses) != expected:
+            raise ValueError(
+                f"need {expected} addresses (n={self.n} replicas + "
+                f"{self.num_leaseholders} leaseholders), "
+                f"got {len(self.addresses)}"
+            )
+        if self.config.n != self.n:
+            raise ValueError("config.n must match the cluster's n")
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def server_pids(self) -> range:
+        return range(self.n + self.num_leaseholders)
+
+    @property
+    def replica_pids(self) -> range:
+        return range(self.n)
+
+    @property
+    def leaseholder_pids(self) -> range:
+        return range(self.n, self.n + self.num_leaseholders)
+
+    def address(self, pid: int) -> tuple:
+        host, port = self.addresses[pid].rsplit(":", 1)
+        return host, int(port)
+
+    def peer_map(self, exclude: Optional[int] = None) -> Dict[int, tuple]:
+        """pid -> (host, port) of every listening server, optionally
+        minus one (a server never dials itself)."""
+        return {
+            pid: self.address(pid)
+            for pid in self.server_pids
+            if pid != exclude
+        }
+
+    def storage_path(self, pid: int) -> Optional[Path]:
+        if self.storage_dir is None:
+            return None
+        return Path(self.storage_dir) / f"replica-{pid}"
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        cfg = {
+            k: getattr(self.config, k)
+            for k in (
+                "delta", "epsilon", "lease_period", "lease_renewal",
+                "heartbeat_period", "heartbeat_timeout", "support_period",
+                "support_duration", "retry_period", "leader_loop_period",
+                "batch_window", "max_batch_size", "compaction_interval",
+                "compaction_retain",
+            )
+        }
+        return {
+            "n": self.n,
+            "num_leaseholders": self.num_leaseholders,
+            "addresses": list(self.addresses),
+            "object": self.object_name,
+            "seed": self.seed,
+            "epoch": self.epoch,
+            "storage_dir": self.storage_dir,
+            "config": cfg,
+        }
+
+    def dump(self, path: "str | Path") -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ClusterSpec":
+        n = int(data["n"])
+        overrides = dict(data.get("config") or {})
+        base = net_default_config(n)
+        cfg_kwargs: Dict[str, Any] = {
+            k: getattr(base, k)
+            for k in (
+                "delta", "epsilon", "lease_period", "lease_renewal",
+                "heartbeat_period", "support_period", "retry_period",
+                "leader_loop_period", "batch_window", "max_batch_size",
+                "compaction_interval", "compaction_retain",
+            )
+        }
+        for key, value in overrides.items():
+            cfg_kwargs[key] = value
+        config = ChtConfig(n=n, **cfg_kwargs)
+        return cls(
+            n=n,
+            num_leaseholders=int(data.get("num_leaseholders", 0)),
+            addresses=list(data["addresses"]),
+            object_name=data.get("object", "kv"),
+            seed=int(data.get("seed", 0)),
+            epoch=float(data.get("epoch", 0.0)),
+            storage_dir=data.get("storage_dir"),
+            config=config,
+        )
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "ClusterSpec":
+        path = Path(path)
+        raw = path.read_bytes()
+        if path.suffix == ".toml":
+            if tomllib is None:
+                raise RuntimeError(
+                    "TOML cluster files need Python >= 3.11 (tomllib); "
+                    "use JSON on this interpreter"
+                )
+            data = tomllib.loads(raw.decode())
+        else:
+            data = json.loads(raw)
+        return cls.from_dict(data)
+
+
+def make_object_spec(name: str):
+    """Resolve an object registry name to an ObjectSpec instance."""
+    if name == "kv":
+        from ..objects.kvstore import KVStoreSpec
+
+        return KVStoreSpec()
+    if name == "counter":
+        from ..objects.counter import CounterSpec
+
+        return CounterSpec()
+    raise ValueError(f"unknown replicated object {name!r} (know: kv, counter)")

@@ -102,6 +102,8 @@ def run_demo(
 
 def _report(args: argparse.Namespace) -> int:
     trace = load_jsonl(args.trace)
+    print(f"time unit: {trace.unit_label} "
+          f"({'simulated run' if trace.time_unit == 'sim-ms' else 'real run'})")
     print(render_report(trace))
     committed = commit_breakdown(trace)["total"].count
     if committed == 0:

@@ -1,0 +1,45 @@
+"""Wall-clock source for observability on real runs.
+
+The obs layer timestamps everything from one clock source object
+(historically the simulator).  :class:`WallClock` is the standalone
+real-time equivalent: milliseconds since a chosen epoch, the same
+convention as :class:`~repro.net.asyncio_rt.AsyncioRuntime` (which is
+itself a valid clock source — servers pass their runtime straight to
+:class:`~repro.obs.spans.ObsContext`).  Use ``WallClock`` when tracing
+real-world activity that has no runtime at hand, e.g. the client side
+of a benchmark::
+
+    clock = WallClock()                  # epoch = now
+    obs = ObsContext(clock)              # spans timestamped in wall-ms
+    span = obs.tracer.begin("op", "bench", pid=0)
+    ...
+    obs.tracer.close(span, "done")
+    obs.export_jsonl("run.jsonl")        # report labels axes (wall ms)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+__all__ = ["WallClock"]
+
+
+class WallClock:
+    """Clock source reading the system clock, in ms since ``epoch``."""
+
+    time_unit = "wall-ms"
+
+    def __init__(self, epoch: Optional[float] = None) -> None:
+        self.epoch = time.time() if epoch is None else epoch
+        self.obs: Optional[Any] = None
+        # No event loop of its own, so nothing to count; present so
+        # ObsContext snapshots stay shape-compatible across sources.
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return (time.time() - self.epoch) * 1000.0
+
+    def attach_obs(self, obs: Any) -> None:
+        self.obs = obs

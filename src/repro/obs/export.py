@@ -37,6 +37,9 @@ class TraceData:
     spans: list[Span] = field(default_factory=list)
     instants: list[Instant] = field(default_factory=list)
     metrics: dict[str, Any] = field(default_factory=dict)
+    # "sim-ms" for simulated runs, "wall-ms" for real-network runs;
+    # every rendered axis label flows from this.
+    time_unit: str = "sim-ms"
 
     @classmethod
     def from_obs(cls, obs: ObsContext) -> "TraceData":
@@ -44,7 +47,13 @@ class TraceData:
             spans=list(obs.tracer.spans),
             instants=list(obs.tracer.instants),
             metrics=obs.snapshot(),
+            time_unit=getattr(obs, "time_unit", "sim-ms"),
         )
+
+    @property
+    def unit_label(self) -> str:
+        """Human axis label: ``"sim ms"`` or ``"wall ms"``."""
+        return self.time_unit.replace("-", " ")
 
 
 def _span_record(span: Span) -> dict[str, Any]:
@@ -128,6 +137,7 @@ def load_jsonl(path: str) -> TraceData:
                 ))
             elif kind == "metrics":
                 trace.metrics = record.get("snapshot", {})
+                trace.time_unit = trace.metrics.get("time_unit", "sim-ms")
             else:
                 raise ValueError(
                     f"{path}:{lineno}: unknown trace record type {kind!r}"
@@ -186,7 +196,10 @@ def export_perfetto(source: _SOURCE, path: str) -> int:
     document = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"source": "repro.obs", "time_unit": "sim-ms"},
+        "otherData": {
+            "source": "repro.obs",
+            "time_unit": getattr(source, "time_unit", "sim-ms"),
+        },
     }
     with open(path, "w") as fh:
         json.dump(document, fh, indent=1)

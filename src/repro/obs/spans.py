@@ -167,8 +167,17 @@ class ObsContext:
     """
 
     def __init__(self, sim: "Simulator", net: Optional["Network"] = None) -> None:
+        # ``sim`` is really a *clock source*: anything with ``.now``,
+        # ``.attach_obs(obs)``, and (optionally) ``.events_processed``
+        # and ``.time_unit``.  The simulator is the historical source
+        # (sim-ms timestamps); real runs pass an
+        # :class:`~repro.net.asyncio_rt.AsyncioRuntime` or a
+        # :class:`~repro.obs.clock.WallClock` (wall-ms timestamps).
+        # Every derived view carries ``time_unit`` so reports and
+        # exports label the axis honestly either way.
         self.sim = sim
         self.net = net
+        self.time_unit: str = getattr(sim, "time_unit", "sim-ms")
         self.registry = MetricsRegistry()
         self.tracer = Tracer(sim)
         sim.attach_obs(self)
@@ -181,9 +190,10 @@ class ObsContext:
         """Metrics snapshot, enriched with the network counters and span
         totals — the dict chaos verdicts carry."""
         snap = self.registry.snapshot()
+        snap["time_unit"] = self.time_unit
         snap["sim"] = {
             "now": self.sim.now,
-            "events_processed": self.sim.events_processed,
+            "events_processed": getattr(self.sim, "events_processed", 0),
         }
         if self.net is not None:
             snap["messages"] = {

@@ -209,9 +209,10 @@ def _summary_row(table: Table, label: str, summary: Summary) -> None:
 def render_report(source: _Traceish) -> str:
     """Render every derived timeline as monospace tables."""
     trace = as_trace(source)
+    unit = trace.unit_label
     parts: list[str] = []
 
-    parts.append(banner("commit latency by phase (sim ms)"))
+    parts.append(banner(f"commit latency by phase ({unit})"))
     commit_table = Table(["phase", "count", "mean", "p50", "p99", "max"])
     for name, summary in commit_breakdown(trace).items():
         _summary_row(commit_table, name, summary)
@@ -247,7 +248,7 @@ def render_report(source: _Traceish) -> str:
         parts.append(ratio_table.render())
 
     dwell = leader_dwell(trace)
-    parts.append(banner("leader dwell times (sim ms)"))
+    parts.append(banner(f"leader dwell times ({unit})"))
     dwell_table = Table(["pid", "tenures", "mean dwell", "max dwell"])
     for pid, durations in sorted(dwell["per_pid"].items()):
         dwell_table.add_row(pid, len(durations),

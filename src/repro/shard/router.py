@@ -10,8 +10,12 @@ submitted operation:
    ``partition_key``;
 2. waits for that group's *committed* reply;
 3. on :class:`~repro.shard.spec.WrongShard`, refreshes the map, backs
-   off, and resubmits — to the new owner if the map moved, or to the
-   same (still converging) owner otherwise.
+   off (exponentially, ``retry_backoff`` doubling up to
+   ``backoff_cap``), and resubmits — to the new owner if the map
+   moved, or to the same (still converging) owner otherwise — for at
+   most ``max_redirects`` attempts, after which the operation's future
+   resolves with a :class:`RoutingError` instead of spinning forever
+   against a group that is down.
 
 The **pinning rule** in step 2 is load-bearing: the router never
 abandons an in-flight request to try another group.  Retrying elsewhere
@@ -39,7 +43,22 @@ from .spec import WrongShard
 if TYPE_CHECKING:  # pragma: no cover
     from .cluster import ShardedCluster
 
-__all__ = ["Router"]
+__all__ = ["Router", "RoutingError"]
+
+
+class RoutingError(RuntimeError):
+    """The redirect budget ran out before the shard map converged.
+
+    Routed futures resolve with this error object (callers check
+    ``isinstance(value, RoutingError)``), so a client blocked on a
+    group that is down gets a prompt, inspectable failure instead of
+    spinning forever — the behavior a real-network deployment needs.
+    """
+
+    def __init__(self, message: str, op: Operation, attempts: int) -> None:
+        super().__init__(message)
+        self.op = op
+        self.attempts = attempts
 
 
 class Router:
@@ -57,24 +76,40 @@ class Router:
         cluster: "ShardedCluster",
         index: int,
         retry_backoff: float | None = None,
-        max_redirects: int = 1000,
+        max_redirects: int = 64,
+        backoff_cap: float | None = None,
     ) -> None:
         self.cluster = cluster
         self.index = index
         self.map = cluster.map
         self.stats = RunStats()
         self.redirects = 0
+        self.gave_up = 0
         #: op_id -> [(group id, committed response), ...] — one entry per
         #: routing attempt, terminal reply last.
         self.attempts: dict[tuple, list[tuple[int, Any]]] = {}
         # Between a WrongShard and the owner's install committing there
         # is nothing to do but wait; back off roughly one retransmission
-        # period so converging routers don't hammer the new owner.
+        # period so converging routers don't hammer the new owner.  On
+        # every further redirect of the same operation the wait doubles
+        # up to ``backoff_cap`` (default 16× the base), and after
+        # ``max_redirects`` attempts the operation *fails*: its future
+        # resolves with a :class:`RoutingError`.  64 capped-exponential
+        # attempts spend ~20 minutes of simulated time at the default
+        # retry period — a map that hasn't converged by then never will.
         self.retry_backoff = (
             retry_backoff
             if retry_backoff is not None
             else cluster.config.retry_period
         )
+        self.backoff_cap = (
+            backoff_cap if backoff_cap is not None
+            else 16.0 * self.retry_backoff
+        )
+        if self.backoff_cap < self.retry_backoff:
+            raise ValueError("backoff_cap must be >= retry_backoff")
+        if max_redirects < 1:
+            raise ValueError("max_redirects must be at least 1")
         self.max_redirects = max_redirects
         # Generators driving routed operations run on the control host's
         # task scheduler; they only touch futures and the transport.
@@ -128,6 +163,7 @@ class Router:
     ) -> Generator:
         obs = self.cluster.obs
         control = self.cluster.control
+        delay = self.retry_backoff
         for _ in range(self.max_redirects):
             gid = self.map.group_for(key)
             attempt = control.submit(gid, self.index, op)
@@ -145,8 +181,19 @@ class Router:
                 )
                 obs.registry.counter("router_redirects_total").inc()
             self.refresh()
-            yield Sleep(self.retry_backoff)
-        raise RuntimeError(
+            yield Sleep(delay)
+            delay = min(delay * 2.0, self.backoff_cap)
+        self.gave_up += 1
+        if obs is not None:
+            obs.registry.counter("router_gave_up_total").inc()
+        error = RoutingError(
             f"router {self.index}: {op!r} still WrongShard after "
-            f"{self.max_redirects} redirects; shard map never converged"
+            f"{self.max_redirects} redirects; shard map never converged",
+            op=op,
+            attempts=self.max_redirects,
         )
+        # Resolve rather than raise: the waiter gets a prompt,
+        # inspectable error (what a real-network client needs) instead
+        # of an exception tearing through the host's task scheduler
+        # while the caller spins on an unresolved future.
+        future.resolve(error)

@@ -1,21 +1,32 @@
 """Process abstraction.
 
-A :class:`Process` is an event-driven participant in the simulation.  It
+A :class:`Process` is an event-driven participant in a runtime.  It
 receives messages (``on_message``), runs timers, and executes cooperative
 protocol :mod:`tasks <repro.sim.tasks>`.  Processes can crash (losing all
 volatile state and in-flight tasks) and optionally recover; a small
 ``stable`` dict models stable storage that survives crashes.
 
 All protocol-visible time is *local* time read from the process clock; the
-base class converts to and from simulated real time when scheduling.
+base class converts to and from the runtime's real time when scheduling.
+
+Substrate access goes through the :class:`~repro.net.runtime.Runtime`
+seam: pass ``(sim, net, clocks)`` and the process wraps them in a
+:class:`~repro.net.runtime.SimRuntime` (the historical constructor — the
+whole test/chaos/bench corpus uses it), or pass ``runtime=`` to host the
+identical protocol code on another substrate such as
+:class:`~repro.net.asyncio_rt.AsyncioRuntime`.  Either way the contract
+is single-threaded: the runtime invokes ``deliver`` and timer callbacks
+sequentially (the simulator by construction, asyncio on its loop
+thread), so subclasses never need locks.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Generator, Optional
 
+from ..net.runtime import Runtime, SimRuntime, TimerHandle
 from .clocks import ClockModel
-from .core import Event, Simulator
+from .core import Simulator
 from .network import Network
 from .tasks import Future, Sleep, Task, Until
 
@@ -27,65 +38,85 @@ _MAX_WAKE_ROUNDS = 1000
 
 
 class Process:
-    """Base class for all simulated processes."""
+    """Base class for all protocol processes, on any runtime."""
 
     def __init__(
         self,
         pid: int,
-        sim: Simulator,
-        net: Network,
-        clocks: ClockModel,
+        sim: Optional[Simulator] = None,
+        net: Optional[Network] = None,
+        clocks: Optional[ClockModel] = None,
         site: Optional[str] = None,
+        runtime: Optional[Runtime] = None,
     ) -> None:
+        if runtime is None:
+            if sim is None or net is None or clocks is None:
+                raise ValueError(
+                    "Process needs either (sim, net, clocks) or runtime="
+                )
+            runtime = SimRuntime(sim, net, clocks)
         self.pid = pid
-        self.sim = sim
-        self.net = net
-        self.clocks = clocks
+        self.runtime = runtime
+        # Direct simulator handles, for sim-only call sites (chaos fault
+        # injection, tests poking at the event queue).  None on a real
+        # runtime — protocol code must not touch these.
+        self.sim = getattr(runtime, "sim", None)
+        self.net = getattr(runtime, "net", None)
+        self.clocks = getattr(runtime, "clocks", None)
         # Deployment-site label ("g0", "g1", ... in a sharded cluster).
         # Pids are only unique within one network, so multi-group runs
         # sharing a simulator and an ObsContext use the site to keep
         # per-group telemetry apart; None in single-group runs.
         self.site = site
         self.crashed = False
-        # The run's ObsContext (repro.obs), cached from the simulator at
+        # The run's ObsContext (repro.obs), cached from the runtime at
         # construction; None in unobserved runs.  Every instrumentation
         # site is guarded by ``if self.obs is not None`` — the disabled
         # cost is one load + comparison, and no obs code is ever entered.
-        self.obs = sim.obs
+        self.obs = runtime.obs
         self.stable: dict[str, Any] = {}
-        self.rng = sim.fork_rng(f"process-{pid}", site=site)
-        self._clock = clocks[pid]
+        self.rng = runtime.fork_rng(f"process-{pid}", site=site)
+        self._clock = runtime.local_clock(pid)
         self._tasks: list[Task] = []
-        self._timers: list[Event] = []
+        self._timers: list[TimerHandle] = []
         self._in_scheduler = False
         self._needs_prune = False
-        net.register(self)
+        runtime.register(self)
 
     # ------------------------------------------------------------------
     # Time
     # ------------------------------------------------------------------
     @property
+    def now(self) -> float:
+        """The runtime's real time (simulated or wall-clock ms).
+
+        For stats/observability timestamps only — protocol decisions
+        must use :attr:`local_time`, which models clock skew.
+        """
+        return self.runtime.now
+
+    @property
     def local_time(self) -> float:
         """The process's local clock reading."""
-        return self._clock.local(self.sim.now)
+        return self._clock.local(self.runtime.now)
 
     def real_for_local(self, local: float) -> float:
         """Real time at which the local clock will show ``local``."""
-        return self.clocks.real(self.pid, local)
+        return self.runtime.real_for_local(self.pid, local)
 
     # ------------------------------------------------------------------
     # Messaging
     # ------------------------------------------------------------------
     def send(self, dst: int, msg: Any) -> None:
         if not self.crashed:
-            self.net.send(self.pid, dst, msg)
+            self.runtime.send(self.pid, dst, msg)
 
     def broadcast(self, msg: Any) -> None:
         if not self.crashed:
-            self.net.broadcast(self.pid, msg)
+            self.runtime.broadcast(self.pid, msg)
 
     def deliver(self, src: int, msg: Any) -> None:
-        """Called by the network; dispatches to ``on_message``."""
+        """Called by the runtime; dispatches to ``on_message``."""
         if self.crashed:
             return
         self.on_message(src, msg)
@@ -99,18 +130,19 @@ class Process:
     # Timers (local-time based)
     # ------------------------------------------------------------------
     def set_timer(self, local_delay: float, callback: Callable[..., None],
-                  *args: Any) -> Event:
+                  *args: Any) -> TimerHandle:
         """Run ``callback(*args)`` after ``local_delay`` units of *local*
         time."""
         fire_local = self.local_time + local_delay
-        fire_real = max(self.real_for_local(fire_local), self.sim.now)
-        event = self.sim.schedule_at(fire_real, self._fire_timer, callback,
-                                     args)
+        fire_real = max(self.real_for_local(fire_local), self.runtime.now)
+        event = self.runtime.schedule_at(fire_real, self._fire_timer, callback,
+                                         args)
         self._timers.append(event)
         if len(self._timers) > 256:
+            now = self.runtime.now
             self._timers = [
                 t for t in self._timers
-                if not t.cancelled and t.time >= self.sim.now
+                if not t.cancelled and t.time >= now
             ]
         return event
 

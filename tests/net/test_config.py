@@ -1,0 +1,76 @@
+"""ClusterSpec: serialization round-trips, address math, validation."""
+
+import sys
+
+import pytest
+
+from repro.net.config import (CLIENT_PID_BASE, ClusterSpec, make_object_spec,
+                              net_default_config)
+
+
+def make_spec(**kwargs):
+    defaults = dict(
+        n=3,
+        num_leaseholders=2,
+        addresses=[f"127.0.0.1:{7700 + i}" for i in range(5)],
+        seed=9,
+        epoch=123.0,
+    )
+    defaults.update(kwargs)
+    return ClusterSpec(**defaults)
+
+
+def test_pid_layout_and_addresses():
+    spec = make_spec()
+    assert list(spec.replica_pids) == [0, 1, 2]
+    assert list(spec.leaseholder_pids) == [3, 4]
+    assert spec.address(4) == ("127.0.0.1", 7704)
+    peers = spec.peer_map(exclude=1)
+    assert 1 not in peers and len(peers) == 4
+    assert CLIENT_PID_BASE > 5
+
+
+def test_address_count_is_validated():
+    with pytest.raises(ValueError, match="addresses"):
+        make_spec(addresses=["127.0.0.1:7700"])
+
+
+def test_config_n_must_match():
+    with pytest.raises(ValueError, match="config.n"):
+        make_spec(config=net_default_config(5))
+
+
+def test_json_round_trip(tmp_path):
+    spec = make_spec(storage_dir=str(tmp_path / "d"))
+    spec.config.batch_window = 2.5
+    path = tmp_path / "cluster.json"
+    spec.dump(path)
+    loaded = ClusterSpec.load(path)
+    assert loaded.to_dict() == spec.to_dict()
+    assert loaded.config.batch_window == 2.5
+    assert loaded.config.delta == spec.config.delta
+    assert loaded.storage_path(1) is not None
+    assert loaded.storage_path(1).name == "replica-1"
+
+
+def test_toml_load_is_gated_by_interpreter(tmp_path):
+    path = tmp_path / "cluster.toml"
+    path.write_text(
+        'n = 3\nnum_leaseholders = 0\n'
+        'addresses = ["127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"]\n'
+        'object = "counter"\n'
+    )
+    if sys.version_info >= (3, 11):
+        spec = ClusterSpec.load(path)
+        assert spec.object_name == "counter"
+        assert spec.n == 3
+    else:  # pragma: no cover - 3.10 CI lane
+        with pytest.raises(RuntimeError, match="tomllib"):
+            ClusterSpec.load(path)
+
+
+def test_object_registry():
+    assert make_object_spec("kv").__class__.__name__ == "KVStoreSpec"
+    assert make_object_spec("counter").__class__.__name__ == "CounterSpec"
+    with pytest.raises(ValueError, match="unknown replicated object"):
+        make_object_spec("queue-of-doom")

@@ -1,0 +1,72 @@
+"""Obs wall-clock mode: real runs get honestly-labelled timelines."""
+
+import json
+import time
+
+from repro.net.asyncio_rt import AsyncioRuntime
+from repro.obs.clock import WallClock
+from repro.obs.export import TraceData, load_jsonl
+from repro.obs.spans import ObsContext
+from repro.obs.timeline import render_report
+from repro.sim.core import Simulator
+
+
+def test_wallclock_source_timestamps_in_wall_ms():
+    clock = WallClock()
+    obs = ObsContext(clock)
+    assert obs.time_unit == "wall-ms"
+    assert clock.obs is obs  # attach_obs mirror of Simulator's
+    span = obs.tracer.begin("op", "bench", pid=0)
+    time.sleep(0.02)
+    obs.tracer.close(span, "done")
+    assert span.duration >= 15.0  # ms, not seconds or sim-units
+    assert span.duration < 5_000.0
+
+
+def test_sim_source_keeps_sim_unit():
+    obs = ObsContext(Simulator(seed=1))
+    assert obs.time_unit == "sim-ms"
+    assert obs.snapshot()["time_unit"] == "sim-ms"
+
+
+def test_asyncio_runtime_is_a_valid_clock_source():
+    rt = AsyncioRuntime(0, peers={}, epoch=time.time() - 1.0)
+    obs = ObsContext(rt)
+    assert obs.time_unit == "wall-ms"
+    assert rt.obs is obs
+    # epoch was one second ago, so now reads ~1000 wall-ms.
+    assert 900.0 < obs.now < 10_000.0
+    snap = obs.snapshot()
+    assert snap["time_unit"] == "wall-ms"
+    assert snap["sim"]["events_processed"] == 0
+
+
+def test_time_unit_round_trips_through_jsonl(tmp_path):
+    clock = WallClock()
+    obs = ObsContext(clock)
+    span = obs.tracer.begin("batch.commit", "batch", pid=0)
+    obs.tracer.close(span, "committed")
+    path = tmp_path / "trace.jsonl"
+    obs.export_jsonl(str(path))
+    trace = load_jsonl(str(path))
+    assert trace.time_unit == "wall-ms"
+    assert trace.unit_label == "wall ms"
+    report = render_report(trace)
+    assert "commit latency by phase (wall ms)" in report
+    assert "leader dwell times (wall ms)" in report
+    assert "(sim ms)" not in report
+
+
+def test_sim_traces_render_with_sim_labels():
+    report = render_report(TraceData())
+    assert "commit latency by phase (sim ms)" in report
+
+
+def test_perfetto_export_labels_the_unit(tmp_path):
+    obs = ObsContext(WallClock())
+    span = obs.tracer.begin("op", "bench", pid=3)
+    obs.tracer.close(span, "done")
+    path = tmp_path / "trace.perfetto.json"
+    obs.export_perfetto(str(path))
+    doc = json.loads(path.read_text())
+    assert doc["otherData"]["time_unit"] == "wall-ms"

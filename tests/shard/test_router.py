@@ -10,6 +10,7 @@ import pytest
 from repro.core.config import ChtConfig
 from repro.objects.kvstore import KVStoreSpec, get, increment, put, scan
 from repro.shard import ShardedCluster, WrongShard, freeze_op
+from repro.shard.router import RoutingError
 
 KEY_IN_SLOT = {0: "k9", 1: "k0", 2: "k2", 3: "k3"}
 
@@ -174,5 +175,62 @@ def test_router_gives_up_after_max_redirects():
     await_op(cluster, coordinator.submit(freeze_op({2}, 2)))
     router = cluster.router(0, retry_backoff=1.0, max_redirects=3)
     future = router.submit(get(KEY_IN_SLOT[2]))
-    with pytest.raises(RuntimeError, match="never converged"):
-        cluster.run(60_000.0)
+    value = await_op(cluster, future, timeout=60_000.0)
+    # The budget surfaces a prompt, inspectable error — the future
+    # resolves instead of the client spinning on a group that is down.
+    assert isinstance(value, RoutingError)
+    assert "never converged" in str(value)
+    assert value.attempts == 3
+    assert router.gave_up == 1
+    # Every attempt on the way out was a committed WrongShard.
+    attempts = router.attempts[("router", 0, 1)]
+    assert len(attempts) == 3
+    assert all(isinstance(r, WrongShard) for _, r in attempts)
+
+
+def test_router_backoff_grows_exponentially_to_the_cap():
+    cluster = make_cluster()
+    coordinator = cluster.coordinator(0)
+    await_op(cluster, coordinator.submit(freeze_op({2}, 2)))
+    base = 100.0
+    router = cluster.router(0, retry_backoff=base, max_redirects=5,
+                            backoff_cap=400.0)
+    start = cluster.sim.now
+    future = router.submit(get(KEY_IN_SLOT[2]))
+    value = await_op(cluster, future, timeout=120_000.0)
+    assert isinstance(value, RoutingError)
+    elapsed = cluster.sim.now - start
+    # Waits: 100 + 200 + 400 + 400 + 400 = 1500 plus five round trips;
+    # fixed backoff would spend only 500 waiting.  The elapsed window
+    # brackets the capped-exponential schedule.
+    assert elapsed >= 1500.0
+    assert elapsed < 6000.0
+
+
+def test_router_rejects_bad_budget_parameters():
+    cluster = make_cluster()
+    with pytest.raises(ValueError, match="max_redirects"):
+        cluster.router(0, max_redirects=0)
+    with pytest.raises(ValueError, match="backoff_cap"):
+        cluster.router(0, retry_backoff=10.0, backoff_cap=1.0)
+
+
+def test_router_budget_error_does_not_break_later_ops():
+    """After a RoutingError on a stuck slot, other slots keep working
+    and exactly-once accounting stays clean for them."""
+    cluster = make_cluster()
+    coordinator = cluster.coordinator(0)
+    await_op(cluster, coordinator.submit(freeze_op({2}, 2)))
+    router = cluster.router(0, retry_backoff=1.0, max_redirects=2)
+    stuck = router.submit(get(KEY_IN_SLOT[2]))
+    assert isinstance(await_op(cluster, stuck, timeout=60_000.0),
+                      RoutingError)
+    await_op(cluster, router.submit(put(KEY_IN_SLOT[1], "ok")))
+    assert await_op(cluster, router.submit(get(KEY_IN_SLOT[1]))) == "ok"
+    healthy = {
+        op_id: attempts for op_id, attempts in router.attempts.items()
+        if op_id != ("router", 0, 1)
+    }
+    for op_id, attempts in healthy.items():
+        effective = [r for _, r in attempts if not isinstance(r, WrongShard)]
+        assert len(effective) == 1, (op_id, attempts)

@@ -64,6 +64,15 @@ def test_sharded_kv():
     assert "shard.handoff span(s) recorded" in out
 
 
+def test_net_kv():
+    out = run_example("net_kv.py", timeout=120.0)
+    assert "server processes ready" in out
+    assert "put/get round-trip over real sockets OK" in out
+    assert "reads prefer the leaseholder" in out
+    assert "SIGKILLed replica 0 after 5 acks" in out
+    assert "exactly-once verified: counter == acks == 10" in out
+
+
 @pytest.mark.slow
 def test_read_heavy_cache():
     out = run_example("read_heavy_cache.py", timeout=600.0)
